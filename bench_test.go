@@ -1,0 +1,431 @@
+// Benchmarks regenerating each paper figure's headline metrics, plus
+// ablations of the design choices DESIGN.md calls out. Every benchmark
+// runs a complete deterministic simulation per iteration and reports
+// the figure's metric via b.ReportMetric, so `go test -bench=.` doubles
+// as a compact reproduction of the evaluation:
+//
+//   - Fig2: average per-MDS throughput per strategy (simops/s/mds)
+//   - Fig3: prefix-inode share of the cache (prefix_pct)
+//   - Fig4: hit rate at small and large caches (hitrate)
+//   - Fig5: post-shift average throughput, dynamic vs static
+//   - Fig6: post-shift forwarded-request fraction (fwd_frac)
+//   - Fig7: reply rate while a flash crowd is absorbed (replies/s)
+package dynmds_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dynmds/internal/cluster"
+	"dynmds/internal/namespace"
+	"dynmds/internal/partition"
+	"dynmds/internal/sim"
+)
+
+// scaling is the Figure 2/3 configuration at a benchable size.
+func scaling(strategy string, n int) cluster.Config {
+	cfg := cluster.Default()
+	cfg.Strategy = strategy
+	cfg.NumMDS = n
+	cfg.ClientsPerMDS = 40
+	cfg.FS.Users = 25 * n
+	cfg.MDS.CacheCapacity = 2500
+	cfg.MDS.Storage.LogCapacity = 2500
+	cfg.Duration = 10 * sim.Second
+	cfg.Warmup = 4 * sim.Second
+	return cfg
+}
+
+func runCfg(b *testing.B, cfg cluster.Config) *cluster.Result {
+	b.Helper()
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res := cl.Run()
+	if res.MeasuredOps == 0 {
+		b.Fatal("simulation produced no operations")
+	}
+	return res
+}
+
+func benchFig2(b *testing.B, strategy string) {
+	var last *cluster.Result
+	for i := 0; i < b.N; i++ {
+		last = runCfg(b, scaling(strategy, 8))
+	}
+	b.ReportMetric(last.AvgThroughput, "simops/s/mds")
+	b.ReportMetric(last.HitRate, "hitrate")
+}
+
+func BenchmarkFig2_StaticSubtree(b *testing.B)  { benchFig2(b, cluster.StratStatic) }
+func BenchmarkFig2_DynamicSubtree(b *testing.B) { benchFig2(b, cluster.StratDynamic) }
+func BenchmarkFig2_DirHash(b *testing.B)        { benchFig2(b, cluster.StratDirHash) }
+func BenchmarkFig2_LazyHybrid(b *testing.B)     { benchFig2(b, cluster.StratLazyHybrid) }
+func BenchmarkFig2_FileHash(b *testing.B)       { benchFig2(b, cluster.StratFileHash) }
+
+func benchFig3(b *testing.B, strategy string) {
+	var last *cluster.Result
+	for i := 0; i < b.N; i++ {
+		last = runCfg(b, scaling(strategy, 8))
+	}
+	b.ReportMetric(100*last.PrefixFrac, "prefix_pct")
+}
+
+func BenchmarkFig3_StaticSubtree(b *testing.B)  { benchFig3(b, cluster.StratStatic) }
+func BenchmarkFig3_DynamicSubtree(b *testing.B) { benchFig3(b, cluster.StratDynamic) }
+func BenchmarkFig3_DirHash(b *testing.B)        { benchFig3(b, cluster.StratDirHash) }
+func BenchmarkFig3_FileHash(b *testing.B)       { benchFig3(b, cluster.StratFileHash) }
+
+func benchFig4(b *testing.B, strategy string, cacheFrac float64) {
+	cfg := scaling(strategy, 8)
+	// Cache sized as a fraction of total metadata per node.
+	probe, err := cluster.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	per := int(cacheFrac * float64(probe.Snap.Tree.Len()) / float64(cfg.NumMDS))
+	if per < 64 {
+		per = 64
+	}
+	cfg.MDS.CacheCapacity = per
+	cfg.MDS.Storage.LogCapacity = per
+	var last *cluster.Result
+	for i := 0; i < b.N; i++ {
+		last = runCfg(b, cfg)
+	}
+	b.ReportMetric(last.HitRate, "hitrate")
+}
+
+func BenchmarkFig4_StaticSubtree_SmallCache(b *testing.B) {
+	benchFig4(b, cluster.StratStatic, 0.05)
+}
+func BenchmarkFig4_StaticSubtree_BigCache(b *testing.B) {
+	benchFig4(b, cluster.StratStatic, 0.6)
+}
+func BenchmarkFig4_FileHash_SmallCache(b *testing.B) {
+	benchFig4(b, cluster.StratFileHash, 0.05)
+}
+func BenchmarkFig4_FileHash_BigCache(b *testing.B) {
+	benchFig4(b, cluster.StratFileHash, 0.6)
+}
+func BenchmarkFig4_LazyHybrid_BigCache(b *testing.B) {
+	benchFig4(b, cluster.StratLazyHybrid, 0.6)
+}
+
+// shift is the Figure 5/6 workload-evolution configuration.
+func shift(strategy string) cluster.Config {
+	cfg := cluster.Default()
+	cfg.Strategy = strategy
+	cfg.NumMDS = 6
+	cfg.ClientsPerMDS = 30
+	cfg.FS.Users = 150
+	cfg.MDS.CacheCapacity = 2500
+	cfg.Client.ThinkMean = 15 * sim.Millisecond
+	cfg.Client.KnownCap = 512
+	cfg.Workload.Kind = cluster.WorkShift
+	cfg.Workload.ShiftTime = 8 * sim.Second
+	cfg.Workload.ShiftFraction = 0.5
+	cfg.Duration = 24 * sim.Second
+	cfg.Warmup = 4 * sim.Second
+	if cfg.Balancer != nil {
+		bal := *cfg.Balancer
+		bal.Interval = 2 * sim.Second
+		cfg.Balancer = &bal
+	}
+	return cfg
+}
+
+// postShiftStats aggregates throughput and forward fraction after the
+// workload shift settles (final third of the run).
+func postShiftStats(res *cluster.Result, cfg cluster.Config) (avgTput, fwdFrac float64) {
+	start := int((cfg.Duration * 2 / 3) / cfg.SeriesBucket)
+	end := int(cfg.Duration / cfg.SeriesBucket)
+	var replies, forwards, arrivals float64
+	for i := start; i < end; i++ {
+		for _, s := range res.RepliesPerNode {
+			replies += s.Sum(i)
+		}
+		forwards += res.Forwards.Sum(i)
+		arrivals += res.Arrivals.Sum(i)
+	}
+	window := (cfg.Duration / 3).Seconds()
+	avgTput = replies / window / float64(cfg.NumMDS)
+	if arrivals > 0 {
+		fwdFrac = forwards / arrivals
+	}
+	return avgTput, fwdFrac
+}
+
+func benchFig5(b *testing.B, strategy string) {
+	cfg := shift(strategy)
+	var tput float64
+	var migrations int
+	for i := 0; i < b.N; i++ {
+		res := runCfg(b, cfg)
+		tput, _ = postShiftStats(res, cfg)
+		migrations = res.Migrations
+	}
+	b.ReportMetric(tput, "simops/s/mds")
+	b.ReportMetric(float64(migrations), "migrations")
+}
+
+func BenchmarkFig5_DynamicSubtree(b *testing.B) { benchFig5(b, cluster.StratDynamic) }
+func BenchmarkFig5_StaticSubtree(b *testing.B)  { benchFig5(b, cluster.StratStatic) }
+
+func benchFig6(b *testing.B, strategy string) {
+	cfg := shift(strategy)
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		res := runCfg(b, cfg)
+		_, frac = postShiftStats(res, cfg)
+	}
+	b.ReportMetric(frac, "fwd_frac")
+}
+
+func BenchmarkFig6_DynamicSubtree(b *testing.B) { benchFig6(b, cluster.StratDynamic) }
+func BenchmarkFig6_StaticSubtree(b *testing.B)  { benchFig6(b, cluster.StratStatic) }
+
+// flash is the Figure 7 configuration at a benchable client count.
+func flash(trafficOn bool) cluster.Config {
+	cfg := cluster.Default()
+	cfg.Strategy = cluster.StratDynamic
+	cfg.NumMDS = 8
+	cfg.ClientsPerMDS = 250
+	cfg.FS.Users = 100
+	cfg.MDS.CacheCapacity = 4000
+	cfg.Client.ThinkMean = 20 * sim.Millisecond
+	cfg.Workload.Kind = cluster.WorkFlashCrowd
+	cfg.Workload.FlashTime = 8 * sim.Second
+	cfg.Workload.FlashDuration = 2 * sim.Second
+	cfg.Duration = 10 * sim.Second
+	cfg.Warmup = 4 * sim.Second
+	cfg.SeriesBucket = 20 * sim.Millisecond
+	cfg.Balancer = nil
+	if !trafficOn {
+		cfg.Traffic = nil
+	}
+	return cfg
+}
+
+func benchFig7(b *testing.B, trafficOn bool) {
+	cfg := flash(trafficOn)
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		res := runCfg(b, cfg)
+		// Cluster reply rate over the last half-second of the crowd.
+		start := int(sim.FromSeconds(9.5) / cfg.SeriesBucket)
+		end := int(sim.FromSeconds(10.0) / cfg.SeriesBucket)
+		var sum float64
+		for i := start; i < end; i++ {
+			for _, s := range res.RepliesPerNode {
+				sum += s.Sum(i)
+			}
+		}
+		rate = sum / 0.5
+	}
+	b.ReportMetric(rate, "replies/s")
+}
+
+func BenchmarkFig7_TrafficControlOff(b *testing.B) { benchFig7(b, false) }
+func BenchmarkFig7_TrafficControlOn(b *testing.B)  { benchFig7(b, true) }
+
+// --- Ablations -----------------------------------------------------------
+
+// noEmbed wraps the static subtree strategy with embedded-inode
+// directory storage disabled: same partition, per-inode I/O.
+type noEmbed struct{ *partition.StaticSubtree }
+
+func (noEmbed) DirGranular() bool { return false }
+
+var _ partition.Strategy = noEmbed{}
+
+// BenchmarkAblation_EmbeddedInodes contrasts subtree partitioning with
+// and without directory-granular storage (§4.5): the partition is
+// identical, only the storage layout and prefetch differ.
+func BenchmarkAblation_EmbeddedInodes_On(b *testing.B) {
+	benchFig2(b, cluster.StratStatic)
+}
+
+func BenchmarkAblation_EmbeddedInodes_Off(b *testing.B) {
+	cfg := scaling(cluster.StratStatic, 8)
+	cfg.MakeStrategy = func(n int, tree *namespace.Tree) partition.Strategy {
+		return noEmbed{partition.NewStaticSubtree(n, tree, cfg.PartitionDepth)}
+	}
+	var last *cluster.Result
+	for i := 0; i < b.N; i++ {
+		last = runCfg(b, cfg)
+	}
+	b.ReportMetric(last.AvgThroughput, "simops/s/mds")
+	b.ReportMetric(last.HitRate, "hitrate")
+}
+
+// BenchmarkAblation_PrefetchPosition contrasts inserting prefetched
+// siblings near the LRU tail (the paper's choice, §4.5) against the hot
+// MRU end.
+func BenchmarkAblation_PrefetchNearTail(b *testing.B) {
+	benchFig2(b, cluster.StratStatic)
+}
+
+func BenchmarkAblation_PrefetchHot(b *testing.B) {
+	var last *cluster.Result
+	for i := 0; i < b.N; i++ {
+		cfg := scaling(cluster.StratStatic, 8)
+		cfg.MDS.PrefetchHot = true
+		last = runCfg(b, cfg)
+	}
+	b.ReportMetric(last.AvgThroughput, "simops/s/mds")
+	b.ReportMetric(last.HitRate, "hitrate")
+}
+
+// BenchmarkAblation_RedelegateFirst contrasts the balancer's
+// keep-the-partition-simple pass (§4.3) against naive splitting.
+func BenchmarkAblation_RedelegateFirst_On(b *testing.B) {
+	benchFig5(b, cluster.StratDynamic)
+}
+
+func BenchmarkAblation_RedelegateFirst_Off(b *testing.B) {
+	cfg := shift(cluster.StratDynamic)
+	bal := *cfg.Balancer
+	bal.NoRedelegateFirst = true
+	cfg.Balancer = &bal
+	var tput float64
+	var delegations int
+	for i := 0; i < b.N; i++ {
+		cl, err := cluster.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := cl.Run()
+		tput, _ = postShiftStats(res, cfg)
+		delegations = cl.Dyn.Table.NumDelegations()
+	}
+	b.ReportMetric(tput, "simops/s/mds")
+	b.ReportMetric(float64(delegations), "delegations")
+}
+
+// BenchmarkAblation_ReplicationThreshold probes traffic-control
+// sensitivity: a very high threshold behaves like no traffic control.
+func BenchmarkAblation_ReplicationThreshold(b *testing.B) {
+	for _, thr := range []float64{100, 1e9} {
+		thr := thr
+		b.Run(benchName(thr), func(b *testing.B) {
+			cfg := flash(true)
+			tc := *cfg.Traffic
+			tc.ReplicateThreshold = thr
+			tc.UnreplicateThreshold = thr / 10
+			cfg.Traffic = &tc
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				res := runCfg(b, cfg)
+				start := int(sim.FromSeconds(9.5) / cfg.SeriesBucket)
+				end := int(sim.FromSeconds(10.0) / cfg.SeriesBucket)
+				var sum float64
+				for j := start; j < end; j++ {
+					for _, s := range res.RepliesPerNode {
+						sum += s.Sum(j)
+					}
+				}
+				rate = sum / 0.5
+			}
+			b.ReportMetric(rate, "replies/s")
+		})
+	}
+}
+
+func benchName(thr float64) string {
+	if thr < 500 {
+		return "default"
+	}
+	return "never"
+}
+
+// BenchmarkAblation_DynamicDirHashing enables hashing of oversized
+// directories (§4.3) under the scientific N-to-N create workload, where
+// one shared directory becomes huge and hot.
+func BenchmarkAblation_DynamicDirHashing(b *testing.B) {
+	for _, thr := range []int{0, 256} {
+		thr := thr
+		name := "off"
+		if thr > 0 {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := cluster.Default()
+			cfg.Strategy = cluster.StratDynamic
+			cfg.NumMDS = 6
+			cfg.ClientsPerMDS = 40
+			cfg.FS.Users = 60
+			cfg.Workload.Kind = cluster.WorkScientific
+			cfg.Workload.PhaseLength = 4 * sim.Second
+			cfg.Workload.BurstFraction = 0.5
+			cfg.HashDirThreshold = thr
+			cfg.Duration = 16 * sim.Second
+			cfg.Warmup = 4 * sim.Second
+			var last *cluster.Result
+			for i := 0; i < b.N; i++ {
+				last = runCfg(b, cfg)
+			}
+			b.ReportMetric(last.AvgThroughput, "simops/s/mds")
+		})
+	}
+}
+
+// BenchmarkAblation_SharedOSDPool contrasts node-local metadata disks
+// with the shared OSD pool (§2.1.3): the pool adds replication write
+// costs but spreads read load over many spindles.
+func BenchmarkAblation_SharedOSDPool(b *testing.B) {
+	for _, osds := range []int{0, 16, 48} {
+		osds := osds
+		name := "local"
+		if osds > 0 {
+			name = fmt.Sprintf("osds%d", osds)
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := scaling(cluster.StratDynamic, 8)
+			cfg.OSDs = osds
+			var last *cluster.Result
+			for i := 0; i < b.N; i++ {
+				last = runCfg(b, cfg)
+			}
+			b.ReportMetric(last.AvgThroughput, "simops/s/mds")
+		})
+	}
+}
+
+// BenchmarkAblation_PreemptiveReplication measures the flash-crowd
+// recovery benefit of §5.4's suggested improvement: flooded
+// non-authoritative nodes pull replicas without waiting for the
+// authority's push. The metric is the cluster reply rate over the
+// first 300 ms after impact — higher means faster recovery.
+func BenchmarkAblation_PreemptiveReplication(b *testing.B) {
+	for _, pre := range []bool{false, true} {
+		pre := pre
+		name := "off"
+		if pre {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := flash(true)
+			tc := *cfg.Traffic
+			if pre {
+				tc.PreemptiveThreshold = 50
+			}
+			cfg.Traffic = &tc
+			var rate float64
+			for i := 0; i < b.N; i++ {
+				res := runCfg(b, cfg)
+				start := int(sim.FromSeconds(8.1) / cfg.SeriesBucket)
+				end := int(sim.FromSeconds(8.4) / cfg.SeriesBucket)
+				var sum float64
+				for j := start; j < end; j++ {
+					for _, s := range res.RepliesPerNode {
+						sum += s.Sum(j)
+					}
+				}
+				rate = sum / 0.3
+			}
+			b.ReportMetric(rate, "replies/s")
+		})
+	}
+}

@@ -1,0 +1,95 @@
+// Command mdsim runs the metadata-cluster simulation experiments that
+// regenerate the paper's figures, or a single custom configuration.
+//
+// Usage:
+//
+//	mdsim -fig 2            # regenerate Figure 2 (full scale)
+//	mdsim -fig all -quick   # all figures, reduced scale
+//	mdsim -strategy DynamicSubtree -mds 8 -clients 40 -dur 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dynmds/internal/cluster"
+	"dynmds/internal/harness"
+	"dynmds/internal/sim"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "", "experiment: 2..7, 'sci', 'failover', or 'all'")
+		quick    = flag.Bool("quick", false, "reduced-scale experiments")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		strategy = flag.String("strategy", cluster.StratDynamic, "strategy for a custom run")
+		nmds     = flag.Int("mds", 4, "cluster size for a custom run")
+		clients  = flag.Int("clients", 40, "clients per MDS for a custom run")
+		users    = flag.Int("users", 100, "file-system users for a custom run")
+		cacheCap = flag.Int("cache", 2000, "MDS cache capacity (records)")
+		dur      = flag.Float64("dur", 20, "duration in simulated seconds")
+		warm     = flag.Float64("warmup", 5, "warmup in simulated seconds")
+	)
+	list := flag.Bool("list", false, "list available experiments")
+	flag.Parse()
+
+	if *list {
+		for _, e := range append(harness.All(), harness.Extras()...) {
+			fmt.Printf("%-10s %s\n           %s\n", e.ID, e.Title, e.Description)
+		}
+		return
+	}
+
+	if *fig != "" {
+		runFigures(*fig, harness.Options{Quick: *quick, Seed: *seed})
+		return
+	}
+
+	cfg := cluster.Default()
+	cfg.Seed = *seed
+	cfg.Strategy = *strategy
+	cfg.NumMDS = *nmds
+	cfg.ClientsPerMDS = *clients
+	cfg.FS.Users = *users
+	cfg.MDS.CacheCapacity = *cacheCap
+	cfg.MDS.Storage.LogCapacity = *cacheCap
+	cfg.Duration = sim.FromSeconds(*dur)
+	cfg.Warmup = sim.FromSeconds(*warm)
+
+	start := time.Now()
+	res, err := harness.RunOne(harness.RunSpec{Label: "custom", Cfg: cfg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mdsim:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res)
+	fmt.Printf("wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func runFigures(which string, opt harness.Options) {
+	var exps []harness.Experiment
+	if which == "all" {
+		exps = append(harness.All(), harness.Extras()...)
+	} else {
+		e, ok := harness.ByID("fig" + which)
+		if !ok {
+			e, ok = harness.ByID(which)
+		}
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mdsim: unknown figure %q (use 2..7 or 'all')\n", which)
+			os.Exit(1)
+		}
+		exps = []harness.Experiment{e}
+	}
+	for _, e := range exps {
+		start := time.Now()
+		fmt.Printf("== %s ==\n%s\n\n", e.Title, e.Description)
+		if err := e.Run(os.Stdout, opt); err != nil {
+			fmt.Fprintln(os.Stderr, "mdsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("(wall time %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

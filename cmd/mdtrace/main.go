@@ -1,0 +1,136 @@
+// Command mdtrace records a metadata operation trace from a simulated
+// workload, or replays a recorded trace against a cluster configuration
+// — the paper's future-work path toward trace-driven evaluation.
+//
+// Usage:
+//
+//	mdtrace -record trace.jsonl -dur 10
+//	mdtrace -replay trace.jsonl -strategy FileHash
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"dynmds/internal/cluster"
+	"dynmds/internal/sim"
+	"dynmds/internal/trace"
+	"dynmds/internal/workload"
+)
+
+func main() {
+	var (
+		record   = flag.String("record", "", "record a trace to this file")
+		replay   = flag.String("replay", "", "replay a trace from this file")
+		stats    = flag.String("stats", "", "summarise a trace file")
+		strategy = flag.String("strategy", cluster.StratDynamic, "partitioning strategy")
+		nmds     = flag.Int("mds", 4, "cluster size")
+		clients  = flag.Int("clients", 20, "clients per MDS")
+		users    = flag.Int("users", 100, "file-system users")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		dur      = flag.Float64("dur", 10, "duration in simulated seconds")
+	)
+	flag.Parse()
+	if *stats != "" {
+		f, err := os.Open(*stats)
+		if err != nil {
+			fatal(err)
+		}
+		events, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(trace.Summarize(events, 10))
+		return
+	}
+	if (*record == "") == (*replay == "") {
+		fmt.Fprintln(os.Stderr, "mdtrace: exactly one of -record, -replay or -stats is required")
+		os.Exit(1)
+	}
+
+	cfg := cluster.Default()
+	cfg.Seed = *seed
+	cfg.Strategy = *strategy
+	cfg.NumMDS = *nmds
+	cfg.ClientsPerMDS = *clients
+	cfg.FS.Users = *users
+	cfg.Duration = sim.FromSeconds(*dur)
+	cfg.Warmup = 0
+
+	if *record != "" {
+		doRecord(cfg, *record)
+		return
+	}
+	doReplay(cfg, *replay)
+}
+
+func doRecord(cfg cluster.Config, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	defer w.Flush()
+
+	var recorders []*trace.Recorder
+	cfg.WrapGenerator = func(id int, g workload.Generator) workload.Generator {
+		// Cluster construction is single-threaded; no locking needed.
+		r := trace.NewRecorder(id, g, w)
+		recorders = append(recorders, r)
+		return r
+	}
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	res := cl.Run()
+	var total uint64
+	for _, r := range recorders {
+		total += r.Events
+	}
+	fmt.Printf("recorded %d events to %s\n", total, path)
+	fmt.Println(res)
+}
+
+func doReplay(cfg cluster.Config, path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	events, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	byClient := trace.Split(events)
+
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	// Swap each client's generator for a trace player bound to the
+	// (deterministically regenerated) tree.
+	var players []*trace.Player
+	for i, c := range cl.Clients {
+		p := trace.NewPlayer(cl.Tree(), byClient[i])
+		players = append(players, p)
+		c.SetGenerator(p)
+	}
+	res := cl.Run()
+	var played, skipped uint64
+	for _, p := range players {
+		played += p.Played
+		skipped += p.Skipped
+	}
+	fmt.Printf("replayed %d events (%d skipped) from %s\n", played, skipped, path)
+	fmt.Println(res)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mdtrace:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,21 @@
+// Package dynmds is a simulation-based reproduction of "Dynamic
+// Metadata Management for Petabyte-scale File Systems" (Weil, Pollack,
+// Brandt, Miller; SC 2004) — the dynamic subtree partitioning design
+// that became the Ceph metadata server.
+//
+// The public surface is organised as:
+//
+//   - internal/cluster — assemble and run complete simulations
+//   - internal/harness — the experiments regenerating every paper figure
+//   - internal/core — dynamic subtree partitioning, load balancing,
+//     traffic control (the paper's contribution)
+//   - internal/partition — the comparison strategies (static subtree,
+//     file/directory hashing, Lazy Hybrid)
+//   - internal/{sim,namespace,fsgen,cache,storage,mds,client,workload,
+//     metrics,msg,trace} — the substrates
+//
+// Entry points: cmd/mdsim (experiments), cmd/fsgen (synthetic
+// namespaces), cmd/mdtrace (trace record/replay), and the runnable
+// examples under examples/. The benchmarks in bench_test.go regenerate
+// each figure's headline number via `go test -bench`.
+package dynmds

@@ -1,0 +1,53 @@
+// Comparison: run the same file system and workload under all five
+// metadata partitioning strategies and print the paper's headline
+// metrics side by side — throughput, cache hit rate, prefix-inode cache
+// overhead, and request forwarding.
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynmds/internal/cluster"
+	"dynmds/internal/metrics"
+	"dynmds/internal/sim"
+)
+
+func main() {
+	base := func(strategy string) cluster.Config {
+		cfg := cluster.Default()
+		cfg.Strategy = strategy
+		cfg.NumMDS = 8
+		cfg.ClientsPerMDS = 60
+		cfg.FS.Users = 200
+		cfg.MDS.CacheCapacity = 2500
+		cfg.Duration = 20 * sim.Second
+		cfg.Warmup = 8 * sim.Second
+		return cfg
+	}
+
+	fmt.Println("general-purpose workload, 8 MDS, 480 clients, ~55k inodes")
+	tb := metrics.NewTable("strategy", "ops/s/mds", "hit rate", "prefix %", "fwd %",
+		"lat p50 ms", "lat p99 ms")
+	for _, s := range cluster.Strategies {
+		cl, err := cluster.New(base(s))
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := cl.Run()
+		tb.AddRow(s, r.AvgThroughput,
+			fmt.Sprintf("%.3f", r.HitRate),
+			fmt.Sprintf("%.1f", 100*r.PrefixFrac),
+			fmt.Sprintf("%.2f", 100*r.ForwardFrac),
+			fmt.Sprintf("%.2f", r.LatencyP50*1000),
+			fmt.Sprintf("%.2f", r.LatencyP99*1000))
+	}
+	fmt.Print(tb)
+	fmt.Println()
+	fmt.Println("Subtree partitions exploit directory locality (embedded inodes,")
+	fmt.Println("prefetch) and keep prefix overhead low; hashed distributions pay")
+	fmt.Println("for scattered metadata with per-inode I/O and replicated prefixes;")
+	fmt.Println("Lazy Hybrid avoids traversal entirely but loses all locality.")
+}

@@ -1,0 +1,66 @@
+// Load balancing: half the clients migrate to subtrees served by one
+// MDS and start creating files there (the Figure 5 scenario). The
+// example runs the dynamic strategy, prints the per-node load every
+// two simulated seconds, and then lists the subtree migrations the
+// balancer executed.
+//
+//	go run ./examples/loadbalance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynmds/internal/cluster"
+	"dynmds/internal/sim"
+)
+
+func main() {
+	cfg := cluster.Default()
+	cfg.Strategy = cluster.StratDynamic
+	cfg.NumMDS = 6
+	cfg.ClientsPerMDS = 30
+	cfg.FS.Users = 150
+	cfg.MDS.CacheCapacity = 2500
+	cfg.Client.ThinkMean = 15 * sim.Millisecond
+	cfg.Client.KnownCap = 512
+	cfg.Workload.Kind = cluster.WorkShift
+	cfg.Workload.ShiftTime = 8 * sim.Second
+	cfg.Workload.ShiftFraction = 0.5
+	cfg.Duration = 24 * sim.Second
+	cfg.Warmup = 4 * sim.Second
+	bal := *cfg.Balancer
+	bal.Interval = 2 * sim.Second
+	cfg.Balancer = &bal
+
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d MDS, %d clients; half migrate at t=%v\n\n",
+		cfg.NumMDS, len(cl.Clients), cfg.Workload.ShiftTime)
+	fmt.Println("per-node load metric (arrival rate + weighted misses):")
+	tick := sim.NewTicker(cl.Eng, 2*sim.Second, func(now sim.Time) {
+		fmt.Printf("  t=%4.0fs ", now.Seconds())
+		for _, n := range cl.Nodes {
+			fmt.Printf(" %7.0f", n.Load(now))
+		}
+		fmt.Printf("   migrations=%d\n", len(cl.Balancer.Migrations))
+	})
+	tick.Start(sim.Second)
+
+	res := cl.Run()
+
+	fmt.Println("\nmigrations executed by the balancer:")
+	for _, m := range cl.Balancer.Migrations {
+		kind := "split"
+		if m.Redelegation {
+			kind = "re-delegated import"
+		}
+		fmt.Printf("  t=%5.1fs %-28s node %d -> %d (%d cached records, %s)\n",
+			m.At.Seconds(), m.Root.Path(), m.From, m.To, m.Entries, kind)
+	}
+	fmt.Printf("\npartition now has %d explicit delegations\n", cl.Dyn.Table.NumDelegations())
+	fmt.Println("result:", res)
+}

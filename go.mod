@@ -1,0 +1,3 @@
+module dynmds
+
+go 1.22

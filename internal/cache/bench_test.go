@@ -1,0 +1,73 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+
+	"dynmds/internal/namespace"
+)
+
+func benchTree(b *testing.B, dirs, filesPerDir int) (*namespace.Tree, []*namespace.Inode) {
+	b.Helper()
+	tr := namespace.NewTree()
+	var files []*namespace.Inode
+	for d := 0; d < dirs; d++ {
+		dir, err := tr.Mkdir(tr.Root, fmt.Sprintf("d%d", d))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for f := 0; f < filesPerDir; f++ {
+			n, err := tr.Create(dir, fmt.Sprintf("f%d", f))
+			if err != nil {
+				b.Fatal(err)
+			}
+			files = append(files, n)
+		}
+	}
+	return tr, files
+}
+
+// BenchmarkInsertPathEvict measures the hot path of a full cache:
+// insert with ancestor maintenance plus eviction.
+func BenchmarkInsertPathEvict(b *testing.B) {
+	_, files := benchTree(b, 64, 64)
+	c := New(512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.InsertPath(files[i%len(files)], Auth, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGetHit measures a cache hit with LRU touch.
+func BenchmarkGetHit(b *testing.B) {
+	_, files := benchTree(b, 4, 64)
+	c := New(1024)
+	for _, f := range files {
+		if _, err := c.InsertPath(f, Auth, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(files[i%len(files)].ID)
+	}
+}
+
+// BenchmarkPrefixFraction measures the Figure 3 metric scan.
+func BenchmarkPrefixFraction(b *testing.B) {
+	_, files := benchTree(b, 32, 32)
+	c := New(2048)
+	for _, f := range files {
+		if _, err := c.InsertPath(f, Auth, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = c.PrefixFraction()
+	}
+}

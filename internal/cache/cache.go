@@ -1,0 +1,473 @@
+// Package cache implements the MDS metadata cache. Two properties from
+// the paper drive the design:
+//
+//   - Hierarchical consistency (§4.1): each MDS caches the prefix
+//     (ancestor) inodes of everything in its cache, so the cached subset
+//     of the hierarchy is always a tree. Only leaf items may be expired:
+//     a directory cannot be evicted while cached items remain beneath it.
+//     The cache enforces this with per-entry pin counts.
+//
+//   - Prefetch demotion (§4.5): directory contents prefetched alongside a
+//     requested item are inserted "near the tail of the cache's LRU list"
+//     so potentially-useful data cannot displace known-useful data. The
+//     cache is a segmented LRU: a hot segment for demand-loaded entries
+//     and a warm segment for prefetched ones; eviction drains the warm
+//     segment first, and a warm hit promotes the entry to the hot MRU.
+//
+// Entries are classified (authoritative, prefix, replica) so experiments
+// can measure the fraction of cache memory consumed by replicated prefix
+// inodes (Figure 3).
+package cache
+
+import (
+	"fmt"
+
+	"dynmds/internal/namespace"
+)
+
+// Class describes why an entry is in the cache.
+type Class uint8
+
+// Entry classes.
+const (
+	// Auth: this MDS is authoritative for the item and it was demand
+	// loaded (or created) here.
+	Auth Class = iota
+	// Prefix: an ancestor directory cached only to permit path
+	// traversal / anchor a subtree; the interesting item is below it.
+	Prefix
+	// Replica: a read-only copy of an item another MDS is authoritative
+	// for (traffic control or remote prefix).
+	Replica
+)
+
+func (c Class) String() string {
+	switch c {
+	case Auth:
+		return "auth"
+	case Prefix:
+		return "prefix"
+	case Replica:
+		return "replica"
+	}
+	return "unknown"
+}
+
+// Entry is a cached metadata record.
+type Entry struct {
+	Ino   *namespace.Inode
+	Class Class
+
+	// pins counts cached children; an entry with pins > 0 must not be
+	// evicted (leaf-only expiry).
+	pins int
+	// parent is the entry this one pinned at insert time. It is kept
+	// explicitly (rather than re-deriving from Ino.Parent()) because
+	// renames and unlinks move inodes while they are cached; the pin
+	// must be released on exactly the entry it was taken on.
+	parent *Entry
+	hot    bool
+	// detached entries (Lazy Hybrid) do not participate in the
+	// hierarchical pinning protocol: LH's dual-entry ACLs remove the
+	// need to keep ancestors cached.
+	detached bool
+	prev     *Entry
+	next     *Entry
+}
+
+// Pinned reports whether the entry is protected from eviction.
+func (e *Entry) Pinned() bool { return e.pins > 0 }
+
+// list is an intrusive doubly-linked LRU list; head = MRU, tail = LRU.
+type list struct {
+	head, tail *Entry
+	n          int
+}
+
+func (l *list) pushFront(e *Entry) {
+	e.prev, e.next = nil, l.head
+	if l.head != nil {
+		l.head.prev = e
+	}
+	l.head = e
+	if l.tail == nil {
+		l.tail = e
+	}
+	l.n++
+}
+
+func (l *list) remove(e *Entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	l.n--
+}
+
+// Stats counts cache activity since construction.
+type Stats struct {
+	Hits, Misses     uint64
+	Inserts, Evicts  uint64
+	PinBlockedEvicts uint64
+}
+
+// Cache is a bounded, segmented-LRU metadata cache.
+type Cache struct {
+	capacity int
+	byID     map[namespace.InodeID]*Entry
+	hot      list
+	warm     list
+
+	// classCount tracks entries per class for O(1) prefix accounting.
+	classCount [3]int
+
+	// OnEvict, if set, is called after an entry has been removed by
+	// eviction (not by Remove); the MDS uses it to notify authorities
+	// that a replica was discarded (§4.2).
+	OnEvict func(*Entry)
+
+	Stats Stats
+}
+
+// New creates a cache bounded to capacity entries. Capacity must be
+// positive.
+func New(capacity int) *Cache {
+	if capacity < 1 {
+		panic("cache: capacity must be >= 1")
+	}
+	return &Cache{
+		capacity: capacity,
+		byID:     make(map[namespace.InodeID]*Entry),
+	}
+}
+
+// Cap returns the configured capacity.
+func (c *Cache) Cap() int { return c.capacity }
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int { return len(c.byID) }
+
+// CountClass returns the number of entries with the given class.
+func (c *Cache) CountClass(cl Class) int { return c.classCount[cl] }
+
+// PrefixFraction returns the fraction of cache entries serving as
+// prefix (ancestor) inodes — Figure 3's metric. An entry is a prefix if
+// cached items beneath it require it for path traversal, i.e. it is
+// pinned by cached children; replicated prefixes on hashed strategies
+// are included, and Lazy Hybrid's detached records never are.
+func (c *Cache) PrefixFraction() float64 {
+	if len(c.byID) == 0 {
+		return 0
+	}
+	pinned := 0
+	for _, e := range c.byID {
+		if e.pins > 0 {
+			pinned++
+		}
+	}
+	return float64(pinned) / float64(len(c.byID))
+}
+
+// Contains reports presence without touching LRU state or stats.
+func (c *Cache) Contains(id namespace.InodeID) bool {
+	_, ok := c.byID[id]
+	return ok
+}
+
+// Peek returns the entry without touching LRU state or stats.
+func (c *Cache) Peek(id namespace.InodeID) (*Entry, bool) {
+	e, ok := c.byID[id]
+	return e, ok
+}
+
+// Get looks up an entry, recording a hit or miss and refreshing its
+// recency (a warm entry is promoted to the hot segment).
+func (c *Cache) Get(id namespace.InodeID) (*Entry, bool) {
+	e, ok := c.byID[id]
+	if !ok {
+		c.Stats.Misses++
+		return nil, false
+	}
+	c.Stats.Hits++
+	c.touch(e)
+	return e, true
+}
+
+func (c *Cache) touch(e *Entry) {
+	if e.hot {
+		c.hot.remove(e)
+	} else {
+		c.warm.remove(e)
+		e.hot = true
+	}
+	c.hot.pushFront(e)
+}
+
+// Insert adds (or refreshes) an entry for ino. warm selects the
+// prefetch segment. The entry's parent must already be cached unless ino
+// is the root — that is the hierarchical-consistency invariant; callers
+// use InsertPath to bring in the ancestor chain. Inserting may evict
+// unpinned entries to stay within capacity.
+func (c *Cache) Insert(ino *namespace.Inode, cl Class, warm bool) (*Entry, error) {
+	if e, ok := c.byID[ino.ID]; ok {
+		// Refresh: upgrade class priority (Auth > Replica > Prefix in
+		// specificity: a direct request upgrades a prefix entry).
+		if cl == Auth || (cl == Replica && e.Class == Prefix) {
+			c.classCount[e.Class]--
+			e.Class = cl
+			c.classCount[cl]++
+		}
+		if !warm {
+			c.touch(e)
+		}
+		return e, nil
+	}
+	parent := ino.Parent()
+	var pe *Entry
+	if parent != nil {
+		var ok bool
+		pe, ok = c.byID[parent.ID]
+		if !ok {
+			return nil, fmt.Errorf("cache: inserting %s without cached parent", ino)
+		}
+	}
+	e := &Entry{Ino: ino, Class: cl, hot: !warm, parent: pe}
+	c.byID[ino.ID] = e
+	c.classCount[cl]++
+	if pe != nil {
+		pe.pins++
+	}
+	if warm {
+		c.warm.pushFront(e)
+	} else {
+		c.hot.pushFront(e)
+	}
+	c.Stats.Inserts++
+	// The new entry is protected from its own insertion's eviction pass:
+	// a path insert brings in ancestors one at a time, and a chain link
+	// must survive until its child pins it.
+	c.evictToCapacity(e)
+	return e, nil
+}
+
+// InsertDetached caches ino without requiring (or pinning) its parent.
+// Lazy Hybrid MDS nodes cache scattered file records with no ancestor
+// chain; the dual-entry ACL carries the effective permissions.
+func (c *Cache) InsertDetached(ino *namespace.Inode, cl Class, warm bool) *Entry {
+	if e, ok := c.byID[ino.ID]; ok {
+		if !warm {
+			c.touch(e)
+		}
+		return e
+	}
+	e := &Entry{Ino: ino, Class: cl, hot: !warm, detached: true}
+	c.byID[ino.ID] = e
+	c.classCount[cl]++
+	if warm {
+		c.warm.pushFront(e)
+	} else {
+		c.hot.pushFront(e)
+	}
+	c.Stats.Inserts++
+	c.evictToCapacity(e)
+	return e
+}
+
+// InsertPath caches ino along with any missing ancestors (as Prefix
+// entries), maintaining the tree invariant.
+func (c *Cache) InsertPath(ino *namespace.Inode, cl Class, warm bool) (*Entry, error) {
+	for _, anc := range ino.Ancestors() {
+		if !c.Contains(anc.ID) {
+			// Ancestors are always demand-relevant: hot.
+			if _, err := c.Insert(anc, Prefix, false); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c.Insert(ino, cl, warm)
+}
+
+// evictToCapacity removes unpinned entries, draining the warm segment
+// before the hot one. If every entry is pinned the cache is allowed to
+// exceed capacity (the next insert retries).
+func (c *Cache) evictToCapacity(protect *Entry) {
+	for len(c.byID) > c.capacity {
+		e := c.victim(&c.warm, protect)
+		if e == nil {
+			e = c.victim(&c.hot, protect)
+		}
+		if e == nil {
+			c.Stats.PinBlockedEvicts++
+			return
+		}
+		c.drop(e, true)
+	}
+}
+
+// victim scans from the LRU tail for the first unpinned entry.
+func (c *Cache) victim(l *list, protect *Entry) *Entry {
+	for e := l.tail; e != nil; e = e.prev {
+		if e.pins == 0 && e != protect {
+			return e
+		}
+	}
+	return nil
+}
+
+func (c *Cache) drop(e *Entry, evicted bool) {
+	if e.hot {
+		c.hot.remove(e)
+	} else {
+		c.warm.remove(e)
+	}
+	delete(c.byID, e.Ino.ID)
+	c.classCount[e.Class]--
+	if e.parent != nil {
+		e.parent.pins--
+		e.parent = nil
+	}
+	if evicted {
+		c.Stats.Evicts++
+		if c.OnEvict != nil {
+			c.OnEvict(e)
+		}
+	}
+}
+
+// Remove explicitly discards an entry (e.g. after migrating a subtree
+// away). It fails if the entry is pinned by cached children.
+func (c *Cache) Remove(id namespace.InodeID) error {
+	e, ok := c.byID[id]
+	if !ok {
+		return nil
+	}
+	if e.pins > 0 {
+		return fmt.Errorf("cache: entry %s is pinned by %d children", e.Ino, e.pins)
+	}
+	c.drop(e, false)
+	return nil
+}
+
+// RemoveSubtree discards every cached entry at or below root, children
+// before parents so pins unwind. Returns the number removed.
+func (c *Cache) RemoveSubtree(root *namespace.Inode) int {
+	var victims []*Entry
+	for _, e := range c.byID {
+		if e.Ino == root || root.IsAncestorOf(e.Ino) {
+			victims = append(victims, e)
+		}
+	}
+	// Deepest first so parents are unpinned before their turn.
+	for removed := 0; removed < len(victims); {
+		progress := false
+		for _, e := range victims {
+			if _, still := c.byID[e.Ino.ID]; !still {
+				continue
+			}
+			if e.pins == 0 {
+				c.drop(e, false)
+				removed++
+				progress = true
+			}
+		}
+		if !progress {
+			break // remaining entries pinned from outside the subtree
+		}
+	}
+	n := 0
+	for _, e := range victims {
+		if _, still := c.byID[e.Ino.ID]; !still {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEach visits every entry in unspecified order. The callback must not
+// mutate the cache.
+func (c *Cache) ForEach(fn func(*Entry)) {
+	for _, e := range c.byID {
+		fn(e)
+	}
+}
+
+// EntriesUnder collects the entries at or below root.
+func (c *Cache) EntriesUnder(root *namespace.Inode) []*Entry {
+	var out []*Entry
+	for _, e := range c.byID {
+		if e.Ino == root || root.IsAncestorOf(e.Ino) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// NoteMiss records a demand lookup that found its record absent.
+// Callers that probe with Contains (to run their own fetch path) use
+// this to keep hit-rate accounting truthful.
+func (c *Cache) NoteMiss() { c.Stats.Misses++ }
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (c *Cache) HitRate() float64 {
+	total := c.Stats.Hits + c.Stats.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Stats.Hits) / float64(total)
+}
+
+// CheckInvariants validates pin counts, segment membership, and the
+// cached-subset-is-a-tree property. For tests.
+func (c *Cache) CheckInvariants() error {
+	pins := make(map[*Entry]int)
+	for _, e := range c.byID {
+		if e.detached {
+			if e.parent != nil {
+				return fmt.Errorf("cache: detached %s holds a pin", e.Ino)
+			}
+			continue
+		}
+		if e.parent != nil {
+			if got, ok := c.byID[e.parent.Ino.ID]; !ok || got != e.parent {
+				return fmt.Errorf("cache: %s pins an entry not in the cache", e.Ino)
+			}
+			pins[e.parent]++
+		}
+	}
+	for _, e := range c.byID {
+		if e.pins != pins[e] {
+			return fmt.Errorf("cache: %s pin count %d, want %d", e.Ino, e.pins, pins[e])
+		}
+	}
+	count := 0
+	for e := c.hot.head; e != nil; e = e.next {
+		if !e.hot {
+			return fmt.Errorf("cache: warm entry in hot list")
+		}
+		count++
+	}
+	for e := c.warm.head; e != nil; e = e.next {
+		if e.hot {
+			return fmt.Errorf("cache: hot entry in warm list")
+		}
+		count++
+	}
+	if count != len(c.byID) {
+		return fmt.Errorf("cache: list count %d != map count %d", count, len(c.byID))
+	}
+	total := 0
+	for _, n := range c.classCount {
+		total += n
+	}
+	if total != len(c.byID) {
+		return fmt.Errorf("cache: class counts %v != size %d", c.classCount, len(c.byID))
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+// Package client models the client population. Each client runs a
+// closed loop: issue one metadata operation, wait for the reply, think,
+// repeat. The interesting behaviour is request direction (§4.4): for
+// hash-based strategies clients compute the authority directly; for
+// subtree strategies they are initially ignorant and direct each request
+// by the deepest known prefix of the target's path, learning the
+// partition from the distribution hints carried on replies.
+package client
+
+import (
+	"dynmds/internal/metrics"
+	"dynmds/internal/msg"
+	"dynmds/internal/namespace"
+	"dynmds/internal/partition"
+	"dynmds/internal/sim"
+	"dynmds/internal/workload"
+)
+
+// Network is the client's access to the cluster.
+type Network interface {
+	// Send delivers a request to MDS node i after client→MDS latency.
+	Send(i int, req *msg.Request)
+	// NumMDS returns the cluster size.
+	NumMDS() int
+}
+
+// Config parameterises a client.
+type Config struct {
+	// ThinkMean is the mean think time between a reply and the next
+	// request (exponentially distributed). Zero = saturating client.
+	ThinkMean sim.Time
+	// KnownCap bounds the location-knowledge cache (FIFO eviction).
+	KnownCap int
+	// RetryTimeout, when positive, re-sends a request that has not
+	// been answered within the timeout — to a random node, since the
+	// original target may be down. Needed for failover scenarios;
+	// zero disables retries.
+	RetryTimeout sim.Time
+}
+
+// Stats counts one client's activity.
+type Stats struct {
+	Issued    uint64
+	Completed uint64
+	Retries   uint64
+	Latency   metrics.Welford
+}
+
+// Client is one simulated client.
+type Client struct {
+	id    int
+	eng   *sim.Engine
+	cfg   Config
+	rng   *sim.RNG
+	net   Network
+	strat partition.Strategy
+	gen   workload.Generator
+
+	known *knownCache
+
+	nextID   uint64
+	stopped  bool
+	inflight *msg.Request
+
+	Stats Stats
+}
+
+// New creates a client driving the given workload generator.
+func New(id int, eng *sim.Engine, cfg Config, rng *sim.RNG, net Network, strat partition.Strategy, gen workload.Generator) *Client {
+	if cfg.KnownCap <= 0 {
+		cfg.KnownCap = 1024
+	}
+	return &Client{
+		id:    id,
+		eng:   eng,
+		cfg:   cfg,
+		rng:   rng,
+		net:   net,
+		strat: strat,
+		gen:   gen,
+		known: newKnownCache(cfg.KnownCap),
+	}
+}
+
+// SetGenerator replaces the client's workload generator. Call before
+// Start (trace replay swaps generators in after cluster construction).
+func (c *Client) SetGenerator(gen workload.Generator) { c.gen = gen }
+
+// Start begins the closed loop, staggered by the given phase to avoid a
+// synchronized thundering herd at t=0.
+func (c *Client) Start(phase sim.Time) {
+	c.eng.After(phase, c.issue)
+}
+
+// Stop ends the loop after the in-flight operation completes.
+func (c *Client) Stop() { c.stopped = true }
+
+func (c *Client) issue() {
+	if c.stopped {
+		return
+	}
+	op, ok := c.gen.Next(c.eng.Now(), c.rng)
+	if !ok {
+		// Generator exhausted or idle: retry after a think time.
+		c.eng.After(c.rng.Exp(c.cfg.ThinkMean)+sim.Millisecond, c.issue)
+		return
+	}
+	c.nextID++
+	req := &msg.Request{
+		ID:      c.nextID,
+		Client:  c.id,
+		Op:      op.Op,
+		Target:  op.Target,
+		DstDir:  op.DstDir,
+		NewName: op.NewName,
+		Size:    op.Size,
+		Issued:  c.eng.Now(),
+	}
+	mds := c.direct(req)
+	req.FirstMDS = mds
+	c.Stats.Issued++
+	c.inflight = req
+	c.net.Send(mds, req)
+	c.armRetry(req)
+}
+
+// armRetry schedules a retransmission for an unanswered request. The
+// retry goes to a random node: the original target may have failed, and
+// any node can forward to the current authority.
+func (c *Client) armRetry(req *msg.Request) {
+	if c.cfg.RetryTimeout <= 0 {
+		return
+	}
+	c.eng.After(c.cfg.RetryTimeout, func() {
+		if c.stopped || c.inflight != req {
+			return
+		}
+		c.Stats.Retries++
+		to := c.rng.Pick(c.net.NumMDS())
+		c.net.Send(to, req)
+		c.armRetry(req)
+	})
+}
+
+// direct picks the MDS to contact (§4.4): computed directly for hashed
+// strategies; otherwise the deepest known prefix's advertised location,
+// falling back to a random node (the root is "known to all clients and
+// consequently highly replicated").
+func (c *Client) direct(req *msg.Request) int {
+	if c.strat.ClientComputable() {
+		if req.Op == msg.Create || req.Op == msg.Mkdir {
+			return c.strat.AuthorityForName(req.Target, req.NewName)
+		}
+		return c.strat.Authority(req.Target)
+	}
+	for n := req.Target; n != nil; n = n.Parent() {
+		if h, ok := c.known.get(n.ID); ok {
+			if h.Replicated {
+				return c.rng.Pick(c.net.NumMDS())
+			}
+			return h.Authority
+		}
+	}
+	return c.rng.Pick(c.net.NumMDS())
+}
+
+// OnReply completes the in-flight operation: absorb distribution hints,
+// record latency, think, and issue the next request. Duplicate replies
+// (a retried request answered twice) are dropped.
+func (c *Client) OnReply(rep *msg.Reply) {
+	if rep.Req.Acked || (c.inflight != nil && rep.Req != c.inflight) {
+		return // stale duplicate from a retry race
+	}
+	rep.Req.Acked = true
+	c.inflight = nil
+	c.Stats.Completed++
+	c.Stats.Latency.Add(rep.Latency().Seconds())
+	for _, h := range rep.Hints {
+		c.known.put(h)
+	}
+	c.gen.Observe(rep)
+	if c.stopped {
+		return
+	}
+	c.eng.After(c.rng.Exp(c.cfg.ThinkMean), c.issue)
+}
+
+// KnownLocations reports the current size of the location cache.
+func (c *Client) KnownLocations() int { return c.known.len() }
+
+// knownCache is a FIFO-bounded map of location hints. FIFO (rather than
+// LRU) keeps it allocation-free on hit paths and is plenty for a
+// simulated client.
+type knownCache struct {
+	capacity int
+	m        map[namespace.InodeID]msg.Hint
+	fifo     []namespace.InodeID
+	head     int
+}
+
+func newKnownCache(capacity int) *knownCache {
+	return &knownCache{
+		capacity: capacity,
+		m:        make(map[namespace.InodeID]msg.Hint, capacity),
+		fifo:     make([]namespace.InodeID, capacity),
+	}
+}
+
+func (k *knownCache) len() int { return len(k.m) }
+
+func (k *knownCache) get(id namespace.InodeID) (msg.Hint, bool) {
+	h, ok := k.m[id]
+	return h, ok
+}
+
+func (k *knownCache) put(h msg.Hint) {
+	if _, exists := k.m[h.Ino]; exists {
+		k.m[h.Ino] = h // refresh in place; FIFO position unchanged
+		return
+	}
+	if len(k.m) >= k.capacity {
+		old := k.fifo[k.head]
+		delete(k.m, old)
+	}
+	k.fifo[k.head] = h.Ino
+	k.head = (k.head + 1) % k.capacity
+	k.m[h.Ino] = h
+}

@@ -1,0 +1,247 @@
+package client
+
+import (
+	"testing"
+
+	"dynmds/internal/msg"
+	"dynmds/internal/namespace"
+	"dynmds/internal/partition"
+	"dynmds/internal/sim"
+	"dynmds/internal/workload"
+)
+
+// fakeNet records sends and can synthesize replies.
+type fakeNet struct {
+	n     int
+	sends []struct {
+		mds int
+		req *msg.Request
+	}
+}
+
+func (f *fakeNet) Send(i int, req *msg.Request) {
+	f.sends = append(f.sends, struct {
+		mds int
+		req *msg.Request
+	}{i, req})
+}
+func (f *fakeNet) NumMDS() int { return f.n }
+
+// fixedGen always returns the same op.
+type fixedGen struct{ op workload.Op }
+
+func (g fixedGen) Next(now sim.Time, r *sim.RNG) (workload.Op, bool) { return g.op, true }
+func (g fixedGen) Observe(rep *msg.Reply)                            {}
+
+func testTree(t *testing.T) (*namespace.Tree, *namespace.Inode) {
+	t.Helper()
+	tr := namespace.NewTree()
+	d, err := tr.Mkdir(tr.Root, "home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := tr.Mkdir(d, "u0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := tr.Create(u, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, f
+}
+
+func TestClientComputableDirection(t *testing.T) {
+	tr, f := testTree(t)
+	_ = tr
+	eng := sim.NewEngine()
+	net := &fakeNet{n: 5}
+	strat := partition.FileHash{N: 5}
+	c := New(0, eng, Config{ThinkMean: sim.Millisecond}, sim.NewRNG(1), net, strat,
+		fixedGen{workload.Op{Op: msg.Stat, Target: f}})
+	c.Start(0)
+	eng.RunUntil(sim.Millisecond)
+	if len(net.sends) != 1 {
+		t.Fatalf("sends = %d", len(net.sends))
+	}
+	if got, want := net.sends[0].mds, strat.Authority(f); got != want {
+		t.Fatalf("directed to %d, want computed authority %d", got, want)
+	}
+	// Create ops route by would-be name.
+	net2 := &fakeNet{n: 5}
+	c2 := New(1, eng, Config{}, sim.NewRNG(2), net2, strat,
+		fixedGen{workload.Op{Op: msg.Create, Target: f.Parent(), NewName: "x"}})
+	c2.Start(0)
+	eng.Run()
+	if got, want := net2.sends[0].mds, strat.AuthorityForName(f.Parent(), "x"); got != want {
+		t.Fatalf("create directed to %d, want %d", got, want)
+	}
+}
+
+func TestDeepestKnownPrefixDirection(t *testing.T) {
+	tr, f := testTree(t)
+	_ = tr
+	eng := sim.NewEngine()
+	net := &fakeNet{n: 8}
+	strat := partition.NewStaticSubtree(8, tr, 2)
+	c := New(0, eng, Config{ThinkMean: sim.Millisecond}, sim.NewRNG(3), net, strat,
+		fixedGen{workload.Op{Op: msg.Stat, Target: f}})
+
+	// With no knowledge, direction is random; with a hint on the
+	// parent dir, direction follows the hint.
+	c.known.put(msg.Hint{Ino: f.Parent().ID, Authority: 6})
+	c.Start(0)
+	eng.RunUntil(sim.Millisecond)
+	if net.sends[0].mds != 6 {
+		t.Fatalf("directed to %d, want hinted 6", net.sends[0].mds)
+	}
+	// A deeper hint on the target itself wins.
+	c.OnReply(&msg.Reply{
+		Req:   net.sends[0].req,
+		Hints: []msg.Hint{{Ino: f.ID, Authority: 3}},
+	})
+	eng.Run()
+	if net.sends[1].mds != 3 {
+		t.Fatalf("directed to %d, want deeper hint 3", net.sends[1].mds)
+	}
+	// Replicated hints spread direction across the cluster.
+	c.known.put(msg.Hint{Ino: f.ID, Authority: 3, Replicated: true})
+	seen := map[int]bool{}
+	for i := 0; i < 50; i++ {
+		req := &msg.Request{Target: f, Op: msg.Stat}
+		seen[c.direct(req)] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("replicated direction not spread: %v", seen)
+	}
+}
+
+func TestClosedLoopAndLatency(t *testing.T) {
+	tr, f := testTree(t)
+	_ = tr
+	eng := sim.NewEngine()
+	net := &fakeNet{n: 2}
+	strat := partition.FileHash{N: 2}
+	c := New(0, eng, Config{ThinkMean: sim.Millisecond}, sim.NewRNG(4), net, strat,
+		fixedGen{workload.Op{Op: msg.Stat, Target: f}})
+	c.Start(0)
+	eng.RunUntil(sim.Millisecond)
+	// One outstanding request; no more until the reply arrives.
+	if c.Stats.Issued != 1 {
+		t.Fatalf("issued = %d", c.Stats.Issued)
+	}
+	req := net.sends[0].req
+	c.OnReply(&msg.Reply{Req: req, Completed: req.Issued + 500*sim.Microsecond})
+	eng.RunUntil(20 * sim.Millisecond)
+	if c.Stats.Completed != 1 {
+		t.Fatalf("completed = %d", c.Stats.Completed)
+	}
+	if c.Stats.Issued < 2 {
+		t.Fatal("no follow-up request after reply")
+	}
+	if c.Stats.Latency.Mean() <= 0 {
+		t.Fatal("latency not recorded")
+	}
+	c.Stop()
+	issued := c.Stats.Issued
+	c.OnReply(&msg.Reply{Req: req, Completed: eng.Now()})
+	eng.Run()
+	if c.Stats.Issued != issued {
+		t.Fatal("stopped client issued more requests")
+	}
+}
+
+func TestKnownCacheFIFOEviction(t *testing.T) {
+	k := newKnownCache(3)
+	for i := 1; i <= 5; i++ {
+		k.put(msg.Hint{Ino: namespace.InodeID(i), Authority: i})
+	}
+	if k.len() != 3 {
+		t.Fatalf("len = %d", k.len())
+	}
+	if _, ok := k.get(1); ok {
+		t.Fatal("oldest entry survived")
+	}
+	if _, ok := k.get(5); !ok {
+		t.Fatal("newest entry missing")
+	}
+	// Refresh updates in place without growing.
+	k.put(msg.Hint{Ino: 5, Authority: 9})
+	if h, _ := k.get(5); h.Authority != 9 {
+		t.Fatal("refresh did not update")
+	}
+	if k.len() != 3 {
+		t.Fatal("refresh grew cache")
+	}
+}
+
+func TestClientKnownLocationsBound(t *testing.T) {
+	tr, f := testTree(t)
+	_ = tr
+	eng := sim.NewEngine()
+	net := &fakeNet{n: 2}
+	c := New(0, eng, Config{KnownCap: 4}, sim.NewRNG(5), net,
+		partition.NewStaticSubtree(2, tr, 2),
+		fixedGen{workload.Op{Op: msg.Stat, Target: f}})
+	for i := 0; i < 100; i++ {
+		c.OnReply(&msg.Reply{
+			Req:   &msg.Request{Target: f},
+			Hints: []msg.Hint{{Ino: namespace.InodeID(1000 + i), Authority: 0}},
+		})
+	}
+	if c.KnownLocations() > 4 {
+		t.Fatalf("known locations = %d, cap 4", c.KnownLocations())
+	}
+	eng.Run()
+}
+
+func TestRetryOnTimeout(t *testing.T) {
+	tr, f := testTree(t)
+	_ = tr
+	eng := sim.NewEngine()
+	net := &fakeNet{n: 4}
+	c := New(0, eng, Config{ThinkMean: sim.Millisecond, RetryTimeout: 10 * sim.Millisecond},
+		sim.NewRNG(9), net, partition.FileHash{N: 4},
+		fixedGen{workload.Op{Op: msg.Stat, Target: f}})
+	c.Start(0)
+	eng.RunUntil(35 * sim.Millisecond)
+	// No reply ever arrives: the client must have retried ~3 times.
+	if c.Stats.Retries < 2 {
+		t.Fatalf("retries = %d", c.Stats.Retries)
+	}
+	if len(net.sends) < 3 {
+		t.Fatalf("sends = %d", len(net.sends))
+	}
+	// All retries carry the same request.
+	for _, s := range net.sends[1:] {
+		if s.req != net.sends[0].req {
+			t.Fatal("retry created a new request")
+		}
+	}
+	// A reply stops the retrying and duplicates are dropped.
+	req := net.sends[0].req
+	c.OnReply(&msg.Reply{Req: req, Completed: eng.Now()})
+	completed := c.Stats.Completed
+	c.OnReply(&msg.Reply{Req: req, Completed: eng.Now()})
+	if c.Stats.Completed != completed {
+		t.Fatal("duplicate reply double-counted")
+	}
+}
+
+func TestSetGenerator(t *testing.T) {
+	tr, f := testTree(t)
+	g, err := tr.Create(f.Parent(), "other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	net := &fakeNet{n: 2}
+	c := New(0, eng, Config{}, sim.NewRNG(1), net, partition.FileHash{N: 2},
+		fixedGen{workload.Op{Op: msg.Stat, Target: f}})
+	c.SetGenerator(fixedGen{workload.Op{Op: msg.Stat, Target: g}})
+	c.Start(0)
+	eng.Run()
+	if net.sends[0].req.Target != g {
+		t.Fatal("generator swap ignored")
+	}
+}

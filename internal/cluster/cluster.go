@@ -1,0 +1,521 @@
+// Package cluster assembles a complete simulation: the synthetic file
+// system, the MDS nodes with a chosen partitioning strategy, the client
+// population with its workload, the load balancer and traffic control
+// for the dynamic strategy, and the measurement plumbing that the
+// experiment harness reads.
+package cluster
+
+import (
+	"fmt"
+
+	"dynmds/internal/client"
+	"dynmds/internal/core"
+	"dynmds/internal/fsgen"
+	"dynmds/internal/mds"
+	"dynmds/internal/metrics"
+	"dynmds/internal/msg"
+	"dynmds/internal/namespace"
+	"dynmds/internal/osd"
+	"dynmds/internal/partition"
+	"dynmds/internal/sim"
+	"dynmds/internal/workload"
+)
+
+// Strategy names accepted by Config.Strategy.
+const (
+	StratDynamic    = "DynamicSubtree"
+	StratStatic     = "StaticSubtree"
+	StratDirHash    = "DirHash"
+	StratFileHash   = "FileHash"
+	StratLazyHybrid = "LazyHybrid"
+)
+
+// Strategies lists all strategy names in the paper's presentation order.
+var Strategies = []string{StratStatic, StratDynamic, StratDirHash, StratLazyHybrid, StratFileHash}
+
+// WorkloadKind selects the client workload scenario.
+type WorkloadKind string
+
+// Workload kinds.
+const (
+	WorkGeneral    WorkloadKind = "general"
+	WorkScientific WorkloadKind = "scientific"
+	WorkShift      WorkloadKind = "shift"
+	WorkFlashCrowd WorkloadKind = "flashcrowd"
+)
+
+// WorkloadConfig selects and parameterises the scenario.
+type WorkloadConfig struct {
+	Kind    WorkloadKind
+	General workload.GeneralConfig
+
+	// Shift scenario (Figures 5/6).
+	ShiftTime     sim.Time
+	ShiftFraction float64 // fraction of clients that migrate
+
+	// Flash crowd scenario (Figure 7).
+	FlashTime     sim.Time
+	FlashDuration sim.Time
+
+	// Scientific scenario.
+	PhaseLength   sim.Time
+	BurstFraction float64
+}
+
+// Config describes one complete simulation run.
+type Config struct {
+	Seed           int64
+	NumMDS         int
+	ClientsPerMDS  int
+	Strategy       string
+	PartitionDepth int
+
+	FS       fsgen.Config
+	MDS      mds.Config
+	Client   client.Config
+	Workload WorkloadConfig
+
+	// Balancer enables dynamic load balancing (DynamicSubtree only).
+	Balancer *core.BalancerConfig
+	// Traffic enables traffic control (DynamicSubtree only); the
+	// template's thresholds are copied into a fresh controller.
+	Traffic *core.TrafficControl
+	// HashDirThreshold enables dynamic directory hashing (§4.3).
+	HashDirThreshold int
+	// OSDs, when > 0, backs all MDS storage with one shared object
+	// pool of that many devices (§2.1.3) instead of node-local disks;
+	// OSDReplicas sets the per-object replica count (default 2).
+	OSDs        int
+	OSDReplicas int
+	// MakeStrategy, when non-nil, overrides Strategy with a
+	// caller-built partitioning strategy constructed over the run's
+	// own tree (used by ablation benches).
+	MakeStrategy func(n int, tree *namespace.Tree) partition.Strategy
+
+	// WrapGenerator, when non-nil, wraps each client's workload
+	// generator (trace recording, instrumentation). When ReplaceGenerator
+	// is non-nil it overrides the generator entirely (trace replay).
+	WrapGenerator    func(clientID int, g workload.Generator) workload.Generator
+	ReplaceGenerator func(clientID int) workload.Generator
+
+	Duration     sim.Time
+	Warmup       sim.Time
+	SeriesBucket sim.Time
+}
+
+// Default returns a small, fast baseline configuration: callers override
+// strategy, sizes and workload.
+func Default() Config {
+	fs := fsgen.Default()
+	return Config{
+		Seed:           1,
+		NumMDS:         4,
+		ClientsPerMDS:  50,
+		Strategy:       StratDynamic,
+		PartitionDepth: 2,
+		FS:             fs,
+		MDS:            mds.DefaultConfig(2000),
+		Client:         client.Config{ThinkMean: 5 * sim.Millisecond, KnownCap: 2048},
+		Workload:       WorkloadConfig{Kind: WorkGeneral, General: workload.DefaultGeneralConfig()},
+		Balancer:       ptr(core.DefaultBalancerConfig()),
+		Traffic:        core.DefaultTrafficControl(),
+		Duration:       30 * sim.Second,
+		Warmup:         10 * sim.Second,
+		SeriesBucket:   sim.Second,
+	}
+}
+
+func ptr[T any](v T) *T { return &v }
+
+// Cluster is a runnable simulation instance.
+type Cluster struct {
+	Cfg      Config
+	Eng      *sim.Engine
+	Snap     *fsgen.Snapshot
+	Strategy partition.Strategy
+	Dyn      *core.DynamicSubtree
+	Traffic  *core.TrafficControl
+	Balancer *core.Balancer
+	Nodes    []*mds.MDS
+	Clients  []*client.Client
+
+	// Per-node reply series, cluster-wide forward and client-arrival
+	// series, replica-serve series (all bucketed by SeriesBucket).
+	RepliesPerNode []*metrics.Series
+	Forwards       *metrics.Series
+	Arrivals       *metrics.Series
+
+	// Latencies histograms client response times (doubling buckets
+	// from 0.5 ms up; overflow above ~2 s).
+	Latencies *metrics.Histogram
+
+	// Pool is the shared OSD pool, when configured.
+	Pool *osd.Pool
+
+	// Warmup snapshots for windowed aggregates.
+	warmServed, warmForwards, warmArrivals uint64
+	warmHits, warmMisses                   uint64
+	warmTaken                              bool
+}
+
+// New builds a cluster from the configuration.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.NumMDS < 1 {
+		return nil, fmt.Errorf("cluster: NumMDS must be >= 1")
+	}
+	if cfg.SeriesBucket <= 0 {
+		cfg.SeriesBucket = sim.Second
+	}
+	fs := cfg.FS
+	fs.Seed = cfg.Seed
+	snap, err := fsgen.Generate(fs)
+	if err != nil {
+		return nil, err
+	}
+	eng := sim.NewEngine()
+	c := &Cluster{
+		Cfg:       cfg,
+		Eng:       eng,
+		Snap:      snap,
+		Forwards:  metrics.NewSeries(cfg.SeriesBucket),
+		Arrivals:  metrics.NewSeries(cfg.SeriesBucket),
+		Latencies: metrics.NewHistogram(0.0005, 12), // 0.5 ms .. ~2 s
+	}
+
+	// Strategy.
+	switch {
+	case cfg.MakeStrategy != nil:
+		c.Strategy = cfg.MakeStrategy(cfg.NumMDS, snap.Tree)
+	default:
+		if err := c.buildStrategy(cfg, snap); err != nil {
+			return nil, err
+		}
+	}
+
+	// Shared OSD pool, when configured.
+	if cfg.OSDs > 0 {
+		pcfg := osd.DefaultConfig(cfg.OSDs)
+		if cfg.OSDReplicas > 0 {
+			pcfg.Replicas = cfg.OSDReplicas
+		}
+		pool, err := osd.NewPool(eng, pcfg)
+		if err != nil {
+			return nil, err
+		}
+		c.Pool = pool
+	}
+
+	// Nodes with measurement hooks.
+	for i := 0; i < cfg.NumMDS; i++ {
+		nodeCfg := cfg.MDS
+		if c.Pool != nil {
+			nodeCfg.Storage.Pool = c.Pool
+			nodeCfg.Storage.PoolOwner = i
+		}
+		node := mds.New(i, eng, nodeCfg, c.Strategy, c.Traffic, c)
+		series := metrics.NewSeries(cfg.SeriesBucket)
+		c.RepliesPerNode = append(c.RepliesPerNode, series)
+		node.OnReply = func(id int, req *msg.Request, now sim.Time) {
+			c.RepliesPerNode[id].Observe(now, 1)
+		}
+		node.OnForward = func(id int, req *msg.Request, now sim.Time) {
+			c.Forwards.Observe(now, 1)
+		}
+		c.Nodes = append(c.Nodes, node)
+	}
+
+	// Balancer (dynamic only).
+	if c.Dyn != nil && cfg.Balancer != nil {
+		nodes := make([]core.Node, len(c.Nodes))
+		for i, n := range c.Nodes {
+			nodes[i] = n
+		}
+		c.Balancer = core.NewBalancer(eng, *cfg.Balancer, c.Dyn, nodes)
+	}
+
+	// Clients.
+	if err := c.buildClients(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Cluster) buildStrategy(cfg Config, snap *fsgen.Snapshot) error {
+	switch cfg.Strategy {
+	case StratDynamic:
+		d := core.NewDynamicSubtree(cfg.NumMDS, snap.Tree, cfg.PartitionDepth)
+		d.HashDirThreshold = cfg.HashDirThreshold
+		c.Dyn = d
+		c.Strategy = d
+		if cfg.Traffic != nil {
+			tc := *cfg.Traffic
+			tc.Replications, tc.Consolidations = 0, 0
+			c.Traffic = &tc
+		}
+	case StratStatic:
+		c.Strategy = partition.NewStaticSubtree(cfg.NumMDS, snap.Tree, cfg.PartitionDepth)
+	case StratDirHash:
+		c.Strategy = partition.DirHash{N: cfg.NumMDS}
+	case StratFileHash:
+		c.Strategy = partition.FileHash{N: cfg.NumMDS}
+	case StratLazyHybrid:
+		c.Strategy = partition.NewLazyHybrid(cfg.NumMDS)
+	default:
+		return fmt.Errorf("cluster: unknown strategy %q", cfg.Strategy)
+	}
+	return nil
+}
+
+func (c *Cluster) buildClients() error {
+	cfg := c.Cfg
+	numClients := cfg.NumMDS * cfg.ClientsPerMDS
+	if numClients < 1 {
+		return fmt.Errorf("cluster: no clients configured")
+	}
+	w := cfg.Workload
+
+	// Scenario fixtures.
+	var shiftRegion []*namespace.Inode
+	var flashTarget *namespace.Inode
+	switch w.Kind {
+	case WorkShift:
+		// The new region is every home served by one target node:
+		// "portions of the hierarchy served by a single MDS" (§5.3.2).
+		// Prefer a target that is NOT the owner of /home itself, so
+		// that deepest-known-prefix direction through /home genuinely
+		// misdirects and the discovery cost is representative.
+		homeDir := c.Snap.Homes[0].Parent()
+		homeOwner := c.Strategy.Authority(homeDir)
+		target := c.Strategy.Authority(c.Snap.Homes[len(c.Snap.Homes)-1])
+		if target == homeOwner && cfg.NumMDS > 1 {
+			for i := len(c.Snap.Homes) - 1; i >= 0; i-- {
+				if a := c.Strategy.Authority(c.Snap.Homes[i]); a != homeOwner {
+					target = a
+					break
+				}
+			}
+		}
+		// Cap the region so the migrated working set is cacheable on
+		// one node: the imbalance then saturates the busy node's CPU
+		// rather than its disk, which is the regime Figure 5 plots.
+		for _, h := range c.Snap.Homes {
+			if c.Strategy.Authority(h) == target {
+				shiftRegion = append(shiftRegion, h)
+				if len(shiftRegion) >= 8 {
+					break
+				}
+			}
+		}
+	case WorkFlashCrowd:
+		if len(c.Snap.Projects) == 0 || c.Snap.Projects[0].NumChildren() == 0 {
+			return fmt.Errorf("cluster: flash crowd needs a project file")
+		}
+		flashTarget = c.Snap.Projects[0].Child(0)
+	}
+
+	shared := []*namespace.Inode{}
+	if c.Snap.System != nil {
+		shared = append(shared, c.Snap.System)
+	}
+	shared = append(shared, c.Snap.Projects...)
+
+	for i := 0; i < numClients; i++ {
+		region := workload.Region{
+			Home:   c.Snap.Homes[i%len(c.Snap.Homes)],
+			Shared: shared,
+		}
+		g := workload.NewGeneral(i, w.General, region)
+		var gen workload.Generator = g
+		switch w.Kind {
+		case WorkShift:
+			migrate := float64(i) < w.ShiftFraction*float64(numClients)
+			gen = workload.NewShift(g, w.ShiftTime, shiftRegion, migrate)
+		case WorkFlashCrowd:
+			gen = workload.NewFlashCrowd(g, w.FlashTime, w.FlashDuration, flashTarget)
+		case WorkScientific:
+			job := c.Snap.Projects[i%len(c.Snap.Projects)]
+			gen = workload.NewScientific(g, job, w.PhaseLength, w.BurstFraction)
+		}
+		if cfg.ReplaceGenerator != nil {
+			gen = cfg.ReplaceGenerator(i)
+		}
+		if cfg.WrapGenerator != nil {
+			gen = cfg.WrapGenerator(i, gen)
+		}
+		rng := sim.NewStream(cfg.Seed, fmt.Sprintf("client-%d", i))
+		cl := client.New(i, c.Eng, cfg.Client, rng, c, c.Strategy, gen)
+		c.Clients = append(c.Clients, cl)
+	}
+	return nil
+}
+
+// Node implements mds.Cluster.
+func (c *Cluster) Node(i int) *mds.MDS { return c.Nodes[i] }
+
+// NumMDS implements mds.Cluster and client.Network.
+func (c *Cluster) NumMDS() int { return len(c.Nodes) }
+
+// Tree implements mds.Cluster.
+func (c *Cluster) Tree() *namespace.Tree { return c.Snap.Tree }
+
+// Deliver implements mds.Cluster: route the reply to its client.
+func (c *Cluster) Deliver(rep *msg.Reply) {
+	c.Latencies.Observe(rep.Latency().Seconds())
+	c.Clients[rep.Req.Client].OnReply(rep)
+}
+
+// Send implements client.Network: client→MDS network hop.
+func (c *Cluster) Send(i int, req *msg.Request) {
+	node := c.Nodes[i]
+	c.Arrivals.Observe(c.Eng.Now(), 1)
+	c.Eng.After(c.Cfg.MDS.NetLatency, func() { node.Receive(req) })
+}
+
+// snapshotWarmup records aggregate counters at the end of the warmup
+// window so Result reports steady-state numbers.
+func (c *Cluster) snapshotWarmup() {
+	c.warmTaken = true
+	for _, n := range c.Nodes {
+		c.warmServed += n.Stats.Served
+		c.warmForwards += n.Stats.Forwarded
+		c.warmArrivals += n.Stats.ClientArrivals
+		c.warmHits += n.Cache().Stats.Hits
+		c.warmMisses += n.Cache().Stats.Misses
+	}
+}
+
+// Run executes the simulation and gathers results.
+func (c *Cluster) Run() *Result {
+	stagger := sim.Time(0)
+	for _, cl := range c.Clients {
+		cl.Start(stagger)
+		stagger += 17 * sim.Microsecond // de-synchronize the herd
+	}
+	if c.Balancer != nil {
+		c.Balancer.Start()
+	}
+	for _, n := range c.Nodes {
+		n.StartFlusher()
+	}
+	if c.Cfg.Warmup > 0 && c.Cfg.Warmup < c.Cfg.Duration {
+		c.Eng.At(c.Cfg.Warmup, c.snapshotWarmup)
+	}
+	c.Eng.RunUntil(c.Cfg.Duration)
+	return c.Collect()
+}
+
+// Result aggregates a finished run.
+type Result struct {
+	Strategy      string
+	NumMDS        int
+	Clients       int
+	FSInodes      int
+	Window        sim.Time // measurement window (duration - warmup)
+	MeasuredOps   uint64
+	AvgThroughput float64 // per-MDS ops/sec in the window
+	PerMDSOps     []float64
+	HitRate       float64
+	PrefixFrac    float64
+	ForwardFrac   float64
+	MeanLatency   float64 // seconds
+	Migrations    int
+	Replications  uint64
+	LHDebt        int
+	CacheLen      int
+	// Distributed-write mechanism activity (§4.2).
+	WritesAbsorbed uint64
+	SizeCallbacks  uint64
+	// LatencyP50 and LatencyP99 are client response-time quantile
+	// bounds in seconds (whole run, including warmup).
+	LatencyP50 float64
+	LatencyP99 float64
+
+	// Series for the over-time figures (bucketed from t=0).
+	RepliesPerNode []*metrics.Series
+	Forwards       *metrics.Series
+	Arrivals       *metrics.Series
+	Bucket         sim.Time
+}
+
+// Collect assembles the Result (callable after Run).
+func (c *Cluster) Collect() *Result {
+	cfg := c.Cfg
+	window := cfg.Duration - cfg.Warmup
+	if !c.warmTaken {
+		window = cfg.Duration
+	}
+	r := &Result{
+		Strategy:       cfg.Strategy,
+		NumMDS:         cfg.NumMDS,
+		Clients:        len(c.Clients),
+		FSInodes:       c.Snap.Tree.Len(),
+		Window:         window,
+		RepliesPerNode: c.RepliesPerNode,
+		Forwards:       c.Forwards,
+		Arrivals:       c.Arrivals,
+		Bucket:         cfg.SeriesBucket,
+	}
+	var served, forwards, arrivals, hits, misses uint64
+	for _, n := range c.Nodes {
+		served += n.Stats.Served
+		forwards += n.Stats.Forwarded
+		arrivals += n.Stats.ClientArrivals
+		hits += n.Cache().Stats.Hits
+		misses += n.Cache().Stats.Misses
+		r.PrefixFrac += n.Cache().PrefixFraction()
+		r.CacheLen += n.Cache().Len()
+		r.WritesAbsorbed += n.Stats.WritesAbsorbed
+		r.SizeCallbacks += n.Stats.SizeCallbacks
+	}
+	r.PrefixFrac /= float64(len(c.Nodes))
+	served -= c.warmServed
+	forwards -= c.warmForwards
+	arrivals -= c.warmArrivals
+	hits -= c.warmHits
+	misses -= c.warmMisses
+
+	r.MeasuredOps = served
+	if window > 0 {
+		r.AvgThroughput = float64(served) / window.Seconds() / float64(len(c.Nodes))
+	}
+	if hits+misses > 0 {
+		r.HitRate = float64(hits) / float64(hits+misses)
+	}
+	if arrivals > 0 {
+		r.ForwardFrac = float64(forwards) / float64(arrivals)
+	}
+	var lat metrics.Welford
+	for _, cl := range c.Clients {
+		if cl.Stats.Latency.N() > 0 {
+			lat.Add(cl.Stats.Latency.Mean())
+		}
+	}
+	r.MeanLatency = lat.Mean()
+	r.LatencyP50 = c.Latencies.Quantile(0.5)
+	r.LatencyP99 = c.Latencies.Quantile(0.99)
+	if c.Balancer != nil {
+		r.Migrations = len(c.Balancer.Migrations)
+	}
+	if c.Traffic != nil {
+		r.Replications = c.Traffic.Replications
+	}
+	if lh, ok := c.Strategy.(*partition.LazyHybrid); ok {
+		r.LHDebt = lh.Debt
+	}
+	// Per-node throughput within the window, from the reply series.
+	for _, s := range c.RepliesPerNode {
+		var ops float64
+		startBucket := int(cfg.Warmup / cfg.SeriesBucket)
+		for i := startBucket; i < s.Len(); i++ {
+			ops += s.Sum(i)
+		}
+		r.PerMDSOps = append(r.PerMDSOps, ops/window.Seconds())
+	}
+	return r
+}
+
+func (r *Result) String() string {
+	return fmt.Sprintf("%-14s mds=%-3d clients=%-5d fs=%-7d avg=%7.1f ops/s/mds hit=%.3f prefix=%.3f fwd=%.3f lat=%.2fms migr=%d",
+		r.Strategy, r.NumMDS, r.Clients, r.FSInodes, r.AvgThroughput,
+		r.HitRate, r.PrefixFrac, r.ForwardFrac, r.MeanLatency*1000, r.Migrations)
+}

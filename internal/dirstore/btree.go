@@ -1,0 +1,427 @@
+// Package dirstore implements the on-disk directory object format the
+// paper prescribes (§4.6): directory contents — entries with embedded
+// inodes — "stored in a B-tree-like structure (similar to XFS) that
+// allows incremental updates (small numbers of creates or deletes) with
+// minimal modifications to on-disk structures (rewriting changed B-tree
+// nodes). The tree structure also facilitates copy-on-write techniques
+// for safe updates and advanced file system features like snapshots."
+//
+// The implementation is a copy-on-write B+tree keyed by entry name.
+// Every mutation copies the nodes along its path and returns how many
+// nodes were (re)written — the incremental update cost the storage
+// layer accounts. Snapshot is O(1): it shares every node with the live
+// tree, and subsequent mutations copy away from it.
+package dirstore
+
+import (
+	"fmt"
+	"sort"
+
+	"dynmds/internal/namespace"
+)
+
+// Record is one directory entry with its embedded inode fields.
+type Record struct {
+	Name string
+	Ino  namespace.InodeID
+	Kind namespace.Kind
+	Mode namespace.Mode
+	Size int64
+}
+
+// node is a B+tree node. Leaves hold records; internal nodes hold
+// separator keys and children. Nodes are immutable once shared (COW):
+// mutation always goes through copies.
+type node struct {
+	leaf bool
+	// keys: for leaves, keys[i] == recs[i].Name; for internal nodes,
+	// keys[i] is the smallest key reachable under children[i+1].
+	keys     []string
+	recs     []Record
+	children []*node
+}
+
+func (n *node) clone() *node {
+	c := &node{leaf: n.leaf}
+	c.keys = append([]string(nil), n.keys...)
+	if n.leaf {
+		c.recs = append([]Record(nil), n.recs...)
+	} else {
+		c.children = append([]*node(nil), n.children...)
+	}
+	return c
+}
+
+// Tree is a copy-on-write B+tree directory object.
+type Tree struct {
+	root  *node
+	order int // max records per leaf / max children per internal node
+	size  int
+}
+
+// MinOrder is the smallest supported branching factor.
+const MinOrder = 4
+
+// New creates an empty directory object with the given order.
+func New(order int) *Tree {
+	if order < MinOrder {
+		order = MinOrder
+	}
+	return &Tree{root: &node{leaf: true}, order: order}
+}
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return t.size }
+
+// Order returns the branching factor.
+func (t *Tree) Order() int { return t.order }
+
+// Height returns the tree height (1 for a single leaf).
+func (t *Tree) Height() int {
+	h := 1
+	for n := t.root; !n.leaf; n = n.children[0] {
+		h++
+	}
+	return h
+}
+
+// Snapshot returns an O(1) copy-on-write snapshot: it shares all nodes
+// with t; later mutations of either tree copy nodes rather than
+// modifying shared state.
+func (t *Tree) Snapshot() *Tree {
+	return &Tree{root: t.root, order: t.order, size: t.size}
+}
+
+// Get looks up an entry by name.
+func (t *Tree) Get(name string) (Record, bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n, name)]
+	}
+	i := sort.SearchStrings(n.keys, name)
+	if i < len(n.keys) && n.keys[i] == name {
+		return n.recs[i], true
+	}
+	return Record{}, false
+}
+
+// childIndex returns the child to descend into for key name.
+func childIndex(n *node, name string) int {
+	// keys[i] is the min key of children[i+1]; descend into the last
+	// child whose min key is <= name.
+	i := sort.SearchStrings(n.keys, name)
+	if i < len(n.keys) && n.keys[i] == name {
+		return i + 1
+	}
+	return i
+}
+
+// Insert adds or replaces an entry, returning the number of nodes
+// written (path copies plus any splits) — the incremental on-disk
+// update cost.
+func (t *Tree) Insert(rec Record) (nodesWritten int, err error) {
+	if rec.Name == "" {
+		return 0, fmt.Errorf("dirstore: empty entry name")
+	}
+	root, sib, sep, written, added := t.insert(t.root, rec)
+	if sib != nil {
+		// Root split: new root with two children.
+		root = &node{leaf: false, keys: []string{sep}, children: []*node{root, sib}}
+		written++
+	}
+	t.root = root
+	if added {
+		t.size++
+	}
+	return written, nil
+}
+
+// insert returns the (possibly copied) node, an optional new right
+// sibling with its separator key, nodes written, and whether the entry
+// count grew.
+func (t *Tree) insert(n *node, rec Record) (out, sib *node, sep string, written int, added bool) {
+	out = n.clone()
+	written = 1
+	if n.leaf {
+		i := sort.SearchStrings(out.keys, rec.Name)
+		if i < len(out.keys) && out.keys[i] == rec.Name {
+			out.recs[i] = rec // replace in place (same key)
+			return out, nil, "", written, false
+		}
+		out.keys = append(out.keys, "")
+		copy(out.keys[i+1:], out.keys[i:])
+		out.keys[i] = rec.Name
+		out.recs = append(out.recs, Record{})
+		copy(out.recs[i+1:], out.recs[i:])
+		out.recs[i] = rec
+		added = true
+		if len(out.keys) > t.order {
+			mid := len(out.keys) / 2
+			right := &node{
+				leaf: true,
+				keys: append([]string(nil), out.keys[mid:]...),
+				recs: append([]Record(nil), out.recs[mid:]...),
+			}
+			out.keys = out.keys[:mid]
+			out.recs = out.recs[:mid]
+			return out, right, right.keys[0], written + 1, added
+		}
+		return out, nil, "", written, added
+	}
+	ci := childIndex(n, rec.Name)
+	child, csib, csep, cw, cadded := t.insert(n.children[ci], rec)
+	written += cw
+	added = cadded
+	out.children[ci] = child
+	if csib != nil {
+		out.keys = append(out.keys, "")
+		copy(out.keys[ci+1:], out.keys[ci:])
+		out.keys[ci] = csep
+		out.children = append(out.children, nil)
+		copy(out.children[ci+2:], out.children[ci+1:])
+		out.children[ci+1] = csib
+		if len(out.children) > t.order {
+			mid := len(out.keys) / 2
+			sep = out.keys[mid]
+			right := &node{
+				leaf:     false,
+				keys:     append([]string(nil), out.keys[mid+1:]...),
+				children: append([]*node(nil), out.children[mid+1:]...),
+			}
+			out.keys = out.keys[:mid]
+			out.children = out.children[:mid+1]
+			return out, right, sep, written + 1, added
+		}
+	}
+	return out, nil, "", written, added
+}
+
+// Delete removes an entry, returning nodes written and whether the
+// entry existed. Underflowing nodes borrow from or merge with siblings
+// so the tree stays balanced.
+func (t *Tree) Delete(name string) (nodesWritten int, ok bool) {
+	root, written, ok := t.del(t.root, name)
+	if !ok {
+		return 0, false
+	}
+	// Collapse a root with a single child.
+	for !root.leaf && len(root.children) == 1 {
+		root = root.children[0]
+	}
+	t.root = root
+	t.size--
+	return written, true
+}
+
+func (t *Tree) minKeys() int { return t.order / 2 }
+
+func (t *Tree) del(n *node, name string) (out *node, written int, ok bool) {
+	if n.leaf {
+		i := sort.SearchStrings(n.keys, name)
+		if i >= len(n.keys) || n.keys[i] != name {
+			return n, 0, false
+		}
+		out = n.clone()
+		out.keys = append(out.keys[:i], out.keys[i+1:]...)
+		out.recs = append(out.recs[:i], out.recs[i+1:]...)
+		return out, 1, true
+	}
+	ci := childIndex(n, name)
+	child, cw, ok := t.del(n.children[ci], name)
+	if !ok {
+		return n, 0, false
+	}
+	out = n.clone()
+	out.children[ci] = child
+	written = cw + 1
+	// Fix underflow in the updated child.
+	if t.underflow(child) {
+		written += t.rebalance(out, ci)
+	}
+	return out, written, true
+}
+
+func (t *Tree) underflow(n *node) bool {
+	if n.leaf {
+		return len(n.keys) < t.minKeys()
+	}
+	return len(n.children) < t.minKeys()
+}
+
+// rebalance fixes an underflowing child ci of parent p (already a
+// private copy) by borrowing from or merging with a sibling. Returns
+// extra nodes written.
+func (t *Tree) rebalance(p *node, ci int) int {
+	child := p.children[ci]
+	// Try borrowing from the left sibling.
+	if ci > 0 {
+		left := p.children[ci-1]
+		if t.canLend(left) {
+			l, c := left.clone(), child.clone()
+			if child.leaf {
+				k := l.keys[len(l.keys)-1]
+				r := l.recs[len(l.recs)-1]
+				l.keys, l.recs = l.keys[:len(l.keys)-1], l.recs[:len(l.recs)-1]
+				c.keys = append([]string{k}, c.keys...)
+				c.recs = append([]Record{r}, c.recs...)
+				p.keys[ci-1] = k
+			} else {
+				// Rotate through the parent separator.
+				moved := l.children[len(l.children)-1]
+				movedKey := l.keys[len(l.keys)-1]
+				l.children = l.children[:len(l.children)-1]
+				l.keys = l.keys[:len(l.keys)-1]
+				c.children = append([]*node{moved}, c.children...)
+				c.keys = append([]string{p.keys[ci-1]}, c.keys...)
+				p.keys[ci-1] = movedKey
+			}
+			p.children[ci-1], p.children[ci] = l, c
+			return 2
+		}
+	}
+	// Try borrowing from the right sibling.
+	if ci < len(p.children)-1 {
+		right := p.children[ci+1]
+		if t.canLend(right) {
+			r, c := right.clone(), child.clone()
+			if child.leaf {
+				k := r.keys[0]
+				rec := r.recs[0]
+				r.keys, r.recs = r.keys[1:], r.recs[1:]
+				c.keys = append(c.keys, k)
+				c.recs = append(c.recs, rec)
+				p.keys[ci] = r.keys[0]
+			} else {
+				moved := r.children[0]
+				movedKey := r.keys[0]
+				r.children = r.children[1:]
+				r.keys = r.keys[1:]
+				c.children = append(c.children, moved)
+				c.keys = append(c.keys, p.keys[ci])
+				p.keys[ci] = movedKey
+			}
+			p.children[ci], p.children[ci+1] = c, r
+			return 2
+		}
+	}
+	// Merge with a sibling.
+	li := ci - 1
+	if li < 0 {
+		li = ci // merge child with its right sibling instead
+	}
+	l, r := p.children[li].clone(), p.children[li+1]
+	if l.leaf {
+		l.keys = append(l.keys, r.keys...)
+		l.recs = append(l.recs, r.recs...)
+	} else {
+		l.keys = append(l.keys, p.keys[li])
+		l.keys = append(l.keys, r.keys...)
+		l.children = append(l.children, r.children...)
+	}
+	p.keys = append(p.keys[:li], p.keys[li+1:]...)
+	p.children[li] = l
+	p.children = append(p.children[:li+1], p.children[li+2:]...)
+	return 1
+}
+
+func (t *Tree) canLend(n *node) bool {
+	if n.leaf {
+		return len(n.keys) > t.minKeys()
+	}
+	return len(n.children) > t.minKeys()
+}
+
+// Range visits entries in name order; returning false stops iteration.
+func (t *Tree) Range(fn func(Record) bool) {
+	t.rangeNode(t.root, fn)
+}
+
+func (t *Tree) rangeNode(n *node, fn func(Record) bool) bool {
+	if n.leaf {
+		for _, r := range n.recs {
+			if !fn(r) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, c := range n.children {
+		if !t.rangeNode(c, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Nodes counts reachable nodes (the object's on-disk footprint in
+// B-tree blocks).
+func (t *Tree) Nodes() int {
+	var count func(n *node) int
+	count = func(n *node) int {
+		if n.leaf {
+			return 1
+		}
+		total := 1
+		for _, c := range n.children {
+			total += count(c)
+		}
+		return total
+	}
+	return count(t.root)
+}
+
+// CheckInvariants validates key ordering, size, balance, and node
+// occupancy. For tests.
+func (t *Tree) CheckInvariants() error {
+	var prev string
+	first := true
+	count := 0
+	var depths []int
+	var rec func(n *node, depth int, isRoot bool) error
+	rec = func(n *node, depth int, isRoot bool) error {
+		if n.leaf {
+			depths = append(depths, depth)
+			if !isRoot && len(n.keys) < t.minKeys() {
+				return fmt.Errorf("dirstore: leaf underflow (%d keys)", len(n.keys))
+			}
+			if len(n.keys) != len(n.recs) {
+				return fmt.Errorf("dirstore: leaf keys/recs mismatch")
+			}
+			for i, k := range n.keys {
+				if n.recs[i].Name != k {
+					return fmt.Errorf("dirstore: key %q != record name %q", k, n.recs[i].Name)
+				}
+				if !first && k <= prev {
+					return fmt.Errorf("dirstore: keys out of order: %q after %q", k, prev)
+				}
+				prev, first = k, false
+				count++
+			}
+			return nil
+		}
+		if len(n.children) != len(n.keys)+1 {
+			return fmt.Errorf("dirstore: internal node fanout mismatch")
+		}
+		if !isRoot && len(n.children) < t.minKeys() {
+			return fmt.Errorf("dirstore: internal underflow (%d children)", len(n.children))
+		}
+		for _, c := range n.children {
+			if err := rec(c, depth+1, false); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(t.root, 0, true); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("dirstore: size %d != counted %d", t.size, count)
+	}
+	for _, d := range depths {
+		if d != depths[0] {
+			return fmt.Errorf("dirstore: leaves at different depths")
+		}
+	}
+	return nil
+}

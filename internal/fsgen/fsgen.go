@@ -1,0 +1,240 @@
+// Package fsgen generates synthetic file-system snapshots for the
+// simulator. The paper ran its simulations against snapshots of actual
+// file systems — "a large collection of home directories" — which are not
+// available; this generator produces a namespace with the same shape:
+// many user home directories with nested project directories, log-normal
+// files-per-directory counts, a system tree, and a set of shared
+// scientific project directories. Generation is deterministic for a
+// given Config (including Seed).
+package fsgen
+
+import (
+	"fmt"
+
+	"dynmds/internal/namespace"
+	"dynmds/internal/sim"
+)
+
+// Config parameterises snapshot generation.
+type Config struct {
+	Seed int64
+
+	// Users is the number of home directories under /home.
+	Users int
+	// DirsPerUser is the number of nested directories created inside
+	// each home directory (in addition to the home itself).
+	DirsPerUser int
+	// MaxDepth bounds directory nesting below a home directory.
+	MaxDepth int
+	// FilesPerDirMedian/Sigma parameterise the log-normal distribution
+	// of files per directory. Trace studies consistently find a long
+	// tail: most directories are small, a few are very large.
+	FilesPerDirMedian float64
+	FilesPerDirSigma  float64
+	// FilesPerDirMax caps pathological draws.
+	FilesPerDirMax int
+
+	// SystemDirs and SystemFilesPerDir shape the /usr-like system tree
+	// that every client occasionally touches (shared, read-mostly).
+	SystemDirs        int
+	SystemFilesPerDir int
+
+	// Projects is the number of shared directories under /proj used by
+	// the scientific workload (all clients in a job touch one project).
+	Projects        int
+	FilesPerProject int
+}
+
+// Default returns a small but realistically shaped configuration.
+func Default() Config {
+	return Config{
+		Seed:              1,
+		Users:             100,
+		DirsPerUser:       20,
+		MaxDepth:          6,
+		FilesPerDirMedian: 6,
+		FilesPerDirSigma:  1.2,
+		FilesPerDirMax:    500,
+		SystemDirs:        50,
+		SystemFilesPerDir: 20,
+		Projects:          10,
+		FilesPerProject:   100,
+	}
+}
+
+// Scale returns a copy of c with user/project counts multiplied by f,
+// used by experiments that grow the file system with the cluster.
+func (c Config) Scale(f float64) Config {
+	s := c
+	s.Users = max(1, int(float64(c.Users)*f))
+	s.Projects = max(1, int(float64(c.Projects)*f))
+	return s
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Snapshot is a generated namespace plus the index lists workload
+// generators draw from.
+type Snapshot struct {
+	Tree *namespace.Tree
+	// Homes[i] is user i's home directory.
+	Homes []*namespace.Inode
+	// Projects[i] is shared project directory i.
+	Projects []*namespace.Inode
+	// System is the root of the shared system tree.
+	System *namespace.Inode
+}
+
+// Generate builds a snapshot from the configuration.
+func Generate(cfg Config) (*Snapshot, error) {
+	if cfg.Users < 1 {
+		return nil, fmt.Errorf("fsgen: Users must be >= 1, got %d", cfg.Users)
+	}
+	if cfg.MaxDepth < 1 {
+		cfg.MaxDepth = 1
+	}
+	if cfg.FilesPerDirMax < 1 {
+		cfg.FilesPerDirMax = 1
+	}
+	r := sim.NewStream(cfg.Seed, "fsgen")
+	t := namespace.NewTree()
+	snap := &Snapshot{Tree: t}
+
+	home, err := t.Mkdir(t.Root, "home")
+	if err != nil {
+		return nil, err
+	}
+	for u := 0; u < cfg.Users; u++ {
+		h, err := t.Mkdir(home, fmt.Sprintf("u%04d", u))
+		if err != nil {
+			return nil, err
+		}
+		snap.Homes = append(snap.Homes, h)
+		if err := growUserTree(t, r, h, cfg); err != nil {
+			return nil, err
+		}
+	}
+
+	if cfg.SystemDirs > 0 {
+		sys, err := t.Mkdir(t.Root, "usr")
+		if err != nil {
+			return nil, err
+		}
+		snap.System = sys
+		dirs := []*namespace.Inode{sys}
+		for d := 0; d < cfg.SystemDirs; d++ {
+			parent := dirs[r.Pick(len(dirs))]
+			if parent.Depth() >= cfg.MaxDepth {
+				parent = sys
+			}
+			nd, err := t.Mkdir(parent, fmt.Sprintf("s%03d", d))
+			if err != nil {
+				return nil, err
+			}
+			dirs = append(dirs, nd)
+		}
+		for _, d := range dirs {
+			for f := 0; f < cfg.SystemFilesPerDir; f++ {
+				if _, err := t.Create(d, fmt.Sprintf("lib%03d.so", f)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	if cfg.Projects > 0 {
+		proj, err := t.Mkdir(t.Root, "proj")
+		if err != nil {
+			return nil, err
+		}
+		for p := 0; p < cfg.Projects; p++ {
+			pd, err := t.Mkdir(proj, fmt.Sprintf("p%03d", p))
+			if err != nil {
+				return nil, err
+			}
+			snap.Projects = append(snap.Projects, pd)
+			for f := 0; f < cfg.FilesPerProject; f++ {
+				if _, err := t.Create(pd, fmt.Sprintf("data%05d", f)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return snap, nil
+}
+
+// growUserTree creates the nested directory structure and files beneath
+// one home directory.
+func growUserTree(t *namespace.Tree, r *sim.RNG, h *namespace.Inode, cfg Config) error {
+	dirs := []*namespace.Inode{h}
+	baseDepth := h.Depth()
+	for d := 0; d < cfg.DirsPerUser; d++ {
+		parent := dirs[r.Pick(len(dirs))]
+		if parent.Depth()-baseDepth >= cfg.MaxDepth {
+			parent = h
+		}
+		nd, err := t.Mkdir(parent, fmt.Sprintf("d%03d", d))
+		if err != nil {
+			return err
+		}
+		dirs = append(dirs, nd)
+	}
+	for _, d := range dirs {
+		nf := r.LogNormalInt(cfg.FilesPerDirMedian, cfg.FilesPerDirSigma, 0, cfg.FilesPerDirMax)
+		for f := 0; f < nf; f++ {
+			if _, err := t.Create(d, fmt.Sprintf("f%04d", f)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarises a generated tree.
+type Stats struct {
+	Inodes, Files, Dirs int
+	MaxDepth            int
+	MeanDepth           float64
+	MeanDirSize         float64 // children per directory (non-empty dirs)
+}
+
+// Describe computes summary statistics for a tree.
+func Describe(t *namespace.Tree) Stats {
+	var s Stats
+	var depthSum, dirWithKids, kidSum int
+	t.Walk(func(n *namespace.Inode) bool {
+		s.Inodes++
+		d := n.Depth()
+		depthSum += d
+		if d > s.MaxDepth {
+			s.MaxDepth = d
+		}
+		if n.IsDir() {
+			s.Dirs++
+			if n.NumChildren() > 0 {
+				dirWithKids++
+				kidSum += n.NumChildren()
+			}
+		} else {
+			s.Files++
+		}
+		return true
+	})
+	if s.Inodes > 0 {
+		s.MeanDepth = float64(depthSum) / float64(s.Inodes)
+	}
+	if dirWithKids > 0 {
+		s.MeanDirSize = float64(kidSum) / float64(dirWithKids)
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("inodes=%d files=%d dirs=%d maxdepth=%d meandepth=%.2f meandirsize=%.2f",
+		s.Inodes, s.Files, s.Dirs, s.MaxDepth, s.MeanDepth, s.MeanDirSize)
+}

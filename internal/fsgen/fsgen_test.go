@@ -1,0 +1,116 @@
+package fsgen
+
+import (
+	"testing"
+
+	"dynmds/internal/namespace"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Default()
+	cfg.Users = 10
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := Describe(a.Tree), Describe(b.Tree)
+	if sa != sb {
+		t.Fatalf("same config produced different trees: %v vs %v", sa, sb)
+	}
+	// Deep determinism: identical path sets.
+	paths := map[string]bool{}
+	a.Tree.Walk(func(n *namespace.Inode) bool { paths[n.Path()] = true; return true })
+	count := 0
+	same := true
+	b.Tree.Walk(func(n *namespace.Inode) bool {
+		count++
+		if !paths[n.Path()] {
+			same = false
+		}
+		return true
+	})
+	if !same || count != len(paths) {
+		t.Fatal("trees differ structurally")
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := Default()
+	cfg.Users = 20
+	snap, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Homes) != 20 {
+		t.Fatalf("homes = %d, want 20", len(snap.Homes))
+	}
+	if len(snap.Projects) != cfg.Projects {
+		t.Fatalf("projects = %d, want %d", len(snap.Projects), cfg.Projects)
+	}
+	if snap.System == nil {
+		t.Fatal("no system tree")
+	}
+	st := Describe(snap.Tree)
+	if st.Files == 0 || st.Dirs < 20 {
+		t.Fatalf("degenerate tree: %v", st)
+	}
+	// Depth bound: homes are at depth 2, so max depth <= 2 + MaxDepth + 1
+	// (one level of files below the deepest dir).
+	if st.MaxDepth > 2+cfg.MaxDepth+1 {
+		t.Fatalf("max depth %d exceeds bound", st.MaxDepth)
+	}
+	if err := snap.Tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if st.String() == "" {
+		t.Fatal("empty stats string")
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	cfg := Default()
+	cfg.Users = 10
+	a, _ := Generate(cfg)
+	cfg.Seed = 2
+	b, _ := Generate(cfg)
+	if Describe(a.Tree) == Describe(b.Tree) {
+		t.Fatal("different seeds produced identical summary stats (suspicious)")
+	}
+}
+
+func TestScale(t *testing.T) {
+	cfg := Default()
+	s := cfg.Scale(2.0)
+	if s.Users != cfg.Users*2 || s.Projects != cfg.Projects*2 {
+		t.Fatalf("scale: %d/%d", s.Users, s.Projects)
+	}
+	tiny := cfg.Scale(0.0001)
+	if tiny.Users < 1 || tiny.Projects < 1 {
+		t.Fatal("scale floor broken")
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	cfg := Default()
+	cfg.Users = 0
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("accepted Users=0")
+	}
+}
+
+func TestHomesAreDisjointSubtrees(t *testing.T) {
+	cfg := Default()
+	cfg.Users = 5
+	snap, _ := Generate(cfg)
+	for i, h := range snap.Homes {
+		for j, g := range snap.Homes {
+			if i != j && (h.IsAncestorOf(g) || g.IsAncestorOf(h)) {
+				t.Fatalf("homes %d and %d overlap", i, j)
+			}
+		}
+	}
+}

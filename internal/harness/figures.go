@@ -1,0 +1,365 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"dynmds/internal/cluster"
+	"dynmds/internal/metrics"
+	"dynmds/internal/sim"
+)
+
+// scaledConfig builds the Figure 2/3 scaling configuration: MDS memory
+// is fixed while file system size and client base scale with the
+// cluster, exactly as §5.3 describes.
+func scaledConfig(seed int64, strategy string, n int, quick bool) cluster.Config {
+	cfg := cluster.Default()
+	cfg.Seed = seed
+	cfg.Strategy = strategy
+	cfg.NumMDS = n
+	cfg.ClientsPerMDS = 60
+	cfg.FS.Users = 25 * n
+	cfg.FS.Projects = 2 * n
+	cfg.MDS.CacheCapacity = 2500
+	cfg.MDS.Storage.LogCapacity = 2500
+	cfg.Duration = 30 * sim.Second
+	cfg.Warmup = 10 * sim.Second
+	if quick {
+		cfg.ClientsPerMDS = 30
+		cfg.Duration = 10 * sim.Second
+		cfg.Warmup = 4 * sim.Second
+	}
+	return cfg
+}
+
+func sizesFor(opt Options, max int) []int {
+	if opt.Quick {
+		out := []int{4, 8, 16}
+		var kept []int
+		for _, n := range out {
+			if n <= max {
+				kept = append(kept, n)
+			}
+		}
+		return kept
+	}
+	var out []int
+	for n := 5; n <= max && n <= 30; n += 5 {
+		out = append(out, n)
+	}
+	for n := 40; n <= max; n += 10 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Fig2 regenerates Figure 2: average per-MDS throughput vs cluster size
+// for all five strategies under the general-purpose workload.
+func Fig2(w io.Writer, opt Options) error {
+	sizes := sizesFor(opt, 50)
+	var specs []RunSpec
+	for _, n := range sizes {
+		for _, s := range cluster.Strategies {
+			specs = append(specs, RunSpec{
+				Label: fmt.Sprintf("fig2/%s/n=%d", s, n),
+				Cfg:   scaledConfig(opt.Seed, s, n, opt.Quick),
+			})
+		}
+	}
+	results, err := Sweep(specs)
+	if err != nil {
+		return err
+	}
+	tb := metrics.NewTable(append([]string{"mds"}, cluster.Strategies...)...)
+	i := 0
+	for _, n := range sizes {
+		row := []interface{}{n}
+		for range cluster.Strategies {
+			row = append(row, results[i].AvgThroughput)
+			i++
+		}
+		tb.AddRow(row...)
+	}
+	fmt.Fprintln(w, "Figure 2: average MDS throughput (ops/sec) vs cluster size")
+	_, err = io.WriteString(w, tb.String())
+	return err
+}
+
+// Fig3 regenerates Figure 3: percentage of cache consumed by prefix
+// inodes vs cluster size (the paper plots four strategies; Lazy Hybrid
+// caches no prefixes by construction and is omitted there, but we print
+// it for completeness).
+func Fig3(w io.Writer, opt Options) error {
+	sizes := sizesFor(opt, 30)
+	var specs []RunSpec
+	for _, n := range sizes {
+		for _, s := range cluster.Strategies {
+			specs = append(specs, RunSpec{
+				Label: fmt.Sprintf("fig3/%s/n=%d", s, n),
+				Cfg:   scaledConfig(opt.Seed, s, n, opt.Quick),
+			})
+		}
+	}
+	results, err := Sweep(specs)
+	if err != nil {
+		return err
+	}
+	tb := metrics.NewTable(append([]string{"mds"}, cluster.Strategies...)...)
+	i := 0
+	for _, n := range sizes {
+		row := []interface{}{n}
+		for range cluster.Strategies {
+			row = append(row, 100*results[i].PrefixFrac)
+			i++
+		}
+		tb.AddRow(row...)
+	}
+	fmt.Fprintln(w, "Figure 3: cache consumed by prefix inodes (%) vs cluster size")
+	_, err = io.WriteString(w, tb.String())
+	return err
+}
+
+// Fig4 regenerates Figure 4: cache hit rate as a function of cache size
+// expressed as a fraction of total metadata size, at a fixed cluster
+// size.
+func Fig4(w io.Writer, opt Options) error {
+	const n = 8
+	fractions := []float64{0.025, 0.05, 0.1, 0.2, 0.3, 0.45, 0.6}
+	if opt.Quick {
+		fractions = []float64{0.05, 0.2, 0.6}
+	}
+	// Estimate total metadata size from one generation.
+	base := scaledConfig(opt.Seed, cluster.StratStatic, n, opt.Quick)
+	probe, err := cluster.New(base)
+	if err != nil {
+		return err
+	}
+	totalInodes := probe.Snap.Tree.Len()
+
+	var specs []RunSpec
+	for _, f := range fractions {
+		for _, s := range cluster.Strategies {
+			cfg := scaledConfig(opt.Seed, s, n, opt.Quick)
+			perMDS := int(f * float64(totalInodes) / float64(n))
+			if perMDS < 64 {
+				perMDS = 64
+			}
+			cfg.MDS.CacheCapacity = perMDS
+			cfg.MDS.Storage.LogCapacity = perMDS
+			specs = append(specs, RunSpec{
+				Label: fmt.Sprintf("fig4/%s/frac=%.3f", s, f),
+				Cfg:   cfg,
+			})
+		}
+	}
+	results, err := Sweep(specs)
+	if err != nil {
+		return err
+	}
+	tb := metrics.NewTable(append([]string{"cache_frac"}, cluster.Strategies...)...)
+	i := 0
+	for _, f := range fractions {
+		row := []interface{}{fmt.Sprintf("%.3f", f)}
+		for range cluster.Strategies {
+			row = append(row, fmt.Sprintf("%.3f", results[i].HitRate))
+			i++
+		}
+		tb.AddRow(row...)
+	}
+	fmt.Fprintf(w, "Figure 4: cache hit rate vs cache size fraction (cluster of %d, fs=%d inodes)\n", n, totalInodes)
+	_, err = io.WriteString(w, tb.String())
+	return err
+}
+
+// shiftConfig builds the Figure 5/6 workload-evolution run.
+func shiftConfig(seed int64, strategy string, quick bool) cluster.Config {
+	cfg := cluster.Default()
+	cfg.Seed = seed
+	cfg.Strategy = strategy
+	cfg.NumMDS = 6
+	cfg.ClientsPerMDS = 30
+	cfg.FS.Users = 25 * cfg.NumMDS
+	cfg.MDS.CacheCapacity = 2500
+	cfg.Client.ThinkMean = 15 * sim.Millisecond
+	// A bounded location cache forces rediscovery when activity moves,
+	// the effect Figure 6 measures.
+	cfg.Client.KnownCap = 512
+	cfg.Workload.Kind = cluster.WorkShift
+	cfg.Workload.ShiftFraction = 0.5
+	cfg.SeriesBucket = sim.Second
+	if quick {
+		cfg.Workload.ShiftTime = 8 * sim.Second
+		cfg.Duration = 24 * sim.Second
+		cfg.Warmup = 4 * sim.Second
+	} else {
+		cfg.Workload.ShiftTime = 25 * sim.Second
+		cfg.Duration = 80 * sim.Second
+		cfg.Warmup = 10 * sim.Second
+	}
+	// Faster balance rounds so adaptation is visible on the plot.
+	if cfg.Balancer != nil {
+		b := *cfg.Balancer
+		b.Interval = 2 * sim.Second
+		cfg.Balancer = &b
+	}
+	return cfg
+}
+
+// Fig5 regenerates Figure 5: the range (min..max) and average of MDS
+// throughput over time under the shifting workload, dynamic vs static.
+func Fig5(w io.Writer, opt Options) error {
+	specs := []RunSpec{
+		{Label: "fig5/dynamic", Cfg: shiftConfig(opt.Seed, cluster.StratDynamic, opt.Quick)},
+		{Label: "fig5/static", Cfg: shiftConfig(opt.Seed, cluster.StratStatic, opt.Quick)},
+	}
+	results, err := Sweep(specs)
+	if err != nil {
+		return err
+	}
+	dyn, sta := results[0], results[1]
+	fmt.Fprintln(w, "Figure 5: MDS throughput (ops/sec) over time under a workload shift")
+	fmt.Fprintf(w, "shift at t=%v; dynamic migrations=%d\n",
+		specs[0].Cfg.Workload.ShiftTime, dyn.Migrations)
+	tb := metrics.NewTable("t(s)",
+		"dyn_min", "dyn_avg", "dyn_max",
+		"sta_min", "sta_avg", "sta_max")
+	buckets := dyn.RepliesPerNode[0].Len()
+	if b := sta.RepliesPerNode[0].Len(); b > buckets {
+		buckets = b
+	}
+	var dynAvg, staAvg []float64
+	for i := 0; i < buckets; i++ {
+		dmin, davg, dmax := nodeRange(dyn, i)
+		smin, savg, smax := nodeRange(sta, i)
+		tb.AddRow(int(dyn.Bucket.Seconds()*float64(i)), dmin, davg, dmax, smin, savg, smax)
+		dynAvg = append(dynAvg, davg)
+		staAvg = append(staAvg, savg)
+	}
+	if _, err := io.WriteString(w, tb.String()); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "dynamic avg %s\nstatic  avg %s\n",
+		metrics.Sparkline(dynAvg), metrics.Sparkline(staAvg))
+	return nil
+}
+
+// nodeRange computes min/avg/max per-node throughput in bucket i.
+func nodeRange(r *cluster.Result, i int) (min, avg, max float64) {
+	var w metrics.Welford
+	for _, s := range r.RepliesPerNode {
+		w.Add(s.Sum(i) / r.Bucket.Seconds())
+	}
+	return w.Min(), w.Mean(), w.Max()
+}
+
+// Fig6 regenerates Figure 6: the fraction of client requests forwarded
+// over time under the same shift.
+func Fig6(w io.Writer, opt Options) error {
+	specs := []RunSpec{
+		{Label: "fig6/dynamic", Cfg: shiftConfig(opt.Seed, cluster.StratDynamic, opt.Quick)},
+		{Label: "fig6/static", Cfg: shiftConfig(opt.Seed, cluster.StratStatic, opt.Quick)},
+	}
+	results, err := Sweep(specs)
+	if err != nil {
+		return err
+	}
+	dyn, sta := results[0], results[1]
+	fmt.Fprintln(w, "Figure 6: fraction of requests forwarded over time under a workload shift")
+	tb := metrics.NewTable("t(s)", "dynamic", "static")
+	buckets := dyn.Forwards.Len()
+	if b := sta.Forwards.Len(); b > buckets {
+		buckets = b
+	}
+	var dfrac, sfrac []float64
+	for i := 0; i < buckets; i++ {
+		tb.AddRow(int(dyn.Bucket.Seconds()*float64(i)),
+			fmt.Sprintf("%.4f", fracAt(dyn, i)),
+			fmt.Sprintf("%.4f", fracAt(sta, i)))
+		dfrac = append(dfrac, fracAt(dyn, i))
+		sfrac = append(sfrac, fracAt(sta, i))
+	}
+	if _, err := io.WriteString(w, tb.String()); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "dynamic %s\nstatic  %s\n",
+		metrics.Sparkline(dfrac), metrics.Sparkline(sfrac))
+	return nil
+}
+
+func fracAt(r *cluster.Result, i int) float64 {
+	arr := r.Arrivals.Sum(i)
+	if arr == 0 {
+		return 0
+	}
+	return r.Forwards.Sum(i) / arr
+}
+
+// flashConfig builds the Figure 7 flash-crowd run.
+func flashConfig(seed int64, trafficOn, quick bool) cluster.Config {
+	cfg := cluster.Default()
+	cfg.Seed = seed
+	cfg.Strategy = cluster.StratDynamic
+	cfg.NumMDS = 8
+	cfg.ClientsPerMDS = 1250 // 10,000 clients, as in the paper
+	cfg.FS.Users = 100
+	cfg.MDS.CacheCapacity = 4000
+	cfg.Client.ThinkMean = 20 * sim.Millisecond
+	cfg.Workload.Kind = cluster.WorkFlashCrowd
+	cfg.Workload.FlashTime = 8 * sim.Second
+	cfg.Workload.FlashDuration = 2 * sim.Second
+	cfg.Duration = 10 * sim.Second
+	cfg.Warmup = 4 * sim.Second
+	cfg.SeriesBucket = 20 * sim.Millisecond
+	cfg.Balancer = nil // isolate traffic control, as the figure does
+	if !trafficOn {
+		cfg.Traffic = nil
+	}
+	if quick {
+		cfg.ClientsPerMDS = 250
+	}
+	return cfg
+}
+
+// Fig7 regenerates Figure 7: cluster-wide replies and forwards per
+// second through the flash crowd, without and with traffic control.
+func Fig7(w io.Writer, opt Options) error {
+	specs := []RunSpec{
+		{Label: "fig7/no-tc", Cfg: flashConfig(opt.Seed, false, opt.Quick)},
+		{Label: "fig7/tc", Cfg: flashConfig(opt.Seed, true, opt.Quick)},
+	}
+	results, err := Sweep(specs)
+	if err != nil {
+		return err
+	}
+	off, on := results[0], results[1]
+	fmt.Fprintln(w, "Figure 7: flash crowd at t=8s; requests/sec, traffic control off vs on")
+	tb := metrics.NewTable("t(s)",
+		"off_replies", "off_forwards",
+		"on_replies", "on_forwards")
+	start := int((7800 * sim.Millisecond) / off.Bucket)
+	end := int((10 * sim.Second) / off.Bucket)
+	var offR, onR []float64
+	for i := start; i < end; i++ {
+		tb.AddRow(fmt.Sprintf("%.2f", off.Bucket.Seconds()*float64(i)),
+			int(totalReplies(off, i)/off.Bucket.Seconds()),
+			int(off.Forwards.Sum(i)/off.Bucket.Seconds()),
+			int(totalReplies(on, i)/on.Bucket.Seconds()),
+			int(on.Forwards.Sum(i)/on.Bucket.Seconds()))
+		offR = append(offR, totalReplies(off, i))
+		onR = append(onR, totalReplies(on, i))
+	}
+	if _, err := io.WriteString(w, tb.String()); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "replies, no traffic control %s\nreplies, traffic control    %s\n",
+		metrics.Sparkline(offR), metrics.Sparkline(onR))
+	return nil
+}
+
+func totalReplies(r *cluster.Result, i int) float64 {
+	var sum float64
+	for _, s := range r.RepliesPerNode {
+		sum += s.Sum(i)
+	}
+	return sum
+}

@@ -1,0 +1,131 @@
+// Package harness defines the experiments that regenerate every figure
+// in the paper's evaluation (§5), and a parallel sweep runner that
+// executes independent simulation configurations across CPU cores. Each
+// simulation itself is single-threaded and deterministic; the sweep's
+// parallelism never changes results, only wall-clock time.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"dynmds/internal/cluster"
+)
+
+// RunSpec names one simulation configuration.
+type RunSpec struct {
+	Label string
+	Cfg   cluster.Config
+}
+
+// RunOne builds and runs a single configuration.
+func RunOne(spec RunSpec) (*cluster.Result, error) {
+	cl, err := cluster.New(spec.Cfg)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s: %w", spec.Label, err)
+	}
+	return cl.Run(), nil
+}
+
+// Sweep runs all specs on a worker pool of GOMAXPROCS goroutines and
+// returns results in spec order. The first error aborts reporting but
+// lets in-flight runs finish.
+func Sweep(specs []RunSpec) ([]*cluster.Result, error) {
+	results := make([]*cluster.Result, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec RunSpec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = RunOne(spec)
+		}(i, spec)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Options tunes experiment scale so the same definitions serve quick CI
+// runs and full paper-scale regenerations.
+type Options struct {
+	// Scale multiplies durations and divides sweep density; 1.0 = the
+	// full experiment, smaller = quicker.
+	Quick bool
+	Seed  int64
+}
+
+// Experiment is one regenerable figure.
+type Experiment struct {
+	ID          string
+	Title       string
+	Description string
+	Run         func(w io.Writer, opt Options) error
+}
+
+// All returns every experiment in figure order.
+func All() []Experiment {
+	return []Experiment{
+		{
+			ID:    "fig2",
+			Title: "Figure 2: MDS performance vs cluster size",
+			Description: "Average per-MDS throughput as file system, cluster size and " +
+				"client base scale together, for all five strategies.",
+			Run: Fig2,
+		},
+		{
+			ID:    "fig3",
+			Title: "Figure 3: cache consumed by prefix inodes",
+			Description: "Percentage of MDS cache devoted to prefix directory inodes " +
+				"as the system scales, per strategy.",
+			Run: Fig3,
+		},
+		{
+			ID:    "fig4",
+			Title: "Figure 4: cache hit rate vs cache size",
+			Description: "Hit rate as a function of cache size relative to total " +
+				"metadata size, per strategy.",
+			Run: Fig4,
+		},
+		{
+			ID:    "fig5",
+			Title: "Figure 5: throughput under a workload shift",
+			Description: "Min/avg/max per-MDS throughput over time as half the " +
+				"clients migrate and create files in one subtree: dynamic vs static.",
+			Run: Fig5,
+		},
+		{
+			ID:    "fig6",
+			Title: "Figure 6: forwarded requests under a workload shift",
+			Description: "Fraction of client requests forwarded over time for the " +
+				"same shifted workload: dynamic vs static.",
+			Run: Fig6,
+		},
+		{
+			ID:    "fig7",
+			Title: "Figure 7: flash crowd traffic control",
+			Description: "Cluster replies and forwards per second while thousands of " +
+				"clients hit one file: traffic control off vs on.",
+			Run: Fig7,
+		},
+	}
+}
+
+// ByID finds an experiment among the figures and the extras.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range append(All(), Extras()...) {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

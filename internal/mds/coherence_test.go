@@ -1,0 +1,213 @@
+package mds
+
+import (
+	"fmt"
+	"testing"
+
+	"dynmds/internal/msg"
+	"dynmds/internal/namespace"
+	"dynmds/internal/partition"
+	"dynmds/internal/sim"
+)
+
+func TestCoherenceUpdatePropagation(t *testing.T) {
+	eng := sim.NewEngine()
+	cl, tree, strat := buildCluster(t, eng, 3, func(tr *namespace.Tree) partition.Strategy {
+		return partition.NewStaticSubtree(3, tr, 2)
+	}, true)
+	f := lookup(t, tree, "/home/u1/f0")
+	auth := strat.Authority(f)
+
+	// Make the file hot so it replicates everywhere.
+	for i := 0; i < 10; i++ {
+		cl.nodes[auth].Receive(&msg.Request{ID: uint64(i), Op: msg.Open, Target: f})
+	}
+	eng.Run()
+	tags := partition.TagsOf(f)
+	if tags.ReplicaSet == 0 {
+		t.Fatal("no replica set recorded after replication")
+	}
+	for i := 0; i < 3; i++ {
+		if i != auth && !tags.HasReplica(i) {
+			t.Fatalf("node %d missing from replica set", i)
+		}
+	}
+
+	// An update at the authority pushes coherence to every holder.
+	cl.nodes[auth].Receive(&msg.Request{ID: 100, Op: msg.Chmod, Target: f})
+	eng.Run()
+	if cl.nodes[auth].Stats.CoherenceSent != 2 {
+		t.Fatalf("coherence sent = %d, want 2", cl.nodes[auth].Stats.CoherenceSent)
+	}
+	var recvd uint64
+	for i, n := range cl.nodes {
+		if i != auth {
+			recvd += n.Stats.CoherenceReceived
+		}
+	}
+	if recvd != 2 {
+		t.Fatalf("coherence received = %d, want 2", recvd)
+	}
+}
+
+func TestCoherenceEvictNotice(t *testing.T) {
+	eng := sim.NewEngine()
+	cl, tree, strat := buildCluster(t, eng, 2, func(tr *namespace.Tree) partition.Strategy {
+		return partition.DirHash{N: 2}
+	}, false)
+
+	// Find a file whose authority differs from its parent directory's
+	// prefix chain owner so serving it installs a remote prefix.
+	var served *MDS
+	for u := 0; u < 4; u++ {
+		f := lookup(t, tree, "/home/u"+string(rune('0'+u))+"/f0")
+		a := strat.Authority(f)
+		cl.nodes[a].Receive(&msg.Request{ID: uint64(u), Op: msg.Open, Target: f})
+		served = cl.nodes[a]
+	}
+	eng.Run()
+	_ = served
+	totalRemote := cl.nodes[0].Stats.RemoteFetches + cl.nodes[1].Stats.RemoteFetches
+	if totalRemote == 0 {
+		t.Skip("hash layout put every prefix local; nothing to evict")
+	}
+
+	// Force eviction of everything by filling the caches well past
+	// capacity with fresh records; replica holders must notify
+	// authorities as their replicas fall out.
+	dir := lookup(t, tree, "/home/u3")
+	for i := 0; i < 2*cl.nodes[0].Cache().Cap(); i++ {
+		n, err := tree.Create(dir, fmt.Sprintf("spam%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, node := range cl.nodes {
+			node.Cache().InsertDetached(n, 0, false)
+		}
+	}
+	eng.Run()
+	sent := cl.nodes[0].Stats.EvictNoticesSent + cl.nodes[1].Stats.EvictNoticesSent
+	if sent == 0 {
+		t.Fatal("no eviction notices despite replica evictions")
+	}
+}
+
+func TestCoherenceNoTrafficForUnreplicated(t *testing.T) {
+	eng := sim.NewEngine()
+	cl, tree, _ := buildCluster(t, eng, 1, func(tr *namespace.Tree) partition.Strategy {
+		return partition.NewStaticSubtree(1, tr, 2)
+	}, false)
+	m := cl.nodes[0]
+	f := lookup(t, tree, "/home/u0/f0")
+	m.Receive(&msg.Request{ID: 1, Op: msg.Chmod, Target: f})
+	eng.Run()
+	if m.Stats.CoherenceSent != 0 {
+		t.Fatalf("coherence sent for unreplicated item: %d", m.Stats.CoherenceSent)
+	}
+}
+
+func TestUnlinkWhileOpenRetainsRecord(t *testing.T) {
+	eng := sim.NewEngine()
+	cl, tree, _ := buildCluster(t, eng, 1, func(tr *namespace.Tree) partition.Strategy {
+		return partition.NewStaticSubtree(1, tr, 2)
+	}, false)
+	m := cl.nodes[0]
+	f := lookup(t, tree, "/home/u0/f0")
+
+	m.Receive(&msg.Request{ID: 1, Op: msg.Open, Target: f})
+	eng.Run()
+	m.Receive(&msg.Request{ID: 2, Op: msg.Unlink, Target: f})
+	eng.Run()
+	// Gone from the namespace, retained as an orphan in the cache.
+	if _, err := tree.Lookup("/home/u0/f0"); err == nil {
+		t.Fatal("unlink did not remove the name")
+	}
+	if m.Stats.OrphansRetained != 1 {
+		t.Fatalf("orphans retained = %d", m.Stats.OrphansRetained)
+	}
+	if !m.Cache().Contains(f.ID) {
+		t.Fatal("open-orphan evicted from cache")
+	}
+	// The close reaps it.
+	m.Receive(&msg.Request{ID: 3, Op: msg.Close, Target: f})
+	eng.Run()
+	if m.Stats.OrphansReaped != 1 {
+		t.Fatalf("orphans reaped = %d", m.Stats.OrphansReaped)
+	}
+	if m.Cache().Contains(f.ID) {
+		t.Fatal("orphan record survived the last close")
+	}
+}
+
+func TestUnlinkClosedFileReapsImmediately(t *testing.T) {
+	eng := sim.NewEngine()
+	cl, tree, _ := buildCluster(t, eng, 1, func(tr *namespace.Tree) partition.Strategy {
+		return partition.NewStaticSubtree(1, tr, 2)
+	}, false)
+	m := cl.nodes[0]
+	f := lookup(t, tree, "/home/u1/f0")
+	m.Receive(&msg.Request{ID: 1, Op: msg.Open, Target: f})
+	m.Receive(&msg.Request{ID: 2, Op: msg.Close, Target: f})
+	eng.Run()
+	m.Receive(&msg.Request{ID: 3, Op: msg.Unlink, Target: f})
+	eng.Run()
+	if m.Stats.OrphansRetained != 0 {
+		t.Fatal("closed file retained as orphan")
+	}
+	if m.Cache().Contains(f.ID) {
+		t.Fatal("unlinked record still cached")
+	}
+}
+
+func TestDirObjectAccounting(t *testing.T) {
+	eng := sim.NewEngine()
+	cl, tree, _ := buildCluster(t, eng, 1, func(tr *namespace.Tree) partition.Strategy {
+		return partition.NewStaticSubtree(1, tr, 2)
+	}, false)
+	m := cl.nodes[0]
+	if m.Store().Dirs == nil {
+		t.Skip("dir-object modelling disabled in test config")
+	}
+	dir := lookup(t, tree, "/home/u2")
+	m.Receive(&msg.Request{ID: 1, Op: msg.Create, Target: dir, NewName: "obj1"})
+	m.Receive(&msg.Request{ID: 2, Op: msg.Create, Target: dir, NewName: "obj2"})
+	eng.Run()
+	obj, ok := m.Store().Dirs.Object(dir.ID)
+	if !ok {
+		t.Fatal("no directory object materialised")
+	}
+	if obj.Len() != 2 {
+		t.Fatalf("object has %d entries", obj.Len())
+	}
+	if m.Store().Dirs.NodesWritten == 0 {
+		t.Fatal("no write amplification accounted")
+	}
+	// Snapshot, then unlink: the snapshot preserves the old contents.
+	snap := m.Store().Dirs.Snapshot(dir.ID)
+	f := lookup(t, tree, "/home/u2/obj1")
+	m.Receive(&msg.Request{ID: 3, Op: msg.Unlink, Target: f})
+	eng.Run()
+	if obj.Len() != 1 {
+		t.Fatalf("live object has %d entries after unlink", obj.Len())
+	}
+	if snap.Len() != 2 {
+		t.Fatalf("snapshot lost entries: %d", snap.Len())
+	}
+	if _, ok := snap.Get("obj1"); !ok {
+		t.Fatal("snapshot missing unlinked entry")
+	}
+}
+
+func TestDirObjectSkippedForScatteredLayouts(t *testing.T) {
+	eng := sim.NewEngine()
+	cl, tree, _ := buildCluster(t, eng, 1, func(tr *namespace.Tree) partition.Strategy {
+		return partition.FileHash{N: 1}
+	}, false)
+	m := cl.nodes[0]
+	dir := lookup(t, tree, "/home/u2")
+	m.Receive(&msg.Request{ID: 1, Op: msg.Create, Target: dir, NewName: "scattered"})
+	eng.Run()
+	if m.Store().Dirs != nil && m.Store().Dirs.Len() != 0 {
+		t.Fatal("per-inode layout materialised directory objects")
+	}
+}

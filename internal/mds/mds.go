@@ -1,0 +1,963 @@
+// Package mds implements one simulated metadata server: the request
+// pipeline (CPU service, authority resolution, forwarding, path
+// traversal, cache lookups, directory-granular disk fetches with
+// embedded-inode prefetch, log commits for updates), intra-cluster
+// cooperation (remote prefix fetches, replica installation for traffic
+// control, subtree import/export for load balancing), and the per-node
+// statistics the experiments measure.
+//
+// The MDS is strategy-agnostic: all partitioning behaviour comes through
+// the partition.Strategy interface, so the same node code serves the
+// dynamic subtree system and every comparison strategy.
+package mds
+
+import (
+	"dynmds/internal/cache"
+	"dynmds/internal/core"
+	"dynmds/internal/dirstore"
+	"dynmds/internal/metrics"
+	"dynmds/internal/msg"
+	"dynmds/internal/namespace"
+	"dynmds/internal/partition"
+	"dynmds/internal/sim"
+	"dynmds/internal/storage"
+)
+
+// Config holds the per-node service model.
+type Config struct {
+	// CPUService is the processing time per request at the serving
+	// node.
+	CPUService sim.Time
+	// PeerService is the (smaller) CPU time to serve a peer's prefix
+	// fetch or install a pushed replica.
+	PeerService sim.Time
+	// NetLatency is the one-way client↔MDS network latency.
+	NetLatency sim.Time
+	// FwdLatency is the one-way MDS↔MDS latency; intra-cluster
+	// forwarding "is likely to be cheap" (§5.3.3).
+	FwdLatency sim.Time
+	// ImportPerRecord is the CPU time per record to import or export a
+	// migrated subtree; it makes migrations briefly freeze the node.
+	ImportPerRecord sim.Time
+	// CacheCapacity is the cache size in records.
+	CacheCapacity int
+	// Storage configures the two-tier store.
+	Storage storage.Config
+	// PopHalfLife is the popularity counter half-life.
+	PopHalfLife sim.Time
+	// LoadMissWeight weights cache misses against throughput in the
+	// balancer's load metric (§5.1).
+	LoadMissWeight float64
+	// RateHalfLife smooths the throughput/miss rates used for load.
+	RateHalfLife sim.Time
+
+	// WriteFlushInterval is the period at which replicas flush absorbed
+	// monotonic size updates to authorities (§4.2). The cluster starts
+	// the flusher ticker; zero disables periodic flushing (stat
+	// callbacks still collect on demand).
+	WriteFlushInterval sim.Time
+
+	// Ablation knobs (see DESIGN.md).
+	//
+	// NoPrefetch disables embedded-inode sibling prefetch even on
+	// directory-granular layouts: the whole directory is still read in
+	// one I/O, but siblings are not retained.
+	NoPrefetch bool
+	// PrefetchHot inserts prefetched siblings at the hot MRU end
+	// instead of near the LRU tail, letting speculation displace known
+	// useful entries (the policy §4.5 argues against).
+	PrefetchHot bool
+}
+
+// DefaultConfig returns the service model used by the experiments.
+func DefaultConfig(cacheCapacity int) Config {
+	return Config{
+		CPUService:         300 * sim.Microsecond,
+		PeerService:        100 * sim.Microsecond,
+		NetLatency:         200 * sim.Microsecond,
+		FwdLatency:         50 * sim.Microsecond,
+		ImportPerRecord:    5 * sim.Microsecond,
+		CacheCapacity:      cacheCapacity,
+		Storage:            storage.DefaultConfig(cacheCapacity),
+		PopHalfLife:        2 * sim.Second,
+		LoadMissWeight:     10,
+		RateHalfLife:       5 * sim.Second,
+		WriteFlushInterval: sim.Second,
+	}
+}
+
+// Cluster is the MDS's view of its surroundings.
+type Cluster interface {
+	// Node returns peer i.
+	Node(i int) *MDS
+	// NumMDS returns the cluster size.
+	NumMDS() int
+	// Tree returns the shared ground-truth namespace.
+	Tree() *namespace.Tree
+	// Deliver hands a completed reply back to the issuing client.
+	Deliver(rep *msg.Reply)
+}
+
+// Stats counts one node's activity.
+type Stats struct {
+	Received        uint64 // all arrivals (client + forwarded)
+	ClientArrivals  uint64 // arrivals directly from clients
+	Served          uint64 // replies sent (including replica serves)
+	ReplicaServes   uint64
+	Forwarded       uint64
+	CacheMissLoads  uint64 // fetches that went to disk or a peer
+	RemoteFetches   uint64 // prefix fetches sent to peers
+	PeerFetchServes uint64
+	ReplicaInstalls uint64
+	ReplicasPushed  uint64
+	LHApplied       uint64 // lazy ACL propagations performed
+	Commits         uint64
+	Imported        uint64 // records imported by migrations
+	Exported        uint64
+	Dropped         uint64 // requests dropped (failed node)
+
+	// Cache-coherence traffic (§4.2): updates pushed to replica
+	// holders, updates received for local replicas, and
+	// discard notices sent to / received by authorities when a
+	// replica is evicted.
+	CoherenceSent     uint64
+	CoherenceReceived uint64
+	EvictNoticesSent  uint64
+	EvictNoticesRecvd uint64
+
+	// Deleted-while-open retention (§4.5).
+	OrphansRetained uint64
+	OrphansReaped   uint64
+
+	// Distributed monotonic updates (§4.2).
+	WritesAbsorbed uint64 // size updates absorbed at this replica
+	WriteFlushes   uint64 // local maxima flushed to authorities
+	SizeCallbacks  uint64 // stat-time callbacks issued as authority
+}
+
+// MDS is one metadata server.
+type MDS struct {
+	id      int
+	eng     *sim.Engine
+	cfg     Config
+	strat   partition.Strategy
+	cluster Cluster
+
+	cpu   *sim.Server
+	cache *cache.Cache
+	store *storage.Store
+
+	// tc is non-nil when the dynamic strategy's traffic control is
+	// active on this cluster.
+	tc *core.TrafficControl
+	// dyn is non-nil for the dynamic strategy (directory hashing hook).
+	dyn *core.DynamicSubtree
+	// lh is non-nil for the Lazy Hybrid strategy.
+	lh *partition.LazyHybrid
+
+	opsRate  *metrics.DecayCounter
+	missRate *metrics.DecayCounter
+
+	// pending coalesces concurrent fetches of the same record: one I/O
+	// (or peer fetch) serves every waiter. pendingDir does the same for
+	// whole-directory content loads.
+	pending    map[namespace.InodeID][]func()
+	pendingDir map[namespace.InodeID][]func()
+
+	// sizePending holds locally absorbed monotonic size updates not
+	// yet flushed to authorities (§4.2).
+	sizePending map[namespace.InodeID]int64
+
+	// opens tracks per-inode open counts at the authority, and orphans
+	// holds inodes unlinked while still open: without a global inode
+	// table the MDS "must take care to remember where the inode is
+	// stored ... and to retain inodes that are deleted while still
+	// open" (§4.5). The record is reaped on the last close.
+	opens   map[namespace.InodeID]int
+	orphans map[namespace.InodeID]*namespace.Inode
+
+	failed bool
+
+	// OnReply and OnForward, when set, observe served requests and
+	// forwards for time-series measurement.
+	OnReply   func(id int, req *msg.Request, now sim.Time)
+	OnForward func(id int, req *msg.Request, now sim.Time)
+
+	Stats Stats
+}
+
+// New creates a node. The strategy's concrete type activates optional
+// behaviour: *core.DynamicSubtree enables directory-hash checks,
+// *partition.LazyHybrid enables dual-entry ACL staleness handling.
+func New(id int, eng *sim.Engine, cfg Config, strat partition.Strategy, tc *core.TrafficControl, cl Cluster) *MDS {
+	m := &MDS{
+		id:          id,
+		eng:         eng,
+		cfg:         cfg,
+		strat:       strat,
+		cluster:     cl,
+		cpu:         sim.NewServer(eng, 1),
+		cache:       cache.New(cfg.CacheCapacity),
+		store:       storage.New(eng, cfg.Storage),
+		tc:          tc,
+		opsRate:     metrics.NewDecayCounter(cfg.RateHalfLife),
+		missRate:    metrics.NewDecayCounter(cfg.RateHalfLife),
+		pending:     make(map[namespace.InodeID][]func()),
+		pendingDir:  make(map[namespace.InodeID][]func()),
+		opens:       make(map[namespace.InodeID]int),
+		orphans:     make(map[namespace.InodeID]*namespace.Inode),
+		sizePending: make(map[namespace.InodeID]int64),
+	}
+	if d, ok := strat.(*core.DynamicSubtree); ok {
+		m.dyn = d
+	}
+	if l, ok := strat.(*partition.LazyHybrid); ok {
+		m.lh = l
+	}
+	// When a replica (or remote prefix) is evicted, notify its
+	// authority so it can drop the holder from the replica set and is
+	// "free to remove its own copy from memory" (§4.2).
+	m.cache.OnEvict = func(e *cache.Entry) {
+		tags := partition.TagsOf(e.Ino)
+		if !tags.HasReplica(m.id) {
+			return
+		}
+		tags.ClearReplica(m.id)
+		auth := m.strat.Authority(e.Ino)
+		if auth == m.id {
+			return
+		}
+		m.Stats.EvictNoticesSent++
+		peer := m.cluster.Node(auth)
+		m.eng.After(m.cfg.FwdLatency, func() {
+			peer.Stats.EvictNoticesRecvd++
+		})
+	}
+	return m
+}
+
+// StartFlusher begins the periodic write-flush ticker. The cluster
+// calls it at Run time; a perpetual ticker must not be created during
+// construction or engine Run() (drain-until-empty) would never return.
+func (m *MDS) StartFlusher() {
+	if m.cfg.WriteFlushInterval <= 0 {
+		return
+	}
+	sim.NewTicker(m.eng, m.cfg.WriteFlushInterval, m.flushWrites).Start(0)
+}
+
+// ID implements core.Node.
+func (m *MDS) ID() int { return m.id }
+
+// Cache implements core.Node.
+func (m *MDS) Cache() *cache.Cache { return m.cache }
+
+// Store exposes the node's storage subsystem.
+func (m *MDS) Store() *storage.Store { return m.store }
+
+// Load implements core.Node: the paper prototype's "weighted combination
+// of node throughput and cache misses" (§5.1). Throughput is measured
+// as offered load (request arrivals) so saturation is visible.
+func (m *MDS) Load(now sim.Time) float64 {
+	return m.opsRate.Value(now) + m.cfg.LoadMissWeight*m.missRate.Value(now)
+}
+
+// HitRate returns the node's cache hit rate so far.
+func (m *MDS) HitRate() float64 { return m.cache.HitRate() }
+
+// Receive accepts a request arriving over the network (from a client or
+// a forwarding peer).
+func (m *MDS) Receive(req *msg.Request) {
+	if m.failed {
+		m.Stats.Dropped++
+		return
+	}
+	m.Stats.Received++
+	if req.Hops == 0 {
+		m.Stats.ClientArrivals++
+	}
+	// Demand is counted on arrival: when a node saturates, its served
+	// throughput caps out, but its offered load keeps rising — the
+	// balancer must see the latter.
+	m.opsRate.Add(m.eng.Now(), 1)
+	m.cpu.Submit(m.cfg.CPUService, func() { m.process(req) })
+}
+
+// authorityFor resolves the node responsible for serving the request.
+func (m *MDS) authorityFor(req *msg.Request) int {
+	if req.Op == msg.Create || req.Op == msg.Mkdir {
+		return m.strat.AuthorityForName(req.Target, req.NewName)
+	}
+	return m.strat.Authority(req.Target)
+}
+
+func (m *MDS) process(req *msg.Request) {
+	auth := m.authorityFor(req)
+	if auth != m.id {
+		// Monotonic size updates are absorbed by any node holding a
+		// replica of the target (§4.2) and flushed later.
+		if req.Op == msg.Write && m.cache.Contains(req.Target.ID) {
+			m.cache.Get(req.Target.ID)
+			m.absorbWrite(req)
+			return
+		}
+		// A read of widely replicated metadata can be served from the
+		// local replica: the whole point of traffic control (§4.4).
+		if !req.Op.IsUpdate() && m.tc.Replicated(req.Target) && m.cache.Contains(req.Target.ID) {
+			m.cache.Get(req.Target.ID)
+			m.Stats.ReplicaServes++
+			m.bumpPopularity(req.Target)
+			m.reply(req)
+			return
+		}
+		m.forward(req, auth)
+		return
+	}
+	m.serve(req)
+}
+
+func (m *MDS) forward(req *msg.Request, to int) {
+	m.Stats.Forwarded++
+	if m.OnForward != nil {
+		m.OnForward(m.id, req, m.eng.Now())
+	}
+	m.maybePreemptiveReplicate(req)
+	req.Hops++
+	peer := m.cluster.Node(to)
+	m.eng.After(m.cfg.FwdLatency, func() { peer.Receive(req) })
+}
+
+// maybePreemptiveReplicate implements §5.4's suggested improvement: a
+// node flooded with forwards for one item pulls a replica itself
+// instead of waiting for the authority to push one.
+func (m *MDS) maybePreemptiveReplicate(req *msg.Request) {
+	if m.tc == nil || !m.tc.Enabled || m.tc.PreemptiveThreshold <= 0 || req.Op.IsUpdate() {
+		return
+	}
+	target := req.Target
+	tags := partition.TagsOf(target)
+	if tags.FwdPop == nil {
+		tags.FwdPop = metrics.NewDecayCounter(m.cfg.PopHalfLife)
+	}
+	tags.FwdPop.Add(m.eng.Now(), 1)
+	if tags.FwdPop.Value(m.eng.Now()) < m.tc.PreemptiveThreshold || m.cache.Contains(target.ID) {
+		return
+	}
+	m.tc.Preemptive++
+	// Pull the record from its authority and start advertising it as
+	// widely replicated; the authority's policy may consolidate later.
+	m.fetchRecord(target, cache.Replica, func() {
+		partition.TagsOf(target).SetReplica(m.id)
+		partition.TagsOf(target).ReplicatedAll = true
+	})
+}
+
+// serve handles a request this node is authoritative for.
+func (m *MDS) serve(req *msg.Request) {
+	if m.strat.NeedsPathTraversal() {
+		m.ensurePath(req, req.Target.Ancestors(), func() {
+			m.fetchTarget(req)
+		})
+		return
+	}
+	m.fetchTarget(req)
+}
+
+// ensurePath brings the ancestor chain (root downward) into the cache,
+// fetching missing prefixes from disk or their authoritative peers.
+func (m *MDS) ensurePath(req *msg.Request, chain []*namespace.Inode, done func()) {
+	for i, a := range chain {
+		if m.cache.Contains(a.ID) {
+			continue
+		}
+		rest := chain[i+1:]
+		m.fetchPrefix(a, func() {
+			m.ensurePath(req, rest, done)
+		})
+		return
+	}
+	done()
+}
+
+// fetchPrefix obtains one missing ancestor directory inode.
+func (m *MDS) fetchPrefix(ino *namespace.Inode, done func()) {
+	m.fetchRecord(ino, cache.Prefix, done)
+}
+
+// fetchRecord brings one record into the cache, coalescing concurrent
+// fetches of the same inode into a single I/O or peer round trip.
+func (m *MDS) fetchRecord(ino *namespace.Inode, cl cache.Class, done func()) {
+	if waiters, inFlight := m.pending[ino.ID]; inFlight {
+		m.pending[ino.ID] = append(waiters, done)
+		return
+	}
+	m.pending[ino.ID] = nil
+	m.noteMiss()
+	finish := func() {
+		waiters := m.pending[ino.ID]
+		delete(m.pending, ino.ID)
+		done()
+		for _, w := range waiters {
+			w()
+		}
+	}
+	if m.strat.Authority(ino) == m.id {
+		m.diskLoad(ino, cl, finish)
+		return
+	}
+	// Remote record: round trip to the authority, then install a
+	// replica locally (for prefixes, the overhead Figure 3 measures).
+	m.Stats.RemoteFetches++
+	peer := m.cluster.Node(m.strat.Authority(ino))
+	m.eng.After(m.cfg.FwdLatency, func() {
+		peer.handleFetch(ino, func() {
+			m.eng.After(m.cfg.FwdLatency, func() {
+				if m.failed {
+					return
+				}
+				m.installPrefix(ino)
+				finish()
+			})
+		})
+	})
+}
+
+// installPrefix caches a remotely fetched ancestor. Ancestors above it
+// are already cached (ensurePath works root-down), so InsertPath only
+// adds this record.
+func (m *MDS) installPrefix(ino *namespace.Inode) {
+	if _, err := m.cache.InsertPath(ino, cache.Prefix, false); err != nil {
+		// The chain above was evicted while the fetch was in flight;
+		// fall back to a detached record.
+		m.cache.InsertDetached(ino, cache.Prefix, false)
+	}
+	partition.TagsOf(ino).SetReplica(m.id)
+}
+
+// handleFetch serves a peer's request for one inode record.
+func (m *MDS) handleFetch(ino *namespace.Inode, done func()) {
+	if m.failed {
+		return
+	}
+	m.Stats.PeerFetchServes++
+	m.cpu.Submit(m.cfg.PeerService, func() {
+		if m.cache.Contains(ino.ID) {
+			m.cache.Get(ino.ID)
+			done()
+			return
+		}
+		// Load just this record; a single-record read regardless of
+		// layout keeps peer fetches cheap and terminating.
+		m.noteMiss()
+		m.store.ReadInode(ino.ID, func() {
+			m.cache.InsertDetached(ino, cache.Prefix, false)
+			done()
+		})
+	})
+}
+
+// fetchTarget ensures the operation's target record is cached, then
+// completes the operation.
+func (m *MDS) fetchTarget(req *msg.Request) {
+	target := req.Target
+	if m.cache.Contains(target.ID) {
+		m.cache.Get(target.ID)
+		m.finishServe(req)
+		return
+	}
+	// Every request that found its target uncached is a demand miss,
+	// whether or not the fetch below coalesces with one in flight.
+	m.cache.NoteMiss()
+	if m.strat.NeedsPathTraversal() {
+		m.fetchRecord(target, cache.Auth, func() { m.finishServe(req) })
+		return
+	}
+	// Scattered per-inode layout without traversal (Lazy Hybrid);
+	// still coalesce duplicate in-flight fetches.
+	if waiters, inFlight := m.pending[target.ID]; inFlight {
+		m.pending[target.ID] = append(waiters, func() { m.finishServe(req) })
+		return
+	}
+	m.pending[target.ID] = nil
+	m.noteMiss()
+	m.store.ReadInode(target.ID, func() {
+		if m.failed {
+			return
+		}
+		m.cache.InsertDetached(target, cache.Auth, false)
+		waiters := m.pending[target.ID]
+		delete(m.pending, target.ID)
+		m.finishServe(req)
+		for _, w := range waiters {
+			w()
+		}
+	})
+}
+
+// diskLoad reads the record for ino from this node's store and inserts
+// it (plus, for directory-granular layouts, its embedded siblings as
+// warm prefetches).
+func (m *MDS) diskLoad(ino *namespace.Inode, cl cache.Class, done func()) {
+	if !m.strat.DirGranular() {
+		m.store.ReadInode(ino.ID, func() {
+			if m.failed {
+				return
+			}
+			m.insertLoaded(ino, cl)
+			done()
+		})
+		return
+	}
+	parent := ino.Parent()
+	records := 1
+	if parent != nil {
+		records = 1 + parent.NumChildren()
+	}
+	// The object read is the parent directory's object (or the inode's
+	// own object at the root).
+	obj := ino.ID
+	if parent != nil {
+		obj = parent.ID
+	}
+	m.store.ReadDir(obj, records, func() {
+		if m.failed {
+			return
+		}
+		m.insertLoaded(ino, cl)
+		// Embedded inodes: the whole directory came along; insert the
+		// siblings near the LRU tail (§4.5).
+		if parent != nil && !m.cfg.NoPrefetch {
+			for _, sib := range parent.Children() {
+				if sib == ino || m.cache.Contains(sib.ID) {
+					continue
+				}
+				sibClass := cache.Replica
+				if m.strat.Authority(sib) == m.id {
+					sibClass = cache.Auth
+				}
+				if _, err := m.cache.InsertPath(sib, sibClass, !m.cfg.PrefetchHot); err != nil {
+					break // parent chain evicted mid-load; stop prefetching
+				}
+				if sibClass == cache.Replica {
+					partition.TagsOf(sib).SetReplica(m.id)
+				}
+			}
+		}
+		done()
+	})
+}
+
+func (m *MDS) insertLoaded(ino *namespace.Inode, cl cache.Class) {
+	if _, err := m.cache.InsertPath(ino, cl, false); err != nil {
+		m.cache.InsertDetached(ino, cl, false)
+	}
+}
+
+// finishServe runs once the target record is cached: Lazy Hybrid
+// staleness, update application, popularity accounting, traffic-control
+// decisions, and the reply.
+func (m *MDS) finishServe(req *msg.Request) {
+	target := req.Target
+	// Lazy Hybrid: a stale dual-entry ACL must be refreshed before the
+	// op can proceed — one (lazy) propagation trip plus a log commit.
+	if m.lh != nil && m.lh.Stale(target) {
+		m.lh.Apply(target)
+		m.Stats.LHApplied++
+		m.eng.After(2*m.cfg.FwdLatency, func() {
+			if m.failed {
+				return
+			}
+			m.commit(target, func() { m.finishServe2(req) })
+		})
+		return
+	}
+	m.finishServe2(req)
+}
+
+func (m *MDS) finishServe2(req *msg.Request) {
+	target := req.Target
+	if req.Op == msg.Readdir && m.strat.DirGranular() && target.IsDir() {
+		// Directory-granular readdir touches the whole object; make
+		// sure the contents are loaded (one I/O) so the common
+		// readdir-then-stat sequence hits.
+		missing := false
+		for _, c := range target.Children() {
+			if !m.cache.Contains(c.ID) {
+				missing = true
+				break
+			}
+		}
+		if missing {
+			m.loadDirContents(target, func() { m.completeOp(req) })
+			return
+		}
+	}
+	m.completeOp(req)
+}
+
+// loadDirContents fetches a directory's own object — its entries plus
+// embedded child inodes — warming every child into the cache (§4.5).
+// Concurrent loads of the same directory coalesce.
+func (m *MDS) loadDirContents(dir *namespace.Inode, done func()) {
+	if waiters, inFlight := m.pendingDir[dir.ID]; inFlight {
+		m.pendingDir[dir.ID] = append(waiters, done)
+		return
+	}
+	m.pendingDir[dir.ID] = nil
+	m.noteMiss()
+	m.store.ReadDir(dir.ID, 1+dir.NumChildren(), func() {
+		if m.failed {
+			return
+		}
+		for _, c := range dir.Children() {
+			if m.cache.Contains(c.ID) {
+				continue
+			}
+			cl := cache.Replica
+			if m.strat.Authority(c) == m.id {
+				cl = cache.Auth
+			}
+			if _, err := m.cache.InsertPath(c, cl, !m.cfg.PrefetchHot); err != nil {
+				break
+			}
+			if cl == cache.Replica {
+				partition.TagsOf(c).SetReplica(m.id)
+			}
+		}
+		waiters := m.pendingDir[dir.ID]
+		delete(m.pendingDir, dir.ID)
+		done()
+		for _, w := range waiters {
+			w()
+		}
+	})
+}
+
+func (m *MDS) completeOp(req *msg.Request) {
+	target := req.Target
+	if req.Op.IsUpdate() {
+		m.applyUpdate(req)
+		if req.Op != msg.Write {
+			// Size updates are batched through the log by the
+			// flusher; structural updates propagate immediately.
+			m.propagateCoherence(target)
+		}
+		m.commit(target, func() { m.finishReply(req) })
+		return
+	}
+	if req.Op == msg.Stat {
+		// Reads observe the latest size: call back to unflushed
+		// writers first (§4.2).
+		m.statCallback(req, func() { m.finishReply(req) })
+		return
+	}
+	m.finishReply(req)
+}
+
+// propagateCoherence pushes an updated record to every replica holder:
+// "once an item is replicated in another MDS's cache, the authoritative
+// MDS is responsible for communicating updates to maintain cache
+// coherence" (§4.2).
+func (m *MDS) propagateCoherence(target *namespace.Inode) {
+	set := partition.TagsOf(target).ReplicaSet
+	if set == 0 {
+		return
+	}
+	for i := 0; i < m.cluster.NumMDS() && i < 64; i++ {
+		if i == m.id || set&(1<<uint(i)) == 0 {
+			continue
+		}
+		m.Stats.CoherenceSent++
+		peer := m.cluster.Node(i)
+		m.eng.After(m.cfg.FwdLatency, func() {
+			if peer.failed {
+				return
+			}
+			peer.Stats.CoherenceReceived++
+			peer.cpu.Submit(peer.cfg.PeerService, nil)
+		})
+	}
+}
+
+func (m *MDS) finishReply(req *msg.Request) {
+	target := req.Target
+	switch req.Op {
+	case msg.Open:
+		m.opens[target.ID]++
+	case msg.Close:
+		if m.opens[target.ID] > 0 {
+			m.opens[target.ID]--
+			if m.opens[target.ID] == 0 {
+				delete(m.opens, target.ID)
+				if _, orphaned := m.orphans[target.ID]; orphaned {
+					delete(m.orphans, target.ID)
+					m.Stats.OrphansReaped++
+					_ = m.cache.Remove(target.ID)
+				}
+			}
+		}
+	}
+	m.bumpPopularity(target)
+	if m.tc != nil {
+		switch m.tc.Decide(m.eng.Now(), target) {
+		case core.Replicate:
+			m.pushReplicas(target)
+		case core.Consolidate:
+			// Replicas stop being advertised and simply age out of
+			// peer caches.
+		}
+	}
+	m.reply(req)
+}
+
+func (m *MDS) bumpPopularity(ino *namespace.Inode) {
+	partition.Popularity(ino, m.cfg.PopHalfLife).Add(m.eng.Now(), 1)
+}
+
+// commit appends the update to the bounded log (§4.6).
+func (m *MDS) commit(ino *namespace.Inode, done func()) {
+	m.Stats.Commits++
+	m.store.Commit(ino.ID, func() {
+		if m.failed {
+			return
+		}
+		done()
+	})
+}
+
+// applyUpdate mutates the shared namespace. Failed mutations (duplicate
+// names, non-empty directories…) are treated as completed no-ops: the
+// client still gets a reply, as a real MDS returns an error reply.
+func (m *MDS) applyUpdate(req *msg.Request) {
+	tree := m.cluster.Tree()
+	switch req.Op {
+	case msg.Create:
+		if n, err := tree.Create(req.Target, req.NewName); err == nil {
+			m.cacheNew(n)
+			m.dirObjectInsert(req.Target, n)
+		}
+	case msg.Mkdir:
+		if n, err := tree.Mkdir(req.Target, req.NewName); err == nil {
+			m.cacheNew(n)
+			m.dirObjectInsert(req.Target, n)
+		}
+	case msg.Unlink:
+		if !req.Target.IsDir() {
+			id := req.Target.ID
+			parent, name := req.Target.Parent(), req.Target.Name()
+			if err := tree.Remove(req.Target); err == nil {
+				m.dirObjectDelete(parent, name)
+				if m.opens[id] > 0 {
+					// Deleted while open: retain the record until the
+					// last close (§4.5).
+					m.orphans[id] = req.Target
+					m.Stats.OrphansRetained++
+				} else {
+					_ = m.cache.Remove(id)
+				}
+			}
+		}
+	case msg.Chmod:
+		tree.Chmod(req.Target, req.Target.Mode^0o022)
+		m.dirObjectInsert(req.Target.Parent(), req.Target)
+		if req.Target.IsDir() && m.lh != nil {
+			m.lh.NoteDirUpdate(req.Target)
+		}
+	case msg.Write:
+		m.applyWrite(req)
+	case msg.Rename:
+		if req.DstDir != nil {
+			wasDir := req.Target.IsDir()
+			oldParent, oldName := req.Target.Parent(), req.Target.Name()
+			if err := tree.Rename(req.Target, req.DstDir, req.NewName); err == nil {
+				m.dirObjectDelete(oldParent, oldName)
+				m.dirObjectInsert(req.DstDir, req.Target)
+				if wasDir && m.lh != nil {
+					m.lh.NoteDirUpdate(req.Target)
+				}
+			}
+		}
+	}
+	// Dynamic directory hashing reacts to growth/shrink (§4.3).
+	if m.dyn != nil {
+		dir := req.Target
+		if !dir.IsDir() {
+			if p := dir.Parent(); p != nil {
+				dir = p
+			}
+		}
+		m.dyn.MaybeHashDir(dir)
+	}
+}
+
+// dirObjectInsert records an entry write in the long-term tier's
+// per-directory B-tree object (§4.6). Only directory-granular layouts
+// group entries into directory objects.
+func (m *MDS) dirObjectInsert(dir, entry *namespace.Inode) {
+	if m.store.Dirs == nil || dir == nil || !m.strat.DirGranular() {
+		return
+	}
+	m.store.Dirs.Insert(dir.ID, dirstore.Record{
+		Name: entry.Name(),
+		Ino:  entry.ID,
+		Kind: entry.Kind,
+		Mode: entry.Mode,
+		Size: entry.Size,
+	})
+}
+
+// dirObjectDelete records an entry removal in the directory object.
+func (m *MDS) dirObjectDelete(dir *namespace.Inode, name string) {
+	if m.store.Dirs == nil || dir == nil || !m.strat.DirGranular() {
+		return
+	}
+	m.store.Dirs.Delete(dir.ID, name)
+}
+
+// cacheNew caches a just-created inode on its authority (this node).
+func (m *MDS) cacheNew(n *namespace.Inode) {
+	if m.strat.NeedsPathTraversal() {
+		m.insertLoaded(n, cache.Auth)
+		return
+	}
+	m.cache.InsertDetached(n, cache.Auth, false)
+}
+
+// pushReplicas installs copies of a newly popular item across the
+// cluster (§4.4).
+func (m *MDS) pushReplicas(target *namespace.Inode) {
+	for i := 0; i < m.cluster.NumMDS(); i++ {
+		if i == m.id {
+			continue
+		}
+		peer := m.cluster.Node(i)
+		m.eng.After(m.cfg.FwdLatency, func() { peer.installReplica(target) })
+	}
+	m.Stats.ReplicasPushed += uint64(m.cluster.NumMDS() - 1)
+}
+
+func (m *MDS) installReplica(target *namespace.Inode) {
+	if m.failed {
+		return
+	}
+	m.Stats.ReplicaInstalls++
+	m.cpu.Submit(m.cfg.PeerService, func() {
+		if _, err := m.cache.InsertPath(target, cache.Replica, false); err != nil {
+			m.cache.InsertDetached(target, cache.Replica, false)
+		}
+		partition.TagsOf(target).SetReplica(m.id)
+	})
+}
+
+// reply completes the request: hints tell the client where the target
+// and its prefixes live (§4.4), steering future requests.
+func (m *MDS) reply(req *msg.Request) {
+	m.Stats.Served++
+	now := m.eng.Now()
+	if m.OnReply != nil {
+		m.OnReply(m.id, req, now)
+	}
+	rep := &msg.Reply{Req: req, ServedBy: m.id, Completed: now + m.cfg.NetLatency}
+	if !m.strat.ClientComputable() {
+		rep.Hints = m.hints(req.Target)
+	}
+	m.eng.After(m.cfg.NetLatency, func() { m.cluster.Deliver(rep) })
+}
+
+// hints describes the current distribution of the target and its prefix
+// directories. The root is never hinted: it is implicitly known to all
+// clients and highly replicated.
+func (m *MDS) hints(target *namespace.Inode) []msg.Hint {
+	var hs []msg.Hint
+	add := func(n *namespace.Inode) {
+		if n.Parent() == nil {
+			return
+		}
+		hs = append(hs, msg.Hint{
+			Ino:        n.ID,
+			Authority:  m.strat.Authority(n),
+			Replicated: m.tc.Replicated(n),
+		})
+	}
+	for _, a := range target.Ancestors() {
+		add(a)
+	}
+	add(target)
+	return hs
+}
+
+func (m *MDS) noteMiss() {
+	m.Stats.CacheMissLoads++
+	m.missRate.Add(m.eng.Now(), 1)
+}
+
+// ImportSubtree implements core.Node: install migrated cache state and
+// charge the CPU for the transfer, briefly freezing request processing
+// (the double-commit hand-off).
+func (m *MDS) ImportSubtree(root *namespace.Inode, entries []*cache.Entry) {
+	m.Stats.Imported += uint64(len(entries))
+	cost := sim.Time(len(entries)+1) * m.cfg.ImportPerRecord
+	m.cpu.Submit(cost, func() {
+		// Anchor the subtree: the new authority "must cache the
+		// containing directory (prefix) inodes for each of its
+		// subtrees" (§4.3).
+		if _, err := m.cache.InsertPath(root, cache.Auth, false); err != nil {
+			m.cache.InsertDetached(root, cache.Auth, false)
+		}
+		// Insert parents before children so path insertion succeeds.
+		byDepth := make(map[int][]*cache.Entry)
+		maxD := 0
+		for _, e := range entries {
+			d := e.Ino.Depth()
+			byDepth[d] = append(byDepth[d], e)
+			if d > maxD {
+				maxD = d
+			}
+		}
+		for d := 0; d <= maxD; d++ {
+			for _, e := range byDepth[d] {
+				if _, err := m.cache.InsertPath(e.Ino, e.Class, false); err != nil {
+					m.cache.InsertDetached(e.Ino, e.Class, false)
+				}
+			}
+		}
+	})
+}
+
+// EvictSubtree implements core.Node: the exporter discards state for a
+// migrated-away subtree.
+func (m *MDS) EvictSubtree(root *namespace.Inode) {
+	n := len(m.cache.EntriesUnder(root))
+	m.Stats.Exported += uint64(n)
+	cost := sim.Time(n+1) * m.cfg.ImportPerRecord
+	m.cpu.Submit(cost, func() {
+		m.cache.RemoveSubtree(root)
+	})
+}
+
+// Fail marks the node down: it drops arrivals and abandons in-flight
+// work. Part of the failover extension.
+func (m *MDS) Fail() { m.failed = true }
+
+// Failed reports whether the node is down.
+func (m *MDS) Failed() bool { return m.failed }
+
+// Recover brings the node back and pre-warms its cache from the bounded
+// log's working set (§4.6): "the log represents an approximation of that
+// node's working set, allowing the memory cache to be quickly preloaded".
+func (m *MDS) Recover() int {
+	m.failed = false
+	warmed := 0
+	tree := m.cluster.Tree()
+	for _, id := range m.store.WorkingSet() {
+		ino, ok := tree.ByID(id)
+		if !ok {
+			continue
+		}
+		if _, err := m.cache.InsertPath(ino, cache.Auth, true); err != nil {
+			m.cache.InsertDetached(ino, cache.Auth, true)
+		}
+		warmed++
+	}
+	return warmed
+}

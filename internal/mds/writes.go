@@ -1,0 +1,129 @@
+package mds
+
+import (
+	"dynmds/internal/msg"
+	"dynmds/internal/namespace"
+	"dynmds/internal/partition"
+	"dynmds/internal/sim"
+)
+
+// Distributed monotonic updates (§4.2): "fields like modification time
+// and file size are monotonically increasing for most operations, such
+// that replicas serving concurrent writers can periodically send their
+// most recent value to the authority, which retains the maximum value
+// seen thus far and initiates a callback for the latest information on
+// client reads" — the GPFS shared-write technique.
+//
+// A Write op arriving at a node holding a replica of the target is
+// absorbed locally: the node tracks its local maximum size and marks
+// itself in the inode's unflushed-writers mask. A periodic flusher
+// pushes local maxima to authorities. A Stat served at the authority
+// while unflushed writers exist first calls back to them for their
+// maxima.
+
+// absorbWrite handles a Write op at a replica-holding non-authority.
+func (m *MDS) absorbWrite(req *msg.Request) {
+	target := req.Target
+	if cur, ok := m.sizePending[target.ID]; !ok || req.Size > cur {
+		m.sizePending[target.ID] = req.Size
+	}
+	tags := partition.TagsOf(target)
+	if m.id < 64 {
+		tags.UnflushedWriters |= 1 << uint(m.id)
+	}
+	m.Stats.WritesAbsorbed++
+	m.bumpPopularity(target)
+	m.reply(req)
+}
+
+// applyWrite applies a Write at the authority: retain the maximum.
+func (m *MDS) applyWrite(req *msg.Request) {
+	if req.Size > req.Target.Size {
+		req.Target.Size = req.Size
+	}
+}
+
+// flushWrites periodically sends local size maxima to authorities.
+func (m *MDS) flushWrites(now sim.Time) {
+	if m.failed || len(m.sizePending) == 0 {
+		return
+	}
+	tree := m.cluster.Tree()
+	for id, size := range m.sizePending {
+		ino, ok := tree.ByID(id)
+		if !ok {
+			continue // unlinked since
+		}
+		auth := m.strat.Authority(ino)
+		m.Stats.WriteFlushes++
+		if auth == m.id {
+			if size > ino.Size {
+				ino.Size = size
+			}
+			m.clearUnflushed(ino)
+			continue
+		}
+		peer := m.cluster.Node(auth)
+		size, ino := size, ino // capture per-iteration copies
+		m.eng.After(m.cfg.FwdLatency, func() {
+			if peer.failed {
+				return
+			}
+			peer.cpu.Submit(peer.cfg.PeerService, func() {
+				if size > ino.Size {
+					ino.Size = size
+				}
+			})
+		})
+		m.clearUnflushed(ino)
+	}
+	m.sizePending = make(map[namespace.InodeID]int64)
+}
+
+func (m *MDS) clearUnflushed(ino *namespace.Inode) {
+	if m.id < 64 {
+		partition.TagsOf(ino).UnflushedWriters &^= 1 << uint(m.id)
+	}
+}
+
+// statCallback collects outstanding write maxima from unflushed
+// writers before a Stat reply, so reads observe the latest size. done
+// runs when every callback answered.
+func (m *MDS) statCallback(req *msg.Request, done func()) {
+	target := req.Target
+	mask := partition.TagsOf(target).UnflushedWriters
+	if m.id < 64 {
+		mask &^= 1 << uint(m.id)
+	}
+	if mask == 0 {
+		done()
+		return
+	}
+	m.Stats.SizeCallbacks++
+	outstanding := 0
+	for i := 0; i < m.cluster.NumMDS() && i < 64; i++ {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		outstanding++
+		peer := m.cluster.Node(i)
+		m.eng.After(m.cfg.FwdLatency, func() {
+			peer.cpu.Submit(peer.cfg.PeerService, func() {
+				// Peer reports its local max and clears it.
+				if size, ok := peer.sizePending[target.ID]; ok {
+					if size > target.Size {
+						target.Size = size
+					}
+					delete(peer.sizePending, target.ID)
+				}
+				peer.clearUnflushed(target)
+				m.eng.After(m.cfg.FwdLatency, func() {
+					outstanding--
+					if outstanding == 0 && !m.failed {
+						done()
+					}
+				})
+			})
+		})
+	}
+}

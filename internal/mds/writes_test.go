@@ -1,0 +1,202 @@
+package mds
+
+import (
+	"testing"
+
+	"dynmds/internal/core"
+	"dynmds/internal/msg"
+	"dynmds/internal/namespace"
+	"dynmds/internal/partition"
+	"dynmds/internal/sim"
+)
+
+// replicateFile makes f hot enough that traffic control replicates it
+// cluster-wide, then drains the engine.
+func replicateFile(t *testing.T, eng *sim.Engine, cl *testCluster, auth int, f *namespace.Inode) {
+	t.Helper()
+	for i := 0; i < 10; i++ {
+		cl.nodes[auth].Receive(&msg.Request{ID: uint64(i), Op: msg.Open, Target: f})
+	}
+	eng.Run()
+	if !partition.TagsOf(f).ReplicatedAll {
+		t.Fatal("file did not replicate")
+	}
+}
+
+func TestWriteAbsorbedAtReplica(t *testing.T) {
+	eng := sim.NewEngine()
+	cl, tree, strat := buildCluster(t, eng, 3, func(tr *namespace.Tree) partition.Strategy {
+		return partition.NewStaticSubtree(3, tr, 2)
+	}, true)
+	f := lookup(t, tree, "/home/u1/f0")
+	auth := strat.Authority(f)
+	replicateFile(t, eng, cl, auth, f)
+
+	other := (auth + 1) % 3
+	fwdBefore := cl.nodes[other].Stats.Forwarded
+	cl.nodes[other].Receive(&msg.Request{ID: 100, Op: msg.Write, Target: f, Size: 4096})
+	eng.Run()
+	if cl.nodes[other].Stats.WritesAbsorbed != 1 {
+		t.Fatalf("writes absorbed = %d", cl.nodes[other].Stats.WritesAbsorbed)
+	}
+	if cl.nodes[other].Stats.Forwarded != fwdBefore {
+		t.Fatal("replica write was forwarded")
+	}
+	// Not yet visible at the authority...
+	if f.Size == 4096 {
+		t.Fatal("size applied before flush")
+	}
+	if !partition.TagsOf(f).HasReplica(other) {
+		t.Fatal("replica bit missing")
+	}
+	if partition.TagsOf(f).UnflushedWriters == 0 {
+		t.Fatal("unflushed-writer mask not set")
+	}
+	// ...until the replica flushes.
+	cl.nodes[other].flushWrites(eng.Now())
+	eng.Run()
+	if f.Size != 4096 {
+		t.Fatalf("size after flush = %d", f.Size)
+	}
+	if partition.TagsOf(f).UnflushedWriters != 0 {
+		t.Fatal("mask not cleared after flush")
+	}
+	if cl.nodes[other].Stats.WriteFlushes != 1 {
+		t.Fatalf("flushes = %d", cl.nodes[other].Stats.WriteFlushes)
+	}
+}
+
+func TestWriteMonotoneMaxWins(t *testing.T) {
+	eng := sim.NewEngine()
+	cl, tree, strat := buildCluster(t, eng, 3, func(tr *namespace.Tree) partition.Strategy {
+		return partition.NewStaticSubtree(3, tr, 2)
+	}, true)
+	f := lookup(t, tree, "/home/u2/f0")
+	auth := strat.Authority(f)
+	replicateFile(t, eng, cl, auth, f)
+
+	a, b := (auth+1)%3, (auth+2)%3
+	cl.nodes[a].Receive(&msg.Request{ID: 1, Op: msg.Write, Target: f, Size: 1000})
+	cl.nodes[b].Receive(&msg.Request{ID: 2, Op: msg.Write, Target: f, Size: 9000})
+	cl.nodes[a].Receive(&msg.Request{ID: 3, Op: msg.Write, Target: f, Size: 500})
+	eng.Run()
+	cl.nodes[a].flushWrites(eng.Now())
+	cl.nodes[b].flushWrites(eng.Now())
+	eng.Run()
+	if f.Size != 9000 {
+		t.Fatalf("size = %d, want max 9000", f.Size)
+	}
+}
+
+func TestStatCallbackCollectsUnflushed(t *testing.T) {
+	eng := sim.NewEngine()
+	cl, tree, strat := buildCluster(t, eng, 3, func(tr *namespace.Tree) partition.Strategy {
+		return partition.NewStaticSubtree(3, tr, 2)
+	}, true)
+	f := lookup(t, tree, "/home/u3/f0")
+	auth := strat.Authority(f)
+	replicateFile(t, eng, cl, auth, f)
+
+	other := (auth + 1) % 3
+	cl.nodes[other].Receive(&msg.Request{ID: 1, Op: msg.Write, Target: f, Size: 7777})
+	eng.Run()
+	// A stat at the authority must observe the unflushed write.
+	cl.nodes[auth].Receive(&msg.Request{ID: 2, Op: msg.Stat, Target: f})
+	eng.Run()
+	if cl.nodes[auth].Stats.SizeCallbacks != 1 {
+		t.Fatalf("size callbacks = %d", cl.nodes[auth].Stats.SizeCallbacks)
+	}
+	if f.Size != 7777 {
+		t.Fatalf("stat observed size %d, want 7777", f.Size)
+	}
+	if partition.TagsOf(f).UnflushedWriters != 0 {
+		t.Fatal("mask not cleared by callback")
+	}
+	// A second stat needs no callback.
+	cl.nodes[auth].Receive(&msg.Request{ID: 3, Op: msg.Stat, Target: f})
+	eng.Run()
+	if cl.nodes[auth].Stats.SizeCallbacks != 1 {
+		t.Fatal("redundant callback issued")
+	}
+}
+
+func TestWriteAtAuthorityAppliesDirectly(t *testing.T) {
+	eng := sim.NewEngine()
+	cl, tree, _ := buildCluster(t, eng, 1, func(tr *namespace.Tree) partition.Strategy {
+		return partition.NewStaticSubtree(1, tr, 2)
+	}, false)
+	f := lookup(t, tree, "/home/u0/f0")
+	cl.nodes[0].Receive(&msg.Request{ID: 1, Op: msg.Write, Target: f, Size: 123})
+	eng.Run()
+	if f.Size != 123 {
+		t.Fatalf("size = %d", f.Size)
+	}
+	// Shrinking writes are ignored (monotone).
+	cl.nodes[0].Receive(&msg.Request{ID: 2, Op: msg.Write, Target: f, Size: 5})
+	eng.Run()
+	if f.Size != 123 {
+		t.Fatalf("monotonicity violated: %d", f.Size)
+	}
+	if cl.nodes[0].Stats.Commits == 0 {
+		t.Fatal("write not committed")
+	}
+}
+
+func TestWriteForwardedWithoutReplica(t *testing.T) {
+	eng := sim.NewEngine()
+	cl, tree, strat := buildCluster(t, eng, 2, func(tr *namespace.Tree) partition.Strategy {
+		return partition.NewStaticSubtree(2, tr, 2)
+	}, false)
+	f := lookup(t, tree, "/home/u0/f0")
+	auth := strat.Authority(f)
+	other := (auth + 1) % 2
+	cl.nodes[other].Receive(&msg.Request{ID: 1, Op: msg.Write, Target: f, Size: 55})
+	eng.Run()
+	if cl.nodes[other].Stats.Forwarded != 1 {
+		t.Fatal("write without replica not forwarded")
+	}
+	if f.Size != 55 {
+		t.Fatalf("size = %d", f.Size)
+	}
+}
+
+func TestPreemptiveReplication(t *testing.T) {
+	eng := sim.NewEngine()
+	tree := namespace.NewTree()
+	home, _ := tree.Mkdir(tree.Root, "home")
+	u, _ := tree.Mkdir(home, "u0")
+	f, _ := tree.Create(u, "hot")
+
+	strat := partition.NewStaticSubtree(3, tree, 2)
+	tc := &core.TrafficControl{
+		Enabled:              true,
+		ReplicateThreshold:   1e9, // authority never pushes
+		UnreplicateThreshold: 1,
+		PreemptiveThreshold:  5,
+	}
+	cl := &testCluster{tree: tree}
+	for i := 0; i < 3; i++ {
+		cl.nodes = append(cl.nodes, New(i, eng, testMDSConfig(), strat, tc, cl))
+	}
+	auth := strat.Authority(f)
+	other := (auth + 1) % 3
+
+	// Flood the wrong node: it forwards, then preemptively replicates.
+	for i := 0; i < 10; i++ {
+		cl.nodes[other].Receive(&msg.Request{ID: uint64(i), Op: msg.Open, Target: f})
+	}
+	eng.Run()
+	if tc.Preemptive == 0 {
+		t.Fatal("no preemptive replication under forward flood")
+	}
+	if !cl.nodes[other].Cache().Contains(f.ID) {
+		t.Fatal("flooded node did not cache the item")
+	}
+	// Subsequent reads at the flooded node are served locally.
+	before := cl.nodes[other].Stats.Forwarded
+	cl.nodes[other].Receive(&msg.Request{ID: 100, Op: msg.Stat, Target: f})
+	eng.Run()
+	if cl.nodes[other].Stats.Forwarded != before {
+		t.Fatal("read still forwarded after preemptive replication")
+	}
+}

@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"dynmds/internal/sim"
+)
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Fatal("empty input produced output")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if len([]rune(s)) != 8 {
+		t.Fatalf("sparkline length = %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Fatalf("scaling wrong: %q", s)
+	}
+	// Constant series: all minimum glyphs, no panic on zero span.
+	flat := Sparkline([]float64{5, 5, 5})
+	for _, r := range flat {
+		if r != '▁' {
+			t.Fatalf("flat series rendered %q", flat)
+		}
+	}
+}
+
+func TestSeriesSparkline(t *testing.T) {
+	s := NewSeries(sim.Second)
+	for i := 0; i < 10; i++ {
+		s.Observe(sim.Time(i)*sim.Second, float64(i))
+	}
+	out := SeriesSparkline(s, 0, 10)
+	if len([]rune(out)) != 10 {
+		t.Fatalf("length = %d", len([]rune(out)))
+	}
+	if SeriesSparkline(s, 8, 3) != "" {
+		t.Fatal("inverted range produced output")
+	}
+	if got := SeriesSparkline(s, -5, 100); len([]rune(got)) != 10 {
+		t.Fatal("range clamping broken")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(1, 4) // bounds 1,2,4,8 + overflow
+	for _, v := range []float64{0.5, 1.5, 3, 7, 100} {
+		h.Observe(v)
+	}
+	if h.Total() != 5 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := h.Quantile(0.5); q != 4 {
+		t.Fatalf("q50 = %v", q)
+	}
+	if q := h.Quantile(0.99); q != 16 { // overflow bucket
+		t.Fatalf("q99 = %v", q)
+	}
+	out := h.String()
+	if !strings.Contains(out, "overflow") || !strings.Contains(out, "#") {
+		t.Fatalf("histogram render:\n%s", out)
+	}
+	var empty Histogram
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile nonzero")
+	}
+}
+
+func TestHistogramPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewHistogram(0, 3)
+}

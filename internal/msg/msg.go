@@ -1,0 +1,104 @@
+// Package msg defines the operation vocabulary and the message types
+// exchanged between clients and the MDS cluster. The metadata workload
+// is the restricted op set the paper identifies (§2.2): inode operations
+// (open, close, stat, setattr/chmod) and namespace operations (create,
+// unlink, mkdir, rename, readdir).
+package msg
+
+import (
+	"dynmds/internal/namespace"
+	"dynmds/internal/sim"
+)
+
+// Op is a metadata operation type.
+type Op uint8
+
+// Metadata operations.
+const (
+	Open Op = iota
+	Close
+	Stat
+	Readdir
+	Create
+	Unlink
+	Mkdir
+	Chmod
+	Rename
+	// Write is a size/mtime metadata update from a data-path write.
+	// Uniquely among updates it may be absorbed by a replica: size and
+	// mtime are monotonically increasing, so replicas serving
+	// concurrent writers batch their local maxima and periodically
+	// flush them to the authority (§4.2, the GPFS technique).
+	Write
+	numOps
+)
+
+// NumOps is the number of distinct operation types.
+const NumOps = int(numOps)
+
+var opNames = [...]string{"open", "close", "stat", "readdir", "create",
+	"unlink", "mkdir", "chmod", "rename", "write"}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return "unknown"
+}
+
+// IsUpdate reports whether the operation mutates metadata and therefore
+// must be serialized at the authority and committed to the log.
+func (o Op) IsUpdate() bool {
+	switch o {
+	case Create, Unlink, Mkdir, Chmod, Rename, Write:
+		return true
+	}
+	return false
+}
+
+// Request is one client metadata operation in flight.
+type Request struct {
+	ID     uint64
+	Client int
+	Op     Op
+
+	// Target is the inode the operation applies to. For Create and
+	// Mkdir it is the containing directory; NewName is the entry to
+	// create. For Rename, Target moves to DstDir/NewName.
+	Target  *namespace.Inode
+	DstDir  *namespace.Inode
+	NewName string
+	// Size is the new file size for Write operations.
+	Size int64
+
+	// Issued is when the client sent the request.
+	Issued sim.Time
+	// Hops counts intra-cluster forwards experienced so far.
+	Hops int
+	// FirstMDS is the node the client originally contacted.
+	FirstMDS int
+	// Acked is set by the client when it accepts a reply, so duplicate
+	// replies to a retried request are recognised and dropped.
+	Acked bool
+}
+
+// Hint tells a client where to direct future requests for one inode: at
+// the authoritative node, or anywhere if the item is widely replicated
+// (the traffic-control lever of §4.4).
+type Hint struct {
+	Ino        namespace.InodeID
+	Authority  int
+	Replicated bool
+}
+
+// Reply completes a request.
+type Reply struct {
+	Req       *Request
+	ServedBy  int
+	Completed sim.Time
+	// Hints covers the target and its prefix directories.
+	Hints []Hint
+}
+
+// Latency returns the request's total response time.
+func (r *Reply) Latency() sim.Time { return r.Completed - r.Req.Issued }

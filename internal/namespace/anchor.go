@@ -1,0 +1,138 @@
+package namespace
+
+// AnchorTable is the paper's global table for locating multiply-linked
+// inodes (§4.5). With inodes embedded in directories there is no global
+// inode table, so an inode reached through a secondary hard link cannot
+// be found by ID — unless it is "anchored": the table maps the inode's ID
+// to its containing directory's ID, and contains the same mapping for
+// each ancestor directory, with a reference count of anchored items
+// nested beneath. An anchored inode is located by recursively resolving
+// containing directories; the counts keep the table populated only with
+// the directories that are actually needed (unlike C-FFS, which must
+// include all directories).
+type AnchorTable struct {
+	parentOf map[InodeID]InodeID // anchored inode -> containing dir
+	refs     map[InodeID]int     // anchored descendants per directory
+}
+
+// NewAnchorTable returns an empty table.
+func NewAnchorTable() *AnchorTable {
+	return &AnchorTable{
+		parentOf: make(map[InodeID]InodeID),
+		refs:     make(map[InodeID]int),
+	}
+}
+
+// Len returns the number of anchored inodes (excluding ancestor-only
+// entries).
+func (a *AnchorTable) Len() int { return len(a.parentOf) }
+
+// Anchored reports whether the inode is present in the table.
+func (a *AnchorTable) Anchored(id InodeID) bool {
+	_, ok := a.parentOf[id]
+	return ok
+}
+
+// Resolve walks the table upward from id, returning the chain of
+// directory IDs from the inode's parent to the highest anchored
+// ancestor, and whether id was anchored at all.
+func (a *AnchorTable) Resolve(id InodeID) ([]InodeID, bool) {
+	p, ok := a.parentOf[id]
+	if !ok {
+		return nil, false
+	}
+	chain := []InodeID{p}
+	for {
+		next, ok := a.parentOf[p]
+		if !ok {
+			break
+		}
+		chain = append(chain, next)
+		p = next
+	}
+	return chain, true
+}
+
+// Add anchors n (an inode whose NLink just rose above 1). Ancestor
+// directories gain references; already-anchored prefixes are shared.
+func (a *AnchorTable) Add(t *Tree, n *Inode) {
+	if a.Anchored(n.ID) {
+		return
+	}
+	if n.parent == nil {
+		return
+	}
+	a.parentOf[n.ID] = n.parent.ID
+	a.addRefChain(n.parent)
+}
+
+func (a *AnchorTable) addRefChain(dir *Inode) {
+	for d := dir; d != nil; d = d.parent {
+		a.refs[d.ID]++
+		if a.refs[d.ID] > 1 {
+			return // chain above is already referenced
+		}
+		if d.parent != nil {
+			if _, ok := a.parentOf[d.ID]; !ok {
+				a.parentOf[d.ID] = d.parent.ID
+			} else {
+				return
+			}
+		}
+	}
+}
+
+func (a *AnchorTable) releaseRefChain(dirID InodeID) {
+	id := dirID
+	for {
+		a.refs[id]--
+		if a.refs[id] > 0 {
+			return
+		}
+		delete(a.refs, id)
+		next, ok := a.parentOf[id]
+		delete(a.parentOf, id)
+		if !ok {
+			return
+		}
+		id = next
+	}
+}
+
+// Unlink updates the table when one link to an anchored inode is removed
+// but others remain: the inode stays anchored (its location is
+// unchanged; secondary-name bookkeeping is aggregate).
+func (a *AnchorTable) Unlink(t *Tree, n *Inode) {
+	if n.NLink <= 1 {
+		// Last extra link gone: the inode no longer needs anchoring.
+		a.Drop(t, n)
+	}
+}
+
+// Drop removes n from the table entirely, releasing ancestor references.
+func (a *AnchorTable) Drop(t *Tree, n *Inode) {
+	p, ok := a.parentOf[n.ID]
+	if !ok {
+		return
+	}
+	delete(a.parentOf, n.ID)
+	a.releaseRefChain(p)
+}
+
+// Moved updates the table after n was renamed/moved: the table "is easily
+// modified when directories are moved around the hierarchy" — only the
+// moved subtree root's entry changes.
+func (a *AnchorTable) Moved(t *Tree, n *Inode) {
+	if _, ok := a.parentOf[n.ID]; !ok {
+		return
+	}
+	old := a.parentOf[n.ID]
+	if n.parent == nil {
+		delete(a.parentOf, n.ID)
+		a.releaseRefChain(old)
+		return
+	}
+	a.parentOf[n.ID] = n.parent.ID
+	a.addRefChain(n.parent)
+	a.releaseRefChain(old)
+}

@@ -1,0 +1,263 @@
+package namespace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tree is a complete file-system namespace. It is the single ground
+// truth for a simulation: MDS caches hold references to its inodes, and
+// all metadata mutations flow through its methods so invariants
+// (subtree counters, link counts, the anchor table) stay consistent.
+type Tree struct {
+	Root   *Inode
+	byID   map[InodeID]*Inode
+	nextID InodeID
+
+	// Anchors locates multiply-linked inodes (§4.5). Populated lazily,
+	// only for inodes with NLink > 1 and their ancestor directories.
+	Anchors *AnchorTable
+
+	// Counts maintained across mutations.
+	NumFiles int
+	NumDirs  int
+}
+
+// NewTree creates a tree containing only the root directory.
+func NewTree() *Tree {
+	t := &Tree{byID: make(map[InodeID]*Inode)}
+	t.Anchors = NewAnchorTable()
+	root := &Inode{ID: t.allocID(), Kind: Dir, Mode: 0o755, NLink: 1, SubtreeInodes: 1}
+	t.Root = root
+	t.byID[root.ID] = root
+	t.NumDirs = 1
+	return t
+}
+
+func (t *Tree) allocID() InodeID {
+	t.nextID++
+	return t.nextID
+}
+
+// ByID returns the inode with the given ID, if it exists.
+func (t *Tree) ByID(id InodeID) (*Inode, bool) {
+	n, ok := t.byID[id]
+	return n, ok
+}
+
+// Len returns the total number of live inodes.
+func (t *Tree) Len() int { return len(t.byID) }
+
+// Mkdir creates a directory named name under parent.
+func (t *Tree) Mkdir(parent *Inode, name string) (*Inode, error) {
+	return t.add(parent, name, Dir)
+}
+
+// Create creates a file named name under parent.
+func (t *Tree) Create(parent *Inode, name string) (*Inode, error) {
+	return t.add(parent, name, File)
+}
+
+func (t *Tree) add(parent *Inode, name string, kind Kind) (*Inode, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	n := &Inode{ID: t.allocID(), Kind: kind, Mode: 0o644, NLink: 1, name: name}
+	if kind == Dir {
+		n.Mode = 0o755
+	}
+	if err := parent.attach(n); err != nil {
+		return nil, err
+	}
+	n.SubtreeInodes = 1
+	parent.adjustSubtreeCount(1)
+	t.byID[n.ID] = n
+	if kind == Dir {
+		t.NumDirs++
+	} else {
+		t.NumFiles++
+	}
+	return n, nil
+}
+
+func validName(name string) error {
+	if name == "" || strings.ContainsRune(name, '/') {
+		return fmt.Errorf("namespace: invalid name %q", name)
+	}
+	return nil
+}
+
+// Remove unlinks the inode from its primary parent. A directory must be
+// empty. If the inode has additional hard links it survives under one of
+// them; otherwise it is destroyed.
+func (t *Tree) Remove(n *Inode) error {
+	if n == t.Root {
+		return fmt.Errorf("namespace: cannot remove root")
+	}
+	if n.Kind == Dir && len(n.children) > 0 {
+		return fmt.Errorf("namespace: directory %s not empty", n.Path())
+	}
+	parent := n.parent
+	if parent == nil {
+		return fmt.Errorf("namespace: %s has no parent", n)
+	}
+	if err := parent.detach(n); err != nil {
+		return err
+	}
+	parent.adjustSubtreeCount(-n.SubtreeInodes)
+	n.NLink--
+	if n.NLink > 0 {
+		// Survives under another link; re-anchor there.
+		t.Anchors.Unlink(t, n)
+		return nil
+	}
+	t.Anchors.Drop(t, n)
+	delete(t.byID, n.ID)
+	if n.Kind == Dir {
+		t.NumDirs--
+	} else {
+		t.NumFiles--
+	}
+	return nil
+}
+
+// Rename moves n into dstDir under newName. Renaming a directory into its
+// own subtree is rejected. This is the fixed-cost whole-subtree move the
+// hierarchical design makes cheap (§4.1) and the operation that is
+// expensive for path-hashed distributions.
+func (t *Tree) Rename(n *Inode, dstDir *Inode, newName string) error {
+	if err := validName(newName); err != nil {
+		return err
+	}
+	if n == t.Root {
+		return fmt.Errorf("namespace: cannot rename root")
+	}
+	if dstDir.Kind != Dir {
+		return fmt.Errorf("namespace: rename target %s is not a directory", dstDir.Path())
+	}
+	if n.parent == nil {
+		return fmt.Errorf("namespace: cannot rename unlinked inode %d", n.ID)
+	}
+	if n == dstDir || (n.Kind == Dir && n.IsAncestorOf(dstDir)) {
+		return fmt.Errorf("namespace: cannot move %s into its own subtree", n.Path())
+	}
+	if dstDir.parent == nil && dstDir != t.Root {
+		return fmt.Errorf("namespace: rename destination %d is unlinked", dstDir.ID)
+	}
+	if _, exists := dstDir.LookupChild(newName); exists {
+		return fmt.Errorf("namespace: %s already contains %q", dstDir.Path(), newName)
+	}
+	src := n.parent
+	if err := src.detach(n); err != nil {
+		return err
+	}
+	src.adjustSubtreeCount(-n.SubtreeInodes)
+	n.name = newName
+	if err := dstDir.attach(n); err != nil {
+		// Re-attach where it was; attach cannot fail here because the
+		// name was just freed.
+		_ = src.attach(n)
+		src.adjustSubtreeCount(n.SubtreeInodes)
+		return err
+	}
+	dstDir.adjustSubtreeCount(n.SubtreeInodes)
+	t.Anchors.Moved(t, n)
+	return nil
+}
+
+// Chmod updates an inode's permission word.
+func (t *Tree) Chmod(n *Inode, mode Mode) { n.Mode = mode }
+
+// Link creates an additional hard link to n in dir under name. Linking
+// directories is rejected (as in POSIX). Both the inode and its ancestor
+// chain are registered in the anchor table because an embedded inode is
+// otherwise unlocatable from its secondary names (§4.5).
+func (t *Tree) Link(n *Inode, dir *Inode, name string) error {
+	if n.Kind == Dir {
+		return fmt.Errorf("namespace: cannot hard-link directory %s", n.Path())
+	}
+	if err := validName(name); err != nil {
+		return err
+	}
+	if _, exists := dir.LookupChild(name); exists {
+		return fmt.Errorf("namespace: %s already contains %q", dir.Path(), name)
+	}
+	// The inode stays embedded with (and attached to) its primary entry;
+	// anchoring it makes it locatable from the secondary name by ID.
+	// The secondary directory itself needs no anchor: resolution starts
+	// from its dentry's inode number and goes through the table.
+	n.NLink++
+	t.Anchors.Add(t, n)
+	return nil
+}
+
+// Lookup resolves an absolute slash-separated path.
+func (t *Tree) Lookup(path string) (*Inode, error) {
+	if path == "" || path[0] != '/' {
+		return nil, fmt.Errorf("namespace: path %q is not absolute", path)
+	}
+	n := t.Root
+	for _, part := range strings.Split(path, "/") {
+		if part == "" {
+			continue
+		}
+		c, ok := n.LookupChild(part)
+		if !ok {
+			return nil, fmt.Errorf("namespace: %q not found under %s", part, n.Path())
+		}
+		n = c
+	}
+	return n, nil
+}
+
+// Walk visits every inode in depth-first order, parents before children.
+// Returning false from fn prunes descent into that subtree.
+func (t *Tree) Walk(fn func(*Inode) bool) {
+	var rec func(n *Inode)
+	rec = func(n *Inode) {
+		if !fn(n) {
+			return
+		}
+		for _, c := range n.children {
+			rec(c)
+		}
+	}
+	rec(t.Root)
+}
+
+// CheckInvariants validates subtree counters, parent/child symmetry, and
+// link counts. Intended for tests; returns the first violation found.
+func (t *Tree) CheckInvariants() error {
+	var err error
+	t.Walk(func(n *Inode) bool {
+		if err != nil {
+			return false
+		}
+		want := 1
+		for _, c := range n.children {
+			if c.parent != n {
+				err = fmt.Errorf("child %s has wrong parent", c)
+				return false
+			}
+			if idx, ok := n.childIndex[c.name]; !ok || n.children[idx] != c {
+				err = fmt.Errorf("child index broken for %s", c)
+				return false
+			}
+			want += c.SubtreeInodes
+		}
+		if n.Kind == Dir && n.SubtreeInodes != want {
+			err = fmt.Errorf("subtree count for %s = %d, want %d", n, n.SubtreeInodes, want)
+			return false
+		}
+		if n.Kind == File && n.SubtreeInodes != 1 {
+			err = fmt.Errorf("file subtree count for %s = %d", n, n.SubtreeInodes)
+			return false
+		}
+		if _, ok := t.byID[n.ID]; !ok {
+			err = fmt.Errorf("inode %s missing from byID", n)
+			return false
+		}
+		return true
+	})
+	return err
+}

@@ -1,0 +1,123 @@
+// Package partition defines the metadata-partitioning strategy interface
+// and implements the comparison strategies the paper evaluates against
+// dynamic subtree partitioning (§3.1, §5): static subtree partitioning,
+// file hashing, directory hashing, and Lazy Hybrid. The dynamic strategy
+// itself — the paper's contribution — lives in internal/core and builds
+// on this package's subtree table.
+package partition
+
+import (
+	"dynmds/internal/metrics"
+	"dynmds/internal/namespace"
+	"dynmds/internal/sim"
+)
+
+// Strategy decides which MDS is authoritative for each metadata item and
+// describes the structural properties that shape MDS behaviour.
+type Strategy interface {
+	// Name identifies the strategy in output tables.
+	Name() string
+	// Authority returns the index of the MDS responsible for serializing
+	// updates to the inode.
+	Authority(ino *namespace.Inode) int
+	// AuthorityForName returns the MDS responsible for a
+	// yet-to-be-created entry name inside dir (create/mkdir placement).
+	AuthorityForName(dir *namespace.Inode, name string) int
+	// DirGranular reports whether metadata is stored directory-granular
+	// with embedded inodes (one I/O fetches a directory and its
+	// children, enabling prefetch). File hashing and Lazy Hybrid
+	// scatter individual inodes and return false.
+	DirGranular() bool
+	// NeedsPathTraversal reports whether serving a request requires the
+	// ancestor (prefix) inode chain to be present in the serving MDS's
+	// cache. Lazy Hybrid's dual-entry ACLs make traversal unnecessary.
+	NeedsPathTraversal() bool
+	// ClientComputable reports whether clients can compute the
+	// authority directly (hash strategies) rather than discovering the
+	// partition through replies (subtree strategies).
+	ClientComputable() bool
+}
+
+// Tags is the per-inode scratch state higher layers hang off
+// namespace.Inode.Aux: authority memoization, the decayed popularity
+// counter used for traffic control, replication state, and Lazy Hybrid
+// staleness epochs. One simulation owns a tree exclusively, so no
+// locking is needed.
+type Tags struct {
+	// Authority memoization, valid while AuthEpoch matches the
+	// partition table's epoch.
+	AuthEpoch uint64
+	Auth      int
+
+	// Pop is the decayed access counter (§4.4); nil until first touch.
+	Pop *metrics.DecayCounter
+	// FwdPop counts forwards of requests for this item (summed across
+	// non-authoritative nodes); drives preemptive replication (§5.4).
+	FwdPop *metrics.DecayCounter
+	// ReplicatedAll marks metadata replicated across the cluster by
+	// traffic control.
+	ReplicatedAll bool
+
+	// Lazy Hybrid epochs: for directories, the global update epoch at
+	// which the directory's permissions/path last changed; for files,
+	// the epoch whose effects have been folded into the file's
+	// dual-entry ACL.
+	LHDirEpoch uint64
+	LHApplied  uint64
+
+	// HashedDir marks a directory whose entries are dynamically hashed
+	// across the cluster (§4.3).
+	HashedDir bool
+
+	// ReplicaSet is a bitmask of MDS nodes holding replicas of this
+	// record (replicated prefixes or traffic-control copies). The
+	// authority uses it to send coherence callbacks on updates (§4.2).
+	// Clusters larger than 64 nodes track only the first 64 — the
+	// paper's systems are "tens of MDSs".
+	ReplicaSet uint64
+
+	// UnflushedWriters is a bitmask of nodes whose replicas have
+	// absorbed monotonic size/mtime updates not yet flushed to the
+	// authority (§4.2). A stat at the authority triggers a callback to
+	// these nodes for the latest values.
+	UnflushedWriters uint64
+}
+
+// SetReplica marks node id as holding a replica.
+func (t *Tags) SetReplica(id int) {
+	if id < 64 {
+		t.ReplicaSet |= 1 << uint(id)
+	}
+}
+
+// ClearReplica removes node id from the replica set.
+func (t *Tags) ClearReplica(id int) {
+	if id < 64 {
+		t.ReplicaSet &^= 1 << uint(id)
+	}
+}
+
+// HasReplica reports whether node id holds a replica.
+func (t *Tags) HasReplica(id int) bool {
+	return id < 64 && t.ReplicaSet&(1<<uint(id)) != 0
+}
+
+// TagsOf returns the inode's tag block, allocating it on first use.
+func TagsOf(n *namespace.Inode) *Tags {
+	if t, ok := n.Aux.(*Tags); ok {
+		return t
+	}
+	t := &Tags{}
+	n.Aux = t
+	return t
+}
+
+// Popularity returns the inode's decayed access counter, creating it
+// with the given half-life on first use.
+func Popularity(n *namespace.Inode, halfLife sim.Time) *metrics.DecayCounter {
+	t := TagsOf(n)
+	if t.Pop == nil {
+		t.Pop = metrics.NewDecayCounter(halfLife)
+	}
+	return t.Pop
+}

@@ -1,0 +1,46 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineScheduleDispatch measures raw event throughput: the
+// simulator's capacity bound for large experiments.
+func BenchmarkEngineScheduleDispatch(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%1000), func() {})
+		if i%1024 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkServerPipeline measures a saturated FIFO service centre.
+func BenchmarkServerPipeline(b *testing.B) {
+	e := NewEngine()
+	s := NewServer(e, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Submit(10, nil)
+		if i%1024 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+func BenchmarkRNGExp(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Exp(Millisecond)
+	}
+}
+
+func BenchmarkZipfDraw(b *testing.B) {
+	r := NewRNG(1)
+	z := r.NewZipf(1.2, 100000)
+	for i := 0; i < b.N; i++ {
+		_ = z.Draw()
+	}
+}

@@ -1,0 +1,104 @@
+package sim
+
+import "container/heap"
+
+// event is a scheduled callback. seq breaks ties between events scheduled
+// for the same instant so that execution order is insertion order,
+// keeping the simulation deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulation executive. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	q       eventHeap
+	seq     uint64
+	stopped bool
+	// Executed counts events dispatched since construction.
+	Executed uint64
+}
+
+// NewEngine returns an empty engine with the clock at zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.q)
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past (t < Now) panics: it would silently corrupt causality.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	heap.Push(&e.q, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.At(e.now+d, fn)
+}
+
+// Pending reports the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.q) }
+
+// Stop makes the current Run/RunUntil call return once the executing
+// event completes. Further events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run dispatches events in timestamp order until the queue is empty or
+// Stop is called. The clock remains at the last dispatched event.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && len(e.q) > 0 {
+		ev := heap.Pop(&e.q).(event)
+		e.now = ev.at
+		e.Executed++
+		ev.fn()
+	}
+}
+
+// RunUntil dispatches events with timestamps <= end, then (unless Stop
+// was called) advances the clock to end: idle virtual time passes.
+func (e *Engine) RunUntil(end Time) {
+	e.stopped = false
+	for !e.stopped && len(e.q) > 0 && e.q[0].at <= end {
+		ev := heap.Pop(&e.q).(event)
+		e.now = ev.at
+		e.Executed++
+		ev.fn()
+	}
+	if !e.stopped && e.now < end {
+		e.now = end
+	}
+}

@@ -1,0 +1,90 @@
+package sim
+
+// Server models a FIFO service centre with a fixed number of parallel
+// service slots (width) and a caller-supplied service time per job. It is
+// the building block for modelling contended resources: an MDS CPU
+// (width 1, per-op service time), a disk (width 1, per-I/O latency), or a
+// NIC (width n).
+//
+// Jobs are served in submission order. When a job's service completes its
+// done callback runs at the completion instant.
+type Server struct {
+	eng   *Engine
+	width int
+	busy  int
+	queue []job
+
+	// Stats
+	Completed  uint64
+	Submitted  uint64
+	BusyTime   Time // total slot-occupancy time accumulated
+	lastChange Time
+}
+
+type job struct {
+	service Time
+	done    func()
+}
+
+// NewServer creates a service centre with the given parallel width.
+func NewServer(eng *Engine, width int) *Server {
+	if width < 1 {
+		panic("sim: server width must be >= 1")
+	}
+	return &Server{eng: eng, width: width}
+}
+
+// QueueLen reports the number of jobs waiting (not in service).
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// InService reports the number of jobs currently being served.
+func (s *Server) InService() int { return s.busy }
+
+// Utilization returns mean slot occupancy in [0,1] since construction.
+func (s *Server) Utilization(now Time) float64 {
+	s.account(now)
+	if now == 0 {
+		return 0
+	}
+	return float64(s.BusyTime) / float64(int64(now)*int64(s.width))
+}
+
+func (s *Server) account(now Time) {
+	s.BusyTime += Time(int64(now-s.lastChange) * int64(s.busy))
+	s.lastChange = now
+}
+
+// Submit enqueues a job with the given service time. done runs when the
+// job completes; it may be nil.
+func (s *Server) Submit(service Time, done func()) {
+	if service < 0 {
+		panic("sim: negative service time")
+	}
+	s.Submitted++
+	s.account(s.eng.Now())
+	if s.busy < s.width {
+		s.start(job{service, done})
+		return
+	}
+	s.queue = append(s.queue, job{service, done})
+}
+
+func (s *Server) start(j job) {
+	s.busy++
+	s.eng.After(j.service, func() {
+		s.account(s.eng.Now())
+		s.busy--
+		s.Completed++
+		if len(s.queue) > 0 {
+			next := s.queue[0]
+			// Shift rather than re-slice forever to avoid leaking the
+			// backing array on long runs.
+			copy(s.queue, s.queue[1:])
+			s.queue = s.queue[:len(s.queue)-1]
+			s.start(next)
+		}
+		if j.done != nil {
+			j.done()
+		}
+	})
+}

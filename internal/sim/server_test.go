@@ -1,0 +1,201 @@
+package sim
+
+import "testing"
+
+func TestServerSerializesWidthOne(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, 1)
+	var done []Time
+	for i := 0; i < 3; i++ {
+		s.Submit(10, func() { done = append(done, e.Now()) })
+	}
+	e.Run()
+	want := []Time{10, 20, 30}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completions = %v, want %v", done, want)
+		}
+	}
+	if s.Completed != 3 || s.Submitted != 3 {
+		t.Fatalf("counters: completed=%d submitted=%d", s.Completed, s.Submitted)
+	}
+}
+
+func TestServerParallelWidth(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, 2)
+	var done []Time
+	for i := 0; i < 4; i++ {
+		s.Submit(10, func() { done = append(done, e.Now()) })
+	}
+	e.Run()
+	want := []Time{10, 10, 20, 20}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completions = %v, want %v", done, want)
+		}
+	}
+}
+
+func TestServerFIFO(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, 1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Submit(Time(1+i%3), func() { order = append(order, i) })
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("service order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestServerInterleavedSubmission(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, 1)
+	var done []Time
+	e.At(0, func() { s.Submit(100, func() { done = append(done, e.Now()) }) })
+	// Arrives while the first job is in service; must wait.
+	e.At(50, func() { s.Submit(10, func() { done = append(done, e.Now()) }) })
+	// Arrives after the server went idle.
+	e.At(200, func() { s.Submit(10, func() { done = append(done, e.Now()) }) })
+	e.Run()
+	want := []Time{100, 110, 210}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completions = %v, want %v", done, want)
+		}
+	}
+}
+
+func TestServerUtilization(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, 1)
+	s.Submit(50, nil)
+	e.RunUntil(100)
+	u := s.Utilization(e.Now())
+	if u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization = %v, want ~0.5", u)
+	}
+}
+
+func TestServerZeroServiceTime(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, 1)
+	ran := false
+	s.Submit(0, func() { ran = true })
+	e.Run()
+	if !ran {
+		t.Fatal("zero-service job did not complete")
+	}
+}
+
+func TestServerQueueLen(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, 1)
+	s.Submit(10, nil)
+	s.Submit(10, nil)
+	s.Submit(10, nil)
+	if s.QueueLen() != 2 || s.InService() != 1 {
+		t.Fatalf("queue=%d inservice=%d, want 2/1", s.QueueLen(), s.InService())
+	}
+	e.Run()
+	if s.QueueLen() != 0 || s.InService() != 0 {
+		t.Fatalf("queue=%d inservice=%d after drain", s.QueueLen(), s.InService())
+	}
+}
+
+func TestTickerFiresPeriodically(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	tk := NewTicker(e, 10, func(now Time) { ticks = append(ticks, now) })
+	tk.Start(0)
+	e.RunUntil(35)
+	want := []Time{10, 20, 30}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var tk *Ticker
+	tk = NewTicker(e, 10, func(now Time) {
+		n++
+		if n == 2 {
+			tk.Stop()
+		}
+	})
+	tk.Start(0)
+	e.RunUntil(1000)
+	if n != 2 {
+		t.Fatalf("ticks after stop = %d, want 2", n)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewStream(42, "x"), NewStream(42, "x")
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same-seed streams diverge")
+		}
+	}
+	c := NewStream(42, "y")
+	same := true
+	for i := 0; i < 10; i++ {
+		if NewStream(42, "x").Int63() != c.Int63() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("differently labelled streams are identical")
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(7)
+	var sum Time
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(1000)
+	}
+	mean := float64(sum) / n
+	if mean < 900 || mean > 1100 {
+		t.Fatalf("exp mean = %v, want ~1000", mean)
+	}
+	if r.Exp(0) != 0 {
+		t.Fatal("Exp(0) != 0")
+	}
+}
+
+func TestRNGLogNormalClamps(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := r.LogNormalInt(8, 2.0, 1, 50)
+		if v < 1 || v > 50 {
+			t.Fatalf("lognormal out of range: %d", v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(7)
+	z := r.NewZipf(1.2, 100)
+	counts := make([]int, 100)
+	for i := 0; i < 10000; i++ {
+		counts[z.Draw()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("zipf not skewed: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+}

@@ -1,0 +1,40 @@
+package sim
+
+// Ticker invokes a callback at a fixed virtual-time period until stopped.
+// The first tick fires one period after Start (or after the optional
+// phase offset).
+type Ticker struct {
+	eng     *Engine
+	period  Time
+	fn      func(now Time)
+	stopped bool
+	Ticks   uint64
+}
+
+// NewTicker creates a ticker; call Start to begin ticking.
+func NewTicker(eng *Engine, period Time, fn func(now Time)) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	return &Ticker{eng: eng, period: period, fn: fn}
+}
+
+// Start schedules the first tick phase+period from now.
+func (t *Ticker) Start(phase Time) {
+	t.stopped = false
+	t.eng.After(phase+t.period, t.tick)
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.Ticks++
+	t.fn(t.eng.Now())
+	if !t.stopped {
+		t.eng.After(t.period, t.tick)
+	}
+}
+
+// Stop cancels future ticks. A tick already dispatched still runs.
+func (t *Ticker) Stop() { t.stopped = true }

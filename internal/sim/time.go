@@ -1,0 +1,33 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a virtual clock, an event queue, FIFO service centres for modelling
+// contended resources (CPU, disk, network), periodic tickers, and seeded
+// random-variate helpers.
+//
+// The engine is single-threaded and fully deterministic: two runs with the
+// same seed and the same schedule of events produce identical results.
+// Parallelism in this repository happens one level up, across independent
+// simulation configurations (see internal/harness).
+package sim
+
+import "fmt"
+
+// Time is a point in virtual time, measured in microseconds from the start
+// of the simulation.
+type Time int64
+
+// Duration constants for virtual time arithmetic.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+)
+
+// Seconds returns t expressed in (floating point) seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// FromSeconds converts floating-point seconds to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// String formats the time as seconds with microsecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }

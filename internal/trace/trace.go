@@ -1,0 +1,260 @@
+// Package trace records and replays metadata operation traces. The
+// paper's future work calls for trace-driven evaluation ("the use of
+// actual workload traces with matching file system metadata snapshots");
+// this package provides the mechanism: a Recorder wraps any workload
+// generator and logs the operations it emits, and a Player replays a
+// recorded stream against a (regenerated, matching) namespace.
+//
+// The format is JSON lines, one event per line, resolvable by path so a
+// trace taken on one simulation run can be replayed on any tree built
+// from the same fsgen configuration.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"dynmds/internal/metrics"
+	"dynmds/internal/msg"
+	"dynmds/internal/namespace"
+	"dynmds/internal/sim"
+	"dynmds/internal/workload"
+)
+
+// Event is one recorded operation.
+type Event struct {
+	T      int64  `json:"t"` // microseconds of virtual time
+	Client int    `json:"c"`
+	Op     string `json:"op"`
+	Path   string `json:"path"`
+	Name   string `json:"name,omitempty"` // create/mkdir/rename new name
+	Dst    string `json:"dst,omitempty"`  // rename destination directory
+}
+
+var opByName = func() map[string]msg.Op {
+	m := make(map[string]msg.Op, msg.NumOps)
+	for i := 0; i < msg.NumOps; i++ {
+		m[msg.Op(i).String()] = msg.Op(i)
+	}
+	return m
+}()
+
+// Recorder wraps a workload generator and writes every emitted op.
+type Recorder struct {
+	Inner  workload.Generator
+	Client int
+
+	enc *json.Encoder
+	// Events counts recorded ops.
+	Events uint64
+}
+
+// NewRecorder wraps inner, writing JSON lines to w.
+func NewRecorder(client int, inner workload.Generator, w io.Writer) *Recorder {
+	return &Recorder{Inner: inner, Client: client, enc: json.NewEncoder(w)}
+}
+
+// Next implements workload.Generator.
+func (r *Recorder) Next(now sim.Time, rng *sim.RNG) (workload.Op, bool) {
+	op, ok := r.Inner.Next(now, rng)
+	if !ok {
+		return op, ok
+	}
+	ev := Event{
+		T:      int64(now),
+		Client: r.Client,
+		Op:     op.Op.String(),
+		Path:   op.Target.Path(),
+		Name:   op.NewName,
+	}
+	if op.DstDir != nil {
+		ev.Dst = op.DstDir.Path()
+	}
+	if err := r.enc.Encode(ev); err == nil {
+		r.Events++
+	}
+	return op, ok
+}
+
+// Observe implements workload.Generator.
+func (r *Recorder) Observe(rep *msg.Reply) { r.Inner.Observe(rep) }
+
+// Read parses a JSON-lines trace.
+func Read(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if _, ok := opByName[ev.Op]; !ok {
+			return nil, fmt.Errorf("trace: line %d: unknown op %q", line, ev.Op)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}
+
+// Write serialises events as JSON lines.
+func Write(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Split partitions a trace by client ID.
+func Split(events []Event) map[int][]Event {
+	m := make(map[int][]Event)
+	for _, ev := range events {
+		m[ev.Client] = append(m[ev.Client], ev)
+	}
+	return m
+}
+
+// Stats summarises a trace: op mix, client count, span, and the most
+// popular paths.
+type Stats struct {
+	Events    int
+	Clients   int
+	Span      sim.Time
+	OpCounts  map[string]int
+	TopPaths  []PathCount
+	DirDepths *metrics.Welford
+}
+
+// PathCount pairs a path with its access count.
+type PathCount struct {
+	Path  string
+	Count int
+}
+
+// Summarize computes trace statistics. topN bounds the popular-path
+// list.
+func Summarize(events []Event, topN int) Stats {
+	s := Stats{OpCounts: make(map[string]int), DirDepths: &metrics.Welford{}}
+	clients := map[int]bool{}
+	paths := map[string]int{}
+	var minT, maxT int64
+	for i, ev := range events {
+		s.Events++
+		clients[ev.Client] = true
+		s.OpCounts[ev.Op]++
+		paths[ev.Path]++
+		s.DirDepths.Add(float64(strings.Count(ev.Path, "/")))
+		if i == 0 || ev.T < minT {
+			minT = ev.T
+		}
+		if ev.T > maxT {
+			maxT = ev.T
+		}
+	}
+	s.Clients = len(clients)
+	if s.Events > 0 {
+		s.Span = sim.Time(maxT - minT)
+	}
+	for p, c := range paths {
+		s.TopPaths = append(s.TopPaths, PathCount{p, c})
+	}
+	sort.Slice(s.TopPaths, func(i, j int) bool {
+		if s.TopPaths[i].Count != s.TopPaths[j].Count {
+			return s.TopPaths[i].Count > s.TopPaths[j].Count
+		}
+		return s.TopPaths[i].Path < s.TopPaths[j].Path
+	})
+	if len(s.TopPaths) > topN {
+		s.TopPaths = s.TopPaths[:topN]
+	}
+	return s
+}
+
+// String renders the summary.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events=%d clients=%d span=%v mean_depth=%.1f\n",
+		s.Events, s.Clients, s.Span, s.DirDepths.Mean())
+	for _, op := range metrics.SortedKeys(toFloat(s.OpCounts)) {
+		fmt.Fprintf(&b, "  %-8s %6d (%.1f%%)\n", op, s.OpCounts[op],
+			100*float64(s.OpCounts[op])/float64(s.Events))
+	}
+	if len(s.TopPaths) > 0 {
+		fmt.Fprintf(&b, "hottest paths:\n")
+		for _, pc := range s.TopPaths {
+			fmt.Fprintf(&b, "  %6d  %s\n", pc.Count, pc.Path)
+		}
+	}
+	return b.String()
+}
+
+func toFloat(m map[string]int) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		out[k] = float64(v)
+	}
+	return out
+}
+
+// Player replays one client's recorded events in order, resolving paths
+// against the live tree. Events whose paths no longer resolve (the
+// replayed mutations diverged) are skipped and counted.
+type Player struct {
+	Tree   *namespace.Tree
+	Events []Event
+
+	pos     int
+	Played  uint64
+	Skipped uint64
+}
+
+// NewPlayer builds a player over the client's event slice.
+func NewPlayer(tree *namespace.Tree, events []Event) *Player {
+	return &Player{Tree: tree, Events: events}
+}
+
+// Done reports whether the stream is exhausted.
+func (p *Player) Done() bool { return p.pos >= len(p.Events) }
+
+// Next implements workload.Generator.
+func (p *Player) Next(now sim.Time, rng *sim.RNG) (workload.Op, bool) {
+	for p.pos < len(p.Events) {
+		ev := p.Events[p.pos]
+		p.pos++
+		target, err := p.Tree.Lookup(ev.Path)
+		if err != nil {
+			p.Skipped++
+			continue
+		}
+		op := workload.Op{Op: opByName[ev.Op], Target: target, NewName: ev.Name}
+		if ev.Dst != "" {
+			dst, err := p.Tree.Lookup(ev.Dst)
+			if err != nil {
+				p.Skipped++
+				continue
+			}
+			op.DstDir = dst
+		}
+		p.Played++
+		return op, true
+	}
+	return workload.Op{}, false
+}
+
+// Observe implements workload.Generator.
+func (p *Player) Observe(rep *msg.Reply) {}

@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dynmds/internal/fsgen"
+	"dynmds/internal/namespace"
+	"dynmds/internal/sim"
+	"dynmds/internal/workload"
+)
+
+func snapshot(t *testing.T) *fsgen.Snapshot {
+	t.Helper()
+	cfg := fsgen.Default()
+	cfg.Users = 5
+	snap, err := fsgen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+func TestRecordReadRoundTrip(t *testing.T) {
+	snap := snapshot(t)
+	g := workload.NewGeneral(3, workload.DefaultGeneralConfig(), workload.Region{
+		Home:   snap.Homes[0],
+		Shared: []*namespace.Inode{snap.System},
+	})
+	var buf bytes.Buffer
+	rec := NewRecorder(3, g, &buf)
+	r := sim.NewRNG(1)
+	var emitted []workload.Op
+	for i := 0; i < 200; i++ {
+		if op, ok := rec.Next(sim.Time(i), r); ok {
+			emitted = append(emitted, op)
+		}
+	}
+	if rec.Events != uint64(len(emitted)) {
+		t.Fatalf("recorded %d, emitted %d", rec.Events, len(emitted))
+	}
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(emitted) {
+		t.Fatalf("read %d, want %d", len(events), len(emitted))
+	}
+	for i, ev := range events {
+		if ev.Client != 3 {
+			t.Fatalf("event %d client = %d", i, ev.Client)
+		}
+		if ev.Op != emitted[i].Op.String() {
+			t.Fatalf("event %d op = %s, want %s", i, ev.Op, emitted[i].Op)
+		}
+		if ev.Path != emitted[i].Target.Path() {
+			t.Fatalf("event %d path mismatch", i)
+		}
+	}
+}
+
+func TestWriteReadSplit(t *testing.T) {
+	events := []Event{
+		{T: 1, Client: 0, Op: "stat", Path: "/a"},
+		{T: 2, Client: 1, Op: "open", Path: "/b"},
+		{T: 3, Client: 0, Op: "close", Path: "/a"},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("read %d events", len(got))
+	}
+	byClient := Split(got)
+	if len(byClient[0]) != 2 || len(byClient[1]) != 1 {
+		t.Fatalf("split = %v", byClient)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("{nope\n")); err == nil {
+		t.Fatal("accepted malformed JSON")
+	}
+	if _, err := Read(strings.NewReader(`{"t":1,"c":0,"op":"frobnicate","path":"/"}` + "\n")); err == nil {
+		t.Fatal("accepted unknown op")
+	}
+	// Blank lines are tolerated.
+	if evs, err := Read(strings.NewReader("\n\n")); err != nil || len(evs) != 0 {
+		t.Fatal("blank lines mishandled")
+	}
+}
+
+func TestPlayerReplaysAgainstRegeneratedTree(t *testing.T) {
+	// Record against one tree...
+	snapA := snapshot(t)
+	g := workload.NewGeneral(0, workload.DefaultGeneralConfig(), workload.Region{Home: snapA.Homes[1]})
+	var buf bytes.Buffer
+	rec := NewRecorder(0, g, &buf)
+	r := sim.NewRNG(2)
+	for i := 0; i < 100; i++ {
+		rec.Next(sim.Time(i), r)
+	}
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...replay against a freshly generated identical tree.
+	snapB := snapshot(t)
+	p := NewPlayer(snapB.Tree, events)
+	count := 0
+	for !p.Done() {
+		op, ok := p.Next(0, r)
+		if !ok {
+			break
+		}
+		count++
+		if op.Target == nil {
+			t.Fatal("nil target from player")
+		}
+	}
+	// Reads resolve; mutations recorded against paths created mid-trace
+	// may be skipped. The bulk must replay.
+	if p.Played == 0 || float64(p.Played) < 0.5*float64(len(events)) {
+		t.Fatalf("played %d of %d (skipped %d)", p.Played, len(events), p.Skipped)
+	}
+	_ = count
+}
+
+func TestPlayerSkipsUnresolvable(t *testing.T) {
+	snap := snapshot(t)
+	events := []Event{
+		{Op: "stat", Path: "/does/not/exist"},
+		{Op: "stat", Path: "/home"},
+		{Op: "rename", Path: "/home", Dst: "/nowhere", Name: "x"},
+	}
+	p := NewPlayer(snap.Tree, events)
+	op, ok := p.Next(0, sim.NewRNG(1))
+	if !ok || op.Target.Path() != "/home" {
+		t.Fatalf("player did not skip to resolvable event: %v %v", op, ok)
+	}
+	if _, ok := p.Next(0, sim.NewRNG(1)); ok {
+		t.Fatal("unresolvable rename not skipped")
+	}
+	if p.Skipped != 2 {
+		t.Fatalf("skipped = %d, want 2", p.Skipped)
+	}
+	if !p.Done() {
+		t.Fatal("player not done")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	events := []Event{
+		{T: 0, Client: 0, Op: "stat", Path: "/a/b"},
+		{T: 1000, Client: 1, Op: "stat", Path: "/a/b"},
+		{T: 2000, Client: 0, Op: "open", Path: "/a/c"},
+		{T: 5000, Client: 2, Op: "create", Path: "/a", Name: "x"},
+	}
+	s := Summarize(events, 2)
+	if s.Events != 4 || s.Clients != 3 {
+		t.Fatalf("events=%d clients=%d", s.Events, s.Clients)
+	}
+	if s.Span != sim.Time(5000) {
+		t.Fatalf("span = %v", s.Span)
+	}
+	if s.OpCounts["stat"] != 2 || s.OpCounts["open"] != 1 {
+		t.Fatalf("op counts = %v", s.OpCounts)
+	}
+	if len(s.TopPaths) != 2 || s.TopPaths[0].Path != "/a/b" || s.TopPaths[0].Count != 2 {
+		t.Fatalf("top paths = %v", s.TopPaths)
+	}
+	out := s.String()
+	if !strings.Contains(out, "stat") || !strings.Contains(out, "/a/b") {
+		t.Fatalf("summary render:\n%s", out)
+	}
+	empty := Summarize(nil, 5)
+	if empty.Events != 0 || empty.Clients != 0 {
+		t.Fatal("empty summarize wrong")
+	}
+}
