@@ -6,12 +6,15 @@
 //	mdsim -fig 2            # regenerate Figure 2 (full scale)
 //	mdsim -fig all -quick   # all figures, reduced scale
 //	mdsim -strategy DynamicSubtree -mds 8 -clients 40 -dur 20
+//	mdsim -bench-json BENCH_1.json   # hot-path benchmark, JSON report
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"dynmds/internal/cluster"
@@ -33,11 +36,20 @@ func main() {
 		warm     = flag.Float64("warmup", 5, "warmup in simulated seconds")
 	)
 	list := flag.Bool("list", false, "list available experiments")
+	benchJSON := flag.String("bench-json", "", "run the Figure 2 hot-path benchmark and write a JSON report to this file")
 	flag.Parse()
 
 	if *list {
 		for _, e := range append(harness.All(), harness.Extras()...) {
 			fmt.Printf("%-10s %s\n           %s\n", e.ID, e.Title, e.Description)
+		}
+		return
+	}
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "mdsim:", err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -66,6 +78,97 @@ func main() {
 	}
 	fmt.Println(res)
 	fmt.Printf("wall time: %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// benchReport is the schema of the -bench-json output: the headline
+// numbers for the simulator's hot path on the Figure 2 DynamicSubtree
+// configuration (the same one bench_test.go's BenchmarkFig2_DynamicSubtree
+// runs), so perf regressions are catchable from a single command.
+type benchReport struct {
+	Config       string  `json:"config"`
+	Runs         int     `json:"runs"`
+	NsPerOp      int64   `json:"ns_per_op"`      // wall ns per simulation run
+	AllocsPerOp  uint64  `json:"allocs_per_op"`  // heap allocations per run
+	Events       uint64  `json:"events_per_run"` // engine events dispatched per run
+	NsPerEvent   float64 `json:"ns_per_event"`   // wall ns per dispatched event
+	AllocsPerEv  float64 `json:"allocs_per_event"`
+	SimOpsPerSec float64 `json:"simops_per_sec_per_mds"`
+	HitRate      float64 `json:"hitrate"`
+}
+
+// runBenchJSON runs the Figure 2 dynamic-subtree configuration once as
+// warmup and three times measured, then writes per-run wall time,
+// allocation, and event-throughput aggregates as JSON.
+func runBenchJSON(path string, seed int64) error {
+	cfg := cluster.Default()
+	cfg.Seed = seed
+	cfg.Strategy = cluster.StratDynamic
+	cfg.NumMDS = 8
+	cfg.ClientsPerMDS = 40
+	cfg.FS.Users = 200
+	cfg.MDS.CacheCapacity = 2500
+	cfg.MDS.Storage.LogCapacity = 2500
+	cfg.Duration = 10 * sim.Second
+	cfg.Warmup = 4 * sim.Second
+
+	run := func() (time.Duration, uint64, uint64, *cluster.Result, error) {
+		cl, err := cluster.New(cfg)
+		if err != nil {
+			return 0, 0, 0, nil, err
+		}
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		res := cl.Run()
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+		return wall, after.Mallocs - before.Mallocs, cl.Eng.Executed, res, nil
+	}
+
+	if _, _, _, _, err := run(); err != nil { // warmup
+		return err
+	}
+	const runs = 3
+	var (
+		wallSum  time.Duration
+		allocSum uint64
+		eventSum uint64
+		lastRes  *cluster.Result
+	)
+	for i := 0; i < runs; i++ {
+		wall, allocs, events, res, err := run()
+		if err != nil {
+			return err
+		}
+		wallSum += wall
+		allocSum += allocs
+		eventSum += events
+		lastRes = res
+		fmt.Printf("run %d: %v, %d allocs, %d events\n", i+1, wall.Round(time.Millisecond), allocs, events)
+	}
+
+	rep := benchReport{
+		Config:       "fig2-dynamic-8mds",
+		Runs:         runs,
+		NsPerOp:      wallSum.Nanoseconds() / runs,
+		AllocsPerOp:  allocSum / runs,
+		Events:       eventSum / runs,
+		NsPerEvent:   float64(wallSum.Nanoseconds()) / float64(eventSum),
+		AllocsPerEv:  float64(allocSum) / float64(eventSum),
+		SimOpsPerSec: lastRes.AvgThroughput,
+		HitRate:      lastRes.HitRate,
+	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d ns/op, %d allocs/op, %.1f ns/event, %.3f allocs/event\n",
+		path, rep.NsPerOp, rep.AllocsPerOp, rep.NsPerEvent, rep.AllocsPerEv)
+	return nil
 }
 
 func runFigures(which string, opt harness.Options) {

@@ -121,9 +121,16 @@ type Stats struct {
 // Cache is a bounded, segmented-LRU metadata cache.
 type Cache struct {
 	capacity int
-	byID     map[namespace.InodeID]*Entry
-	hot      list
-	warm     list
+	// byID is a direct-indexed presence table: InodeIDs are allocated
+	// sequentially and never reused, so index = ID. One pointer per ID
+	// ever seen costs a few MB per node at simulation scale and turns
+	// the hottest operation in the whole simulator — "is this record
+	// cached?" on every path component of every request — from a map
+	// probe into an array load.
+	byID []*Entry
+	n    int
+	hot  list
+	warm list
 
 	// classCount tracks entries per class for O(1) prefix accounting.
 	classCount [3]int
@@ -142,9 +149,42 @@ func New(capacity int) *Cache {
 	if capacity < 1 {
 		panic("cache: capacity must be >= 1")
 	}
-	return &Cache{
-		capacity: capacity,
-		byID:     make(map[namespace.InodeID]*Entry),
+	return &Cache{capacity: capacity}
+}
+
+// lookup returns the entry for id, or nil.
+func (c *Cache) lookup(id namespace.InodeID) *Entry {
+	if uint64(id) < uint64(len(c.byID)) {
+		return c.byID[id]
+	}
+	return nil
+}
+
+// store records the entry for id, growing the table as the ID space
+// grows (IDs are monotonically allocated, so growth is rare and the
+// doubling headroom amortizes it away).
+func (c *Cache) store(id namespace.InodeID, e *Entry) {
+	if uint64(id) >= uint64(len(c.byID)) {
+		grown := make([]*Entry, 2*int(id)+1)
+		copy(grown, c.byID)
+		c.byID = grown
+	}
+	c.byID[id] = e
+	c.n++
+}
+
+func (c *Cache) erase(id namespace.InodeID) {
+	c.byID[id] = nil
+	c.n--
+}
+
+// forEach visits every entry (hot then warm segment, MRU first).
+func (c *Cache) forEach(fn func(*Entry)) {
+	for e := c.hot.head; e != nil; e = e.next {
+		fn(e)
+	}
+	for e := c.warm.head; e != nil; e = e.next {
+		fn(e)
 	}
 }
 
@@ -152,7 +192,7 @@ func New(capacity int) *Cache {
 func (c *Cache) Cap() int { return c.capacity }
 
 // Len returns the number of cached entries.
-func (c *Cache) Len() int { return len(c.byID) }
+func (c *Cache) Len() int { return c.n }
 
 // CountClass returns the number of entries with the given class.
 func (c *Cache) CountClass(cl Class) int { return c.classCount[cl] }
@@ -163,35 +203,34 @@ func (c *Cache) CountClass(cl Class) int { return c.classCount[cl] }
 // pinned by cached children; replicated prefixes on hashed strategies
 // are included, and Lazy Hybrid's detached records never are.
 func (c *Cache) PrefixFraction() float64 {
-	if len(c.byID) == 0 {
+	if c.n == 0 {
 		return 0
 	}
 	pinned := 0
-	for _, e := range c.byID {
+	c.forEach(func(e *Entry) {
 		if e.pins > 0 {
 			pinned++
 		}
-	}
-	return float64(pinned) / float64(len(c.byID))
+	})
+	return float64(pinned) / float64(c.n)
 }
 
 // Contains reports presence without touching LRU state or stats.
 func (c *Cache) Contains(id namespace.InodeID) bool {
-	_, ok := c.byID[id]
-	return ok
+	return c.lookup(id) != nil
 }
 
 // Peek returns the entry without touching LRU state or stats.
 func (c *Cache) Peek(id namespace.InodeID) (*Entry, bool) {
-	e, ok := c.byID[id]
-	return e, ok
+	e := c.lookup(id)
+	return e, e != nil
 }
 
 // Get looks up an entry, recording a hit or miss and refreshing its
 // recency (a warm entry is promoted to the hot segment).
 func (c *Cache) Get(id namespace.InodeID) (*Entry, bool) {
-	e, ok := c.byID[id]
-	if !ok {
+	e := c.lookup(id)
+	if e == nil {
 		c.Stats.Misses++
 		return nil, false
 	}
@@ -216,7 +255,7 @@ func (c *Cache) touch(e *Entry) {
 // use InsertPath to bring in the ancestor chain. Inserting may evict
 // unpinned entries to stay within capacity.
 func (c *Cache) Insert(ino *namespace.Inode, cl Class, warm bool) (*Entry, error) {
-	if e, ok := c.byID[ino.ID]; ok {
+	if e := c.lookup(ino.ID); e != nil {
 		// Refresh: upgrade class priority (Auth > Replica > Prefix in
 		// specificity: a direct request upgrades a prefix entry).
 		if cl == Auth || (cl == Replica && e.Class == Prefix) {
@@ -232,14 +271,13 @@ func (c *Cache) Insert(ino *namespace.Inode, cl Class, warm bool) (*Entry, error
 	parent := ino.Parent()
 	var pe *Entry
 	if parent != nil {
-		var ok bool
-		pe, ok = c.byID[parent.ID]
-		if !ok {
+		pe = c.lookup(parent.ID)
+		if pe == nil {
 			return nil, fmt.Errorf("cache: inserting %s without cached parent", ino)
 		}
 	}
 	e := &Entry{Ino: ino, Class: cl, hot: !warm, parent: pe}
-	c.byID[ino.ID] = e
+	c.store(ino.ID, e)
 	c.classCount[cl]++
 	if pe != nil {
 		pe.pins++
@@ -261,14 +299,14 @@ func (c *Cache) Insert(ino *namespace.Inode, cl Class, warm bool) (*Entry, error
 // Lazy Hybrid MDS nodes cache scattered file records with no ancestor
 // chain; the dual-entry ACL carries the effective permissions.
 func (c *Cache) InsertDetached(ino *namespace.Inode, cl Class, warm bool) *Entry {
-	if e, ok := c.byID[ino.ID]; ok {
+	if e := c.lookup(ino.ID); e != nil {
 		if !warm {
 			c.touch(e)
 		}
 		return e
 	}
 	e := &Entry{Ino: ino, Class: cl, hot: !warm, detached: true}
-	c.byID[ino.ID] = e
+	c.store(ino.ID, e)
 	c.classCount[cl]++
 	if warm {
 		c.warm.pushFront(e)
@@ -298,7 +336,7 @@ func (c *Cache) InsertPath(ino *namespace.Inode, cl Class, warm bool) (*Entry, e
 // before the hot one. If every entry is pinned the cache is allowed to
 // exceed capacity (the next insert retries).
 func (c *Cache) evictToCapacity(protect *Entry) {
-	for len(c.byID) > c.capacity {
+	for c.n > c.capacity {
 		e := c.victim(&c.warm, protect)
 		if e == nil {
 			e = c.victim(&c.hot, protect)
@@ -327,7 +365,7 @@ func (c *Cache) drop(e *Entry, evicted bool) {
 	} else {
 		c.warm.remove(e)
 	}
-	delete(c.byID, e.Ino.ID)
+	c.erase(e.Ino.ID)
 	c.classCount[e.Class]--
 	if e.parent != nil {
 		e.parent.pins--
@@ -344,8 +382,8 @@ func (c *Cache) drop(e *Entry, evicted bool) {
 // Remove explicitly discards an entry (e.g. after migrating a subtree
 // away). It fails if the entry is pinned by cached children.
 func (c *Cache) Remove(id namespace.InodeID) error {
-	e, ok := c.byID[id]
-	if !ok {
+	e := c.lookup(id)
+	if e == nil {
 		return nil
 	}
 	if e.pins > 0 {
@@ -359,16 +397,16 @@ func (c *Cache) Remove(id namespace.InodeID) error {
 // before parents so pins unwind. Returns the number removed.
 func (c *Cache) RemoveSubtree(root *namespace.Inode) int {
 	var victims []*Entry
-	for _, e := range c.byID {
+	c.forEach(func(e *Entry) {
 		if e.Ino == root || root.IsAncestorOf(e.Ino) {
 			victims = append(victims, e)
 		}
-	}
+	})
 	// Deepest first so parents are unpinned before their turn.
 	for removed := 0; removed < len(victims); {
 		progress := false
 		for _, e := range victims {
-			if _, still := c.byID[e.Ino.ID]; !still {
+			if c.lookup(e.Ino.ID) == nil {
 				continue
 			}
 			if e.pins == 0 {
@@ -383,29 +421,26 @@ func (c *Cache) RemoveSubtree(root *namespace.Inode) int {
 	}
 	n := 0
 	for _, e := range victims {
-		if _, still := c.byID[e.Ino.ID]; !still {
+		if c.lookup(e.Ino.ID) == nil {
 			n++
 		}
 	}
 	return n
 }
 
-// ForEach visits every entry in unspecified order. The callback must not
-// mutate the cache.
-func (c *Cache) ForEach(fn func(*Entry)) {
-	for _, e := range c.byID {
-		fn(e)
-	}
-}
+// ForEach visits every entry in LRU-segment order (hot then warm, MRU
+// first). The callback must not mutate the cache.
+func (c *Cache) ForEach(fn func(*Entry)) { c.forEach(fn) }
 
-// EntriesUnder collects the entries at or below root.
+// EntriesUnder collects the entries at or below root, in the same
+// deterministic order ForEach uses.
 func (c *Cache) EntriesUnder(root *namespace.Inode) []*Entry {
 	var out []*Entry
-	for _, e := range c.byID {
+	c.forEach(func(e *Entry) {
 		if e.Ino == root || root.IsAncestorOf(e.Ino) {
 			out = append(out, e)
 		}
-	}
+	})
 	return out
 }
 
@@ -427,24 +462,35 @@ func (c *Cache) HitRate() float64 {
 // cached-subset-is-a-tree property. For tests.
 func (c *Cache) CheckInvariants() error {
 	pins := make(map[*Entry]int)
-	for _, e := range c.byID {
+	var err error
+	c.forEach(func(e *Entry) {
+		if err != nil {
+			return
+		}
 		if e.detached {
 			if e.parent != nil {
-				return fmt.Errorf("cache: detached %s holds a pin", e.Ino)
+				err = fmt.Errorf("cache: detached %s holds a pin", e.Ino)
 			}
-			continue
+			return
 		}
 		if e.parent != nil {
-			if got, ok := c.byID[e.parent.Ino.ID]; !ok || got != e.parent {
-				return fmt.Errorf("cache: %s pins an entry not in the cache", e.Ino)
+			if got := c.lookup(e.parent.Ino.ID); got != e.parent {
+				err = fmt.Errorf("cache: %s pins an entry not in the cache", e.Ino)
+				return
 			}
 			pins[e.parent]++
 		}
+	})
+	if err != nil {
+		return err
 	}
-	for _, e := range c.byID {
-		if e.pins != pins[e] {
-			return fmt.Errorf("cache: %s pin count %d, want %d", e.Ino, e.pins, pins[e])
+	c.forEach(func(e *Entry) {
+		if err == nil && e.pins != pins[e] {
+			err = fmt.Errorf("cache: %s pin count %d, want %d", e.Ino, e.pins, pins[e])
 		}
+	})
+	if err != nil {
+		return err
 	}
 	count := 0
 	for e := c.hot.head; e != nil; e = e.next {
@@ -459,15 +505,15 @@ func (c *Cache) CheckInvariants() error {
 		}
 		count++
 	}
-	if count != len(c.byID) {
-		return fmt.Errorf("cache: list count %d != map count %d", count, len(c.byID))
+	if count != c.n {
+		return fmt.Errorf("cache: list count %d != table count %d", count, c.n)
 	}
 	total := 0
 	for _, n := range c.classCount {
 		total += n
 	}
-	if total != len(c.byID) {
-		return fmt.Errorf("cache: class counts %v != size %d", c.classCount, len(c.byID))
+	if total != c.n {
+		return fmt.Errorf("cache: class counts %v != size %d", c.classCount, c.n)
 	}
 	return nil
 }

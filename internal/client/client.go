@@ -61,6 +61,11 @@ type Client struct {
 	nextID   uint64
 	stopped  bool
 	inflight *msg.Request
+	// reqPool recycles completed requests. Reuse is only safe without
+	// retries: a retried request can be answered twice, and a recycled
+	// struct would make the stale duplicate pointer-equal to the new
+	// in-flight request, defeating the duplicate check in OnReply.
+	reqPool *msg.Request
 
 	Stats Stats
 }
@@ -89,11 +94,27 @@ func (c *Client) SetGenerator(gen workload.Generator) { c.gen = gen }
 // Start begins the closed loop, staggered by the given phase to avoid a
 // synchronized thundering herd at t=0.
 func (c *Client) Start(phase sim.Time) {
-	c.eng.After(phase, c.issue)
+	c.eng.AfterCall(phase, clientIssue, c, nil)
 }
+
+// clientIssue is the recurring op-loop dispatcher: the client rides in
+// the event payload, so the closed loop schedules without allocating.
+func clientIssue(a, _ any) { a.(*Client).issue() }
 
 // Stop ends the loop after the in-flight operation completes.
 func (c *Client) Stop() { c.stopped = true }
+
+// getRequest returns a recycled request when pooling is safe (no
+// retries), else a fresh one.
+func (c *Client) getRequest() *msg.Request {
+	if c.cfg.RetryTimeout <= 0 && c.reqPool != nil {
+		req := c.reqPool
+		c.reqPool = nil
+		*req = msg.Request{}
+		return req
+	}
+	return &msg.Request{}
+}
 
 func (c *Client) issue() {
 	if c.stopped {
@@ -102,20 +123,19 @@ func (c *Client) issue() {
 	op, ok := c.gen.Next(c.eng.Now(), c.rng)
 	if !ok {
 		// Generator exhausted or idle: retry after a think time.
-		c.eng.After(c.rng.Exp(c.cfg.ThinkMean)+sim.Millisecond, c.issue)
+		c.eng.AfterCall(c.rng.Exp(c.cfg.ThinkMean)+sim.Millisecond, clientIssue, c, nil)
 		return
 	}
 	c.nextID++
-	req := &msg.Request{
-		ID:      c.nextID,
-		Client:  c.id,
-		Op:      op.Op,
-		Target:  op.Target,
-		DstDir:  op.DstDir,
-		NewName: op.NewName,
-		Size:    op.Size,
-		Issued:  c.eng.Now(),
-	}
+	req := c.getRequest()
+	req.ID = c.nextID
+	req.Client = c.id
+	req.Op = op.Op
+	req.Target = op.Target
+	req.DstDir = op.DstDir
+	req.NewName = op.NewName
+	req.Size = op.Size
+	req.Issued = c.eng.Now()
 	mds := c.direct(req)
 	req.FirstMDS = mds
 	c.Stats.Issued++
@@ -179,10 +199,15 @@ func (c *Client) OnReply(rep *msg.Reply) {
 		c.known.put(h)
 	}
 	c.gen.Observe(rep)
+	if c.cfg.RetryTimeout <= 0 {
+		// Without retries each request gets exactly one reply, so the
+		// struct is dead once the reply is consumed: recycle it.
+		c.reqPool = rep.Req
+	}
 	if c.stopped {
 		return
 	}
-	c.eng.After(c.rng.Exp(c.cfg.ThinkMean), c.issue)
+	c.eng.AfterCall(c.rng.Exp(c.cfg.ThinkMean), clientIssue, c, nil)
 }
 
 // KnownLocations reports the current size of the location cache.

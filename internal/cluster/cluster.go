@@ -364,12 +364,19 @@ func (c *Cluster) Deliver(rep *msg.Reply) {
 	c.Clients[rep.Req.Client].OnReply(rep)
 }
 
+// DeliverConsumesReply tells the MDS that Deliver hands the reply to
+// the client synchronously and retains no reference, so reply structs
+// (and their hint slices) may be pooled.
+func (c *Cluster) DeliverConsumesReply() bool { return true }
+
 // Send implements client.Network: client→MDS network hop.
 func (c *Cluster) Send(i int, req *msg.Request) {
-	node := c.Nodes[i]
 	c.Arrivals.Observe(c.Eng.Now(), 1)
-	c.Eng.After(c.Cfg.MDS.NetLatency, func() { node.Receive(req) })
+	c.Eng.AfterCall(c.Cfg.MDS.NetLatency, nodeReceive, c.Nodes[i], req)
 }
+
+// nodeReceive delivers a client request at its MDS after the network hop.
+func nodeReceive(a, b any) { a.(*mds.MDS).Receive(b.(*msg.Request)) }
 
 // snapshotWarmup records aggregate counters at the end of the warmup
 // window so Result reports steady-state numbers.

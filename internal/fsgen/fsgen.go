@@ -88,6 +88,47 @@ type Snapshot struct {
 	Projects []*namespace.Inode
 	// System is the root of the shared system tree.
 	System *namespace.Inode
+	// Names interns entry names: generated trees repeat a small set
+	// ("f0000" exists under every user), so sharing one string per
+	// distinct name removes the bulk of generation-time allocation.
+	// Workload generators reuse it for the names they synthesise.
+	Names *namespace.Interner
+}
+
+// namer formats the generator's numbered names ("u0042", "lib003.so")
+// into a scratch buffer and interns the result — no fmt, and at most
+// one retained allocation per distinct name.
+type namer struct {
+	in  *namespace.Interner
+	buf []byte
+}
+
+func (nm *namer) name(prefix string, n, width int, suffix string) string {
+	b := append(nm.buf[:0], prefix...)
+	b = appendPadded(b, n, width)
+	b = append(b, suffix...)
+	nm.buf = b
+	return nm.in.InternBytes(b)
+}
+
+// appendPadded appends n in decimal, zero-padded to width (wider
+// numbers keep all their digits, matching fmt's %0*d).
+func appendPadded(b []byte, n, width int) []byte {
+	var tmp [20]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			break
+		}
+	}
+	for len(tmp)-i < width {
+		i--
+		tmp[i] = '0'
+	}
+	return append(b, tmp[i:]...)
 }
 
 // Generate builds a snapshot from the configuration.
@@ -103,19 +144,20 @@ func Generate(cfg Config) (*Snapshot, error) {
 	}
 	r := sim.NewStream(cfg.Seed, "fsgen")
 	t := namespace.NewTree()
-	snap := &Snapshot{Tree: t}
+	nm := &namer{in: namespace.NewInterner()}
+	snap := &Snapshot{Tree: t, Names: nm.in}
 
 	home, err := t.Mkdir(t.Root, "home")
 	if err != nil {
 		return nil, err
 	}
 	for u := 0; u < cfg.Users; u++ {
-		h, err := t.Mkdir(home, fmt.Sprintf("u%04d", u))
+		h, err := t.Mkdir(home, nm.name("u", u, 4, ""))
 		if err != nil {
 			return nil, err
 		}
 		snap.Homes = append(snap.Homes, h)
-		if err := growUserTree(t, r, h, cfg); err != nil {
+		if err := growUserTree(t, r, h, cfg, nm); err != nil {
 			return nil, err
 		}
 	}
@@ -132,7 +174,7 @@ func Generate(cfg Config) (*Snapshot, error) {
 			if parent.Depth() >= cfg.MaxDepth {
 				parent = sys
 			}
-			nd, err := t.Mkdir(parent, fmt.Sprintf("s%03d", d))
+			nd, err := t.Mkdir(parent, nm.name("s", d, 3, ""))
 			if err != nil {
 				return nil, err
 			}
@@ -140,7 +182,7 @@ func Generate(cfg Config) (*Snapshot, error) {
 		}
 		for _, d := range dirs {
 			for f := 0; f < cfg.SystemFilesPerDir; f++ {
-				if _, err := t.Create(d, fmt.Sprintf("lib%03d.so", f)); err != nil {
+				if _, err := t.Create(d, nm.name("lib", f, 3, ".so")); err != nil {
 					return nil, err
 				}
 			}
@@ -153,13 +195,13 @@ func Generate(cfg Config) (*Snapshot, error) {
 			return nil, err
 		}
 		for p := 0; p < cfg.Projects; p++ {
-			pd, err := t.Mkdir(proj, fmt.Sprintf("p%03d", p))
+			pd, err := t.Mkdir(proj, nm.name("p", p, 3, ""))
 			if err != nil {
 				return nil, err
 			}
 			snap.Projects = append(snap.Projects, pd)
 			for f := 0; f < cfg.FilesPerProject; f++ {
-				if _, err := t.Create(pd, fmt.Sprintf("data%05d", f)); err != nil {
+				if _, err := t.Create(pd, nm.name("data", f, 5, "")); err != nil {
 					return nil, err
 				}
 			}
@@ -170,7 +212,7 @@ func Generate(cfg Config) (*Snapshot, error) {
 
 // growUserTree creates the nested directory structure and files beneath
 // one home directory.
-func growUserTree(t *namespace.Tree, r *sim.RNG, h *namespace.Inode, cfg Config) error {
+func growUserTree(t *namespace.Tree, r *sim.RNG, h *namespace.Inode, cfg Config, nm *namer) error {
 	dirs := []*namespace.Inode{h}
 	baseDepth := h.Depth()
 	for d := 0; d < cfg.DirsPerUser; d++ {
@@ -178,7 +220,7 @@ func growUserTree(t *namespace.Tree, r *sim.RNG, h *namespace.Inode, cfg Config)
 		if parent.Depth()-baseDepth >= cfg.MaxDepth {
 			parent = h
 		}
-		nd, err := t.Mkdir(parent, fmt.Sprintf("d%03d", d))
+		nd, err := t.Mkdir(parent, nm.name("d", d, 3, ""))
 		if err != nil {
 			return err
 		}
@@ -187,7 +229,7 @@ func growUserTree(t *namespace.Tree, r *sim.RNG, h *namespace.Inode, cfg Config)
 	for _, d := range dirs {
 		nf := r.LogNormalInt(cfg.FilesPerDirMedian, cfg.FilesPerDirSigma, 0, cfg.FilesPerDirMax)
 		for f := 0; f < nf; f++ {
-			if _, err := t.Create(d, fmt.Sprintf("f%04d", f)); err != nil {
+			if _, err := t.Create(d, nm.name("f", f, 4, "")); err != nil {
 				return err
 			}
 		}

@@ -6,6 +6,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -30,27 +31,27 @@ func RunOne(spec RunSpec) (*cluster.Result, error) {
 }
 
 // Sweep runs all specs on a worker pool of GOMAXPROCS goroutines and
-// returns results in spec order. The first error aborts reporting but
-// lets in-flight runs finish.
+// returns results in spec order. The semaphore is acquired before each
+// goroutine is spawned, so at most GOMAXPROCS workers exist at a time
+// (rather than one goroutine per spec all blocking on the semaphore).
+// All failures are reported, joined in spec order.
 func Sweep(specs []RunSpec) ([]*cluster.Result, error) {
 	results := make([]*cluster.Result, len(specs))
 	errs := make([]error, len(specs))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for i, spec := range specs {
+		sem <- struct{}{}
 		wg.Add(1)
 		go func(i int, spec RunSpec) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
 			results[i], errs[i] = RunOne(spec)
 		}(i, spec)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return results, nil
 }

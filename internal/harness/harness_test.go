@@ -2,6 +2,7 @@ package harness
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -56,6 +57,43 @@ func TestSweepParallelismMatchesSerial(t *testing.T) {
 	for i, r := range par {
 		if r.MeasuredOps != serial.MeasuredOps || r.HitRate != serial.HitRate {
 			t.Fatalf("parallel run %d diverged from serial: %v vs %v", i, r, serial)
+		}
+	}
+}
+
+// TestDeterminism is the regression guard for the simulator's core
+// contract: the same configuration and seed produce bit-identical
+// results, run serially or through the parallel sweep. Event pooling,
+// cache iteration order, and typed-callback dispatch must all preserve
+// this; a flaky diff here means nondeterminism crept into the hot path.
+func TestDeterminism(t *testing.T) {
+	cfg := cluster.Default()
+	cfg.Strategy = cluster.StratDynamic
+	cfg.NumMDS = 2
+	cfg.ClientsPerMDS = 10
+	cfg.FS.Users = 10
+	cfg.Duration = 2 * sim.Second
+	cfg.Warmup = 500 * sim.Millisecond
+	spec := RunSpec{Label: "det", Cfg: cfg}
+
+	first, err := RunOne(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunOne(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("serial reruns diverged:\n first: %+v\nsecond: %+v", first, second)
+	}
+	swept, err := Sweep([]RunSpec{spec, spec, spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range swept {
+		if !reflect.DeepEqual(first, r) {
+			t.Fatalf("sweep run %d diverged from serial:\nserial: %+v\n sweep: %+v", i, first, r)
 		}
 	}
 }

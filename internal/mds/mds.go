@@ -135,6 +135,31 @@ type Stats struct {
 	SizeCallbacks  uint64 // stat-time callbacks issued as authority
 }
 
+// pendingCall is one coalesced-fetch waiter in the engine's typed
+// callback form.
+type pendingCall struct {
+	fn   sim.EventFunc
+	a, b any
+}
+
+// fetch threads one record load through its asynchronous steps (disk
+// I/O or peer round trip) without per-step closures: the carrier is the
+// single event payload, and the continuation (fn, a, b) rides inside it.
+type fetch struct {
+	m    *MDS
+	ino  *namespace.Inode
+	cl   cache.Class
+	fn   sim.EventFunc
+	a, b any
+}
+
+// replyConsumer is optionally implemented by the Cluster. When Deliver
+// consumes replies synchronously (the real cluster: the client absorbs
+// hints and latency inside Deliver), the MDS recycles reply structs and
+// their hint slices. Test harnesses that retain replies simply do not
+// implement it.
+type replyConsumer interface{ DeliverConsumesReply() bool }
+
 // MDS is one metadata server.
 type MDS struct {
 	id      int
@@ -160,9 +185,20 @@ type MDS struct {
 
 	// pending coalesces concurrent fetches of the same record: one I/O
 	// (or peer fetch) serves every waiter. pendingDir does the same for
-	// whole-directory content loads.
-	pending    map[namespace.InodeID][]func()
-	pendingDir map[namespace.InodeID][]func()
+	// whole-directory content loads. Waiters are stored as typed calls
+	// by value, so coalescing allocates no closures.
+	pending    map[namespace.InodeID][]pendingCall
+	pendingDir map[namespace.InodeID][]pendingCall
+
+	// fetchPool recycles the fetch carriers that thread a record load
+	// through its disk or peer round trip; replyPool recycles reply
+	// structs (with their hint slices) when the cluster consumes
+	// replies synchronously on Deliver. Pooled objects are released
+	// only by the dispatch that consumes them, never while an engine
+	// event still references them (see DESIGN.md, "Pooling rules").
+	fetchPool   []*fetch
+	replyPool   []*msg.Reply
+	poolReplies bool
 
 	// sizePending holds locally absorbed monotonic size updates not
 	// yet flushed to authorities (§4.2).
@@ -202,8 +238,8 @@ func New(id int, eng *sim.Engine, cfg Config, strat partition.Strategy, tc *core
 		tc:          tc,
 		opsRate:     metrics.NewDecayCounter(cfg.RateHalfLife),
 		missRate:    metrics.NewDecayCounter(cfg.RateHalfLife),
-		pending:     make(map[namespace.InodeID][]func()),
-		pendingDir:  make(map[namespace.InodeID][]func()),
+		pending:     make(map[namespace.InodeID][]pendingCall),
+		pendingDir:  make(map[namespace.InodeID][]pendingCall),
 		opens:       make(map[namespace.InodeID]int),
 		orphans:     make(map[namespace.InodeID]*namespace.Inode),
 		sizePending: make(map[namespace.InodeID]int64),
@@ -213,6 +249,9 @@ func New(id int, eng *sim.Engine, cfg Config, strat partition.Strategy, tc *core
 	}
 	if l, ok := strat.(*partition.LazyHybrid); ok {
 		m.lh = l
+	}
+	if rc, ok := cl.(replyConsumer); ok && rc.DeliverConsumesReply() {
+		m.poolReplies = true
 	}
 	// When a replica (or remote prefix) is evicted, notify its
 	// authority so it can drop the holder from the replica set and is
@@ -229,12 +268,12 @@ func New(id int, eng *sim.Engine, cfg Config, strat partition.Strategy, tc *core
 		}
 		m.Stats.EvictNoticesSent++
 		peer := m.cluster.Node(auth)
-		m.eng.After(m.cfg.FwdLatency, func() {
-			peer.Stats.EvictNoticesRecvd++
-		})
+		m.eng.AfterCall(m.cfg.FwdLatency, evictNoticeArrive, peer, nil)
 	}
 	return m
 }
+
+func evictNoticeArrive(a, _ any) { a.(*MDS).Stats.EvictNoticesRecvd++ }
 
 // StartFlusher begins the periodic write-flush ticker. The cluster
 // calls it at Run time; a perpetual ticker must not be created during
@@ -280,8 +319,13 @@ func (m *MDS) Receive(req *msg.Request) {
 	// throughput caps out, but its offered load keeps rising — the
 	// balancer must see the latter.
 	m.opsRate.Add(m.eng.Now(), 1)
-	m.cpu.Submit(m.cfg.CPUService, func() { m.process(req) })
+	m.cpu.SubmitCall(m.cfg.CPUService, mdsProcess, m, req)
 }
+
+func mdsProcess(a, b any) { a.(*MDS).process(b.(*msg.Request)) }
+
+// mdsReceive delivers a forwarded request at its destination peer.
+func mdsReceive(a, b any) { a.(*MDS).Receive(b.(*msg.Request)) }
 
 // authorityFor resolves the node responsible for serving the request.
 func (m *MDS) authorityFor(req *msg.Request) int {
@@ -324,7 +368,7 @@ func (m *MDS) forward(req *msg.Request, to int) {
 	m.maybePreemptiveReplicate(req)
 	req.Hops++
 	peer := m.cluster.Node(to)
-	m.eng.After(m.cfg.FwdLatency, func() { peer.Receive(req) })
+	m.eng.AfterCall(m.cfg.FwdLatency, mdsReceive, peer, req)
 }
 
 // maybePreemptiveReplicate implements §5.4's suggested improvement: a
@@ -346,80 +390,119 @@ func (m *MDS) maybePreemptiveReplicate(req *msg.Request) {
 	m.tc.Preemptive++
 	// Pull the record from its authority and start advertising it as
 	// widely replicated; the authority's policy may consolidate later.
-	m.fetchRecord(target, cache.Replica, func() {
-		partition.TagsOf(target).SetReplica(m.id)
-		partition.TagsOf(target).ReplicatedAll = true
-	})
+	m.fetchRecord(target, cache.Replica, preemptiveInstalled, m, target)
+}
+
+func preemptiveInstalled(a, b any) {
+	m := a.(*MDS)
+	target := b.(*namespace.Inode)
+	partition.TagsOf(target).SetReplica(m.id)
+	partition.TagsOf(target).ReplicatedAll = true
 }
 
 // serve handles a request this node is authoritative for.
 func (m *MDS) serve(req *msg.Request) {
 	if m.strat.NeedsPathTraversal() {
-		m.ensurePath(req, req.Target.Ancestors(), func() {
-			m.fetchTarget(req)
-		})
+		m.servePath(req)
 		return
 	}
 	m.fetchTarget(req)
 }
 
-// ensurePath brings the ancestor chain (root downward) into the cache,
+func mdsServePath(a, b any) { a.(*MDS).servePath(b.(*msg.Request)) }
+
+// servePath brings the ancestor chain (root downward) into the cache,
 // fetching missing prefixes from disk or their authoritative peers.
-func (m *MDS) ensurePath(req *msg.Request, chain []*namespace.Inode, done func()) {
-	for i, a := range chain {
-		if m.cache.Contains(a.ID) {
-			continue
+// Each fetch completion resumes the scan; the parent-chain walk uses no
+// scratch slice, so the all-cached fast path allocates nothing.
+func (m *MDS) servePath(req *msg.Request) {
+	// Highest uncached ancestor: the last miss seen walking upward.
+	var missing *namespace.Inode
+	for c := req.Target.Parent(); c != nil; c = c.Parent() {
+		if !m.cache.Contains(c.ID) {
+			missing = c
 		}
-		rest := chain[i+1:]
-		m.fetchPrefix(a, func() {
-			m.ensurePath(req, rest, done)
-		})
+	}
+	if missing == nil {
+		m.fetchTarget(req)
 		return
 	}
-	done()
-}
-
-// fetchPrefix obtains one missing ancestor directory inode.
-func (m *MDS) fetchPrefix(ino *namespace.Inode, done func()) {
-	m.fetchRecord(ino, cache.Prefix, done)
+	m.fetchRecord(missing, cache.Prefix, mdsServePath, m, req)
 }
 
 // fetchRecord brings one record into the cache, coalescing concurrent
 // fetches of the same inode into a single I/O or peer round trip.
-func (m *MDS) fetchRecord(ino *namespace.Inode, cl cache.Class, done func()) {
+// fn(a, b) runs once the record is cached.
+func (m *MDS) fetchRecord(ino *namespace.Inode, cl cache.Class, fn sim.EventFunc, a, b any) {
 	if waiters, inFlight := m.pending[ino.ID]; inFlight {
-		m.pending[ino.ID] = append(waiters, done)
+		m.pending[ino.ID] = append(waiters, pendingCall{fn, a, b})
 		return
 	}
 	m.pending[ino.ID] = nil
 	m.noteMiss()
-	finish := func() {
-		waiters := m.pending[ino.ID]
-		delete(m.pending, ino.ID)
-		done()
-		for _, w := range waiters {
-			w()
-		}
-	}
+	f := m.getFetch()
+	f.ino, f.cl, f.fn, f.a, f.b = ino, cl, fn, a, b
 	if m.strat.Authority(ino) == m.id {
-		m.diskLoad(ino, cl, finish)
+		m.diskLoad(f)
 		return
 	}
 	// Remote record: round trip to the authority, then install a
 	// replica locally (for prefixes, the overhead Figure 3 measures).
 	m.Stats.RemoteFetches++
 	peer := m.cluster.Node(m.strat.Authority(ino))
-	m.eng.After(m.cfg.FwdLatency, func() {
-		peer.handleFetch(ino, func() {
-			m.eng.After(m.cfg.FwdLatency, func() {
-				if m.failed {
-					return
-				}
-				m.installPrefix(ino)
-				finish()
-			})
-		})
-	})
+	m.eng.AfterCall(m.cfg.FwdLatency, remoteFetchAtPeer, peer, f)
+}
+
+func (m *MDS) getFetch() *fetch {
+	if n := len(m.fetchPool); n > 0 {
+		f := m.fetchPool[n-1]
+		m.fetchPool[n-1] = nil
+		m.fetchPool = m.fetchPool[:n-1]
+		return f
+	}
+	return &fetch{m: m}
+}
+
+// putFetch releases a carrier back to its owning node's pool. Only the
+// dispatch that consumed the carrier may call it (see DESIGN.md).
+func (m *MDS) putFetch(f *fetch) {
+	f.ino, f.fn, f.a, f.b = nil, nil, nil, nil
+	m.fetchPool = append(m.fetchPool, f)
+}
+
+// finishFetch completes a coalesced fetch: it releases the carrier,
+// then runs the initiator's continuation and every waiter.
+func finishFetch(f *fetch) {
+	m, ino, fn, a, b := f.m, f.ino, f.fn, f.a, f.b
+	m.putFetch(f)
+	waiters := m.pending[ino.ID]
+	delete(m.pending, ino.ID)
+	fn(a, b)
+	for _, w := range waiters {
+		w.fn(w.a, w.b)
+	}
+}
+
+// remoteFetchAtPeer runs at the authoritative peer after one forward
+// hop: serve the fetch, then hop back and install.
+func remoteFetchAtPeer(a, b any) {
+	peer := a.(*MDS)
+	f := b.(*fetch)
+	peer.handleFetch(f.ino, remoteFetchReturn, f, nil)
+}
+
+func remoteFetchReturn(x, _ any) {
+	f := x.(*fetch)
+	f.m.eng.AfterCall(f.m.cfg.FwdLatency, remoteFetchInstall, f, nil)
+}
+
+func remoteFetchInstall(x, _ any) {
+	f := x.(*fetch)
+	if f.m.failed {
+		return
+	}
+	f.m.installPrefix(f.ino)
+	finishFetch(f)
 }
 
 // installPrefix caches a remotely fetched ancestor. Ancestors above it
@@ -434,26 +517,43 @@ func (m *MDS) installPrefix(ino *namespace.Inode) {
 	partition.TagsOf(ino).SetReplica(m.id)
 }
 
-// handleFetch serves a peer's request for one inode record.
-func (m *MDS) handleFetch(ino *namespace.Inode, done func()) {
+// handleFetch serves a peer's request for one inode record. fn(a, b)
+// runs once the record is available at this node. The request threads
+// through this node's CPU and disk on a carrier drawn from this node's
+// own pool (the caller's carrier belongs to the caller's pool).
+func (m *MDS) handleFetch(ino *namespace.Inode, fn sim.EventFunc, a, b any) {
 	if m.failed {
 		return
 	}
 	m.Stats.PeerFetchServes++
-	m.cpu.Submit(m.cfg.PeerService, func() {
-		if m.cache.Contains(ino.ID) {
-			m.cache.Get(ino.ID)
-			done()
-			return
-		}
-		// Load just this record; a single-record read regardless of
-		// layout keeps peer fetches cheap and terminating.
-		m.noteMiss()
-		m.store.ReadInode(ino.ID, func() {
-			m.cache.InsertDetached(ino, cache.Prefix, false)
-			done()
-		})
-	})
+	pf := m.getFetch()
+	pf.ino, pf.fn, pf.a, pf.b = ino, fn, a, b
+	m.cpu.SubmitCall(m.cfg.PeerService, peerFetchServe, pf, nil)
+}
+
+func peerFetchServe(x, _ any) {
+	pf := x.(*fetch)
+	m := pf.m
+	if m.cache.Contains(pf.ino.ID) {
+		m.cache.Get(pf.ino.ID)
+		fn, a, b := pf.fn, pf.a, pf.b
+		m.putFetch(pf)
+		fn(a, b)
+		return
+	}
+	// Load just this record; a single-record read regardless of
+	// layout keeps peer fetches cheap and terminating.
+	m.noteMiss()
+	m.store.ReadInodeCall(pf.ino.ID, peerFetchLoaded, pf, nil)
+}
+
+func peerFetchLoaded(x, _ any) {
+	pf := x.(*fetch)
+	m := pf.m
+	m.cache.InsertDetached(pf.ino, cache.Prefix, false)
+	fn, a, b := pf.fn, pf.a, pf.b
+	m.putFetch(pf)
+	fn(a, b)
 }
 
 // fetchTarget ensures the operation's target record is cached, then
@@ -469,82 +569,100 @@ func (m *MDS) fetchTarget(req *msg.Request) {
 	// whether or not the fetch below coalesces with one in flight.
 	m.cache.NoteMiss()
 	if m.strat.NeedsPathTraversal() {
-		m.fetchRecord(target, cache.Auth, func() { m.finishServe(req) })
+		m.fetchRecord(target, cache.Auth, mdsFinishServe, m, req)
 		return
 	}
 	// Scattered per-inode layout without traversal (Lazy Hybrid);
 	// still coalesce duplicate in-flight fetches.
 	if waiters, inFlight := m.pending[target.ID]; inFlight {
-		m.pending[target.ID] = append(waiters, func() { m.finishServe(req) })
+		m.pending[target.ID] = append(waiters, pendingCall{mdsFinishServe, m, req})
 		return
 	}
 	m.pending[target.ID] = nil
 	m.noteMiss()
-	m.store.ReadInode(target.ID, func() {
-		if m.failed {
-			return
-		}
-		m.cache.InsertDetached(target, cache.Auth, false)
-		waiters := m.pending[target.ID]
-		delete(m.pending, target.ID)
-		m.finishServe(req)
-		for _, w := range waiters {
-			w()
-		}
-	})
+	m.store.ReadInodeCall(target.ID, scatteredTargetLoaded, m, req)
 }
 
-// diskLoad reads the record for ino from this node's store and inserts
-// it (plus, for directory-granular layouts, its embedded siblings as
-// warm prefetches).
-func (m *MDS) diskLoad(ino *namespace.Inode, cl cache.Class, done func()) {
-	if !m.strat.DirGranular() {
-		m.store.ReadInode(ino.ID, func() {
-			if m.failed {
-				return
-			}
-			m.insertLoaded(ino, cl)
-			done()
-		})
+func mdsFinishServe(a, b any) { a.(*MDS).finishServe(b.(*msg.Request)) }
+
+// scatteredTargetLoaded completes a scattered-layout target read: cache
+// the record, serve the initiating request, then every coalesced waiter.
+func scatteredTargetLoaded(a, b any) {
+	m := a.(*MDS)
+	req := b.(*msg.Request)
+	if m.failed {
 		return
 	}
-	parent := ino.Parent()
+	target := req.Target
+	m.cache.InsertDetached(target, cache.Auth, false)
+	waiters := m.pending[target.ID]
+	delete(m.pending, target.ID)
+	m.finishServe(req)
+	for _, w := range waiters {
+		w.fn(w.a, w.b)
+	}
+}
+
+// diskLoad reads the record carried by f from this node's store and
+// inserts it (plus, for directory-granular layouts, its embedded
+// siblings as warm prefetches).
+func (m *MDS) diskLoad(f *fetch) {
+	if !m.strat.DirGranular() {
+		m.store.ReadInodeCall(f.ino.ID, inodeLoaded, f, nil)
+		return
+	}
+	parent := f.ino.Parent()
 	records := 1
 	if parent != nil {
 		records = 1 + parent.NumChildren()
 	}
 	// The object read is the parent directory's object (or the inode's
 	// own object at the root).
-	obj := ino.ID
+	obj := f.ino.ID
 	if parent != nil {
 		obj = parent.ID
 	}
-	m.store.ReadDir(obj, records, func() {
-		if m.failed {
-			return
-		}
-		m.insertLoaded(ino, cl)
-		// Embedded inodes: the whole directory came along; insert the
-		// siblings near the LRU tail (§4.5).
-		if parent != nil && !m.cfg.NoPrefetch {
-			for _, sib := range parent.Children() {
-				if sib == ino || m.cache.Contains(sib.ID) {
-					continue
-				}
-				sibClass := cache.Replica
-				if m.strat.Authority(sib) == m.id {
-					sibClass = cache.Auth
-				}
-				if _, err := m.cache.InsertPath(sib, sibClass, !m.cfg.PrefetchHot); err != nil {
-					break // parent chain evicted mid-load; stop prefetching
-				}
-				if sibClass == cache.Replica {
-					partition.TagsOf(sib).SetReplica(m.id)
-				}
+	m.store.ReadDirCall(obj, records, dirLoaded, f, nil)
+}
+
+func inodeLoaded(x, _ any) {
+	f := x.(*fetch)
+	m := f.m
+	if m.failed {
+		return
+	}
+	m.insertLoaded(f.ino, f.cl)
+	finishFetch(f)
+}
+
+func dirLoaded(x, _ any) {
+	f := x.(*fetch)
+	m := f.m
+	if m.failed {
+		return
+	}
+	ino := f.ino
+	m.insertLoaded(ino, f.cl)
+	// Embedded inodes: the whole directory came along; insert the
+	// siblings near the LRU tail (§4.5).
+	if parent := ino.Parent(); parent != nil && !m.cfg.NoPrefetch {
+		for _, sib := range parent.Children() {
+			if sib == ino || m.cache.Contains(sib.ID) {
+				continue
+			}
+			sibClass := cache.Replica
+			if m.strat.Authority(sib) == m.id {
+				sibClass = cache.Auth
+			}
+			if _, err := m.cache.InsertPath(sib, sibClass, !m.cfg.PrefetchHot); err != nil {
+				break // parent chain evicted mid-load; stop prefetching
+			}
+			if sibClass == cache.Replica {
+				partition.TagsOf(sib).SetReplica(m.id)
 			}
 		}
-		done()
-	})
+	}
+	finishFetch(f)
 }
 
 func (m *MDS) insertLoaded(ino *namespace.Inode, cl cache.Class) {
@@ -588,49 +706,55 @@ func (m *MDS) finishServe2(req *msg.Request) {
 			}
 		}
 		if missing {
-			m.loadDirContents(target, func() { m.completeOp(req) })
+			m.loadDirContents(target, mdsCompleteOp, m, req)
 			return
 		}
 	}
 	m.completeOp(req)
 }
 
+func mdsCompleteOp(a, b any) { a.(*MDS).completeOp(b.(*msg.Request)) }
+
 // loadDirContents fetches a directory's own object — its entries plus
 // embedded child inodes — warming every child into the cache (§4.5).
-// Concurrent loads of the same directory coalesce.
-func (m *MDS) loadDirContents(dir *namespace.Inode, done func()) {
+// Concurrent loads of the same directory coalesce; the initiator is
+// simply the first waiter, so completion order is initiator-first.
+func (m *MDS) loadDirContents(dir *namespace.Inode, fn sim.EventFunc, a, b any) {
 	if waiters, inFlight := m.pendingDir[dir.ID]; inFlight {
-		m.pendingDir[dir.ID] = append(waiters, done)
+		m.pendingDir[dir.ID] = append(waiters, pendingCall{fn, a, b})
 		return
 	}
-	m.pendingDir[dir.ID] = nil
+	m.pendingDir[dir.ID] = []pendingCall{{fn, a, b}}
 	m.noteMiss()
-	m.store.ReadDir(dir.ID, 1+dir.NumChildren(), func() {
-		if m.failed {
-			return
+	m.store.ReadDirCall(dir.ID, 1+dir.NumChildren(), dirContentsLoaded, m, dir)
+}
+
+func dirContentsLoaded(x, y any) {
+	m := x.(*MDS)
+	dir := y.(*namespace.Inode)
+	if m.failed {
+		return
+	}
+	for _, c := range dir.Children() {
+		if m.cache.Contains(c.ID) {
+			continue
 		}
-		for _, c := range dir.Children() {
-			if m.cache.Contains(c.ID) {
-				continue
-			}
-			cl := cache.Replica
-			if m.strat.Authority(c) == m.id {
-				cl = cache.Auth
-			}
-			if _, err := m.cache.InsertPath(c, cl, !m.cfg.PrefetchHot); err != nil {
-				break
-			}
-			if cl == cache.Replica {
-				partition.TagsOf(c).SetReplica(m.id)
-			}
+		cl := cache.Replica
+		if m.strat.Authority(c) == m.id {
+			cl = cache.Auth
 		}
-		waiters := m.pendingDir[dir.ID]
-		delete(m.pendingDir, dir.ID)
-		done()
-		for _, w := range waiters {
-			w()
+		if _, err := m.cache.InsertPath(c, cl, !m.cfg.PrefetchHot); err != nil {
+			break
 		}
-	})
+		if cl == cache.Replica {
+			partition.TagsOf(c).SetReplica(m.id)
+		}
+	}
+	waiters := m.pendingDir[dir.ID]
+	delete(m.pendingDir, dir.ID)
+	for _, w := range waiters {
+		w.fn(w.a, w.b)
+	}
 }
 
 func (m *MDS) completeOp(req *msg.Request) {
@@ -642,16 +766,29 @@ func (m *MDS) completeOp(req *msg.Request) {
 			// flusher; structural updates propagate immediately.
 			m.propagateCoherence(target)
 		}
-		m.commit(target, func() { m.finishReply(req) })
+		m.Stats.Commits++
+		m.store.CommitCall(target.ID, commitFinishReply, m, req)
 		return
 	}
 	if req.Op == msg.Stat {
 		// Reads observe the latest size: call back to unflushed
-		// writers first (§4.2).
-		m.statCallback(req, func() { m.finishReply(req) })
-		return
+		// writers first (§4.2). The no-unflushed-writers fast path
+		// replies directly.
+		if mask := m.statCallbackMask(req.Target); mask != 0 {
+			m.statCallbackSlow(req, mask)
+			return
+		}
 	}
 	m.finishReply(req)
+}
+
+// commitFinishReply completes an update once its log append commits.
+func commitFinishReply(a, b any) {
+	m := a.(*MDS)
+	if m.failed {
+		return
+	}
+	m.finishReply(b.(*msg.Request))
 }
 
 // propagateCoherence pushes an updated record to every replica holder:
@@ -669,14 +806,17 @@ func (m *MDS) propagateCoherence(target *namespace.Inode) {
 		}
 		m.Stats.CoherenceSent++
 		peer := m.cluster.Node(i)
-		m.eng.After(m.cfg.FwdLatency, func() {
-			if peer.failed {
-				return
-			}
-			peer.Stats.CoherenceReceived++
-			peer.cpu.Submit(peer.cfg.PeerService, nil)
-		})
+		m.eng.AfterCall(m.cfg.FwdLatency, coherenceArrive, peer, nil)
 	}
+}
+
+func coherenceArrive(a, _ any) {
+	peer := a.(*MDS)
+	if peer.failed {
+		return
+	}
+	peer.Stats.CoherenceReceived++
+	peer.cpu.Submit(peer.cfg.PeerService, nil)
 }
 
 func (m *MDS) finishReply(req *msg.Request) {
@@ -831,58 +971,101 @@ func (m *MDS) pushReplicas(target *namespace.Inode) {
 			continue
 		}
 		peer := m.cluster.Node(i)
-		m.eng.After(m.cfg.FwdLatency, func() { peer.installReplica(target) })
+		m.eng.AfterCall(m.cfg.FwdLatency, installReplicaAt, peer, target)
 	}
 	m.Stats.ReplicasPushed += uint64(m.cluster.NumMDS() - 1)
 }
+
+func installReplicaAt(a, b any) { a.(*MDS).installReplica(b.(*namespace.Inode)) }
 
 func (m *MDS) installReplica(target *namespace.Inode) {
 	if m.failed {
 		return
 	}
 	m.Stats.ReplicaInstalls++
-	m.cpu.Submit(m.cfg.PeerService, func() {
-		if _, err := m.cache.InsertPath(target, cache.Replica, false); err != nil {
-			m.cache.InsertDetached(target, cache.Replica, false)
-		}
-		partition.TagsOf(target).SetReplica(m.id)
-	})
+	m.cpu.SubmitCall(m.cfg.PeerService, installReplicaApply, m, target)
+}
+
+func installReplicaApply(a, b any) {
+	m := a.(*MDS)
+	target := b.(*namespace.Inode)
+	if _, err := m.cache.InsertPath(target, cache.Replica, false); err != nil {
+		m.cache.InsertDetached(target, cache.Replica, false)
+	}
+	partition.TagsOf(target).SetReplica(m.id)
 }
 
 // reply completes the request: hints tell the client where the target
-// and its prefixes live (§4.4), steering future requests.
+// and its prefixes live (§4.4), steering future requests. When the
+// cluster consumes replies on Deliver, the struct and its hint slice
+// come from (and return to) the node's reply pool.
 func (m *MDS) reply(req *msg.Request) {
 	m.Stats.Served++
 	now := m.eng.Now()
 	if m.OnReply != nil {
 		m.OnReply(m.id, req, now)
 	}
-	rep := &msg.Reply{Req: req, ServedBy: m.id, Completed: now + m.cfg.NetLatency}
+	rep := m.getReply()
+	rep.Req, rep.ServedBy, rep.Completed = req, m.id, now+m.cfg.NetLatency
 	if !m.strat.ClientComputable() {
-		rep.Hints = m.hints(req.Target)
+		rep.Hints = m.appendHints(rep.Hints[:0], req.Target)
 	}
-	m.eng.After(m.cfg.NetLatency, func() { m.cluster.Deliver(rep) })
+	m.eng.AfterCall(m.cfg.NetLatency, mdsDeliver, m, rep)
 }
 
-// hints describes the current distribution of the target and its prefix
-// directories. The root is never hinted: it is implicitly known to all
-// clients and highly replicated.
-func (m *MDS) hints(target *namespace.Inode) []msg.Hint {
-	var hs []msg.Hint
-	add := func(n *namespace.Inode) {
-		if n.Parent() == nil {
-			return
+func (m *MDS) getReply() *msg.Reply {
+	if n := len(m.replyPool); n > 0 {
+		rep := m.replyPool[n-1]
+		m.replyPool[n-1] = nil
+		m.replyPool = m.replyPool[:n-1]
+		return rep
+	}
+	return &msg.Reply{}
+}
+
+// mdsDeliver hands the reply to the client and, when Deliver consumes
+// it synchronously, recycles the struct. The client detaches rep.Req
+// for its own pool inside Deliver, before the clear here.
+func mdsDeliver(a, b any) {
+	m := a.(*MDS)
+	rep := b.(*msg.Reply)
+	m.cluster.Deliver(rep)
+	if m.poolReplies {
+		rep.Req = nil
+		rep.Hints = rep.Hints[:0]
+		m.replyPool = append(m.replyPool, rep)
+	}
+}
+
+// appendHints appends the distribution of the target and its prefix
+// directories to hs (reusing its capacity). The root is never hinted:
+// it is implicitly known to all clients and highly replicated. Order is
+// root-first ancestors, then the target, as clients expect.
+func (m *MDS) appendHints(hs []msg.Hint, target *namespace.Inode) []msg.Hint {
+	var stack [64]*namespace.Inode
+	n := 0
+	for c := target.Parent(); c != nil && n < len(stack); c = c.Parent() {
+		stack[n] = c
+		n++
+	}
+	for i := n - 1; i >= 0; i-- {
+		a := stack[i]
+		if a.Parent() == nil {
+			continue // root
 		}
 		hs = append(hs, msg.Hint{
-			Ino:        n.ID,
-			Authority:  m.strat.Authority(n),
-			Replicated: m.tc.Replicated(n),
+			Ino:        a.ID,
+			Authority:  m.strat.Authority(a),
+			Replicated: m.tc.Replicated(a),
 		})
 	}
-	for _, a := range target.Ancestors() {
-		add(a)
+	if target.Parent() != nil {
+		hs = append(hs, msg.Hint{
+			Ino:        target.ID,
+			Authority:  m.strat.Authority(target),
+			Replicated: m.tc.Replicated(target),
+		})
 	}
-	add(target)
 	return hs
 }
 

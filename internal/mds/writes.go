@@ -86,19 +86,24 @@ func (m *MDS) clearUnflushed(ino *namespace.Inode) {
 	}
 }
 
-// statCallback collects outstanding write maxima from unflushed
-// writers before a Stat reply, so reads observe the latest size. done
-// runs when every callback answered.
-func (m *MDS) statCallback(req *msg.Request, done func()) {
-	target := req.Target
+// statCallbackMask returns the set of peers holding unflushed size
+// maxima for target — the writers a Stat must call back to (§4.2).
+// Zero means the reply can go out immediately; the caller keeps that
+// fast path allocation-free by checking before statCallbackSlow.
+func (m *MDS) statCallbackMask(target *namespace.Inode) uint64 {
 	mask := partition.TagsOf(target).UnflushedWriters
 	if m.id < 64 {
 		mask &^= 1 << uint(m.id)
 	}
-	if mask == 0 {
-		done()
-		return
-	}
+	return mask
+}
+
+// statCallbackSlow collects outstanding write maxima from the unflushed
+// writers in mask, then replies. Callbacks are rare enough that the
+// per-round-trip closures here do not matter.
+func (m *MDS) statCallbackSlow(req *msg.Request, mask uint64) {
+	target := req.Target
+	done := func() { m.finishReply(req) }
 	m.Stats.SizeCallbacks++
 	outstanding := 0
 	for i := 0; i < m.cluster.NumMDS() && i < 64; i++ {

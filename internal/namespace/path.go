@@ -1,0 +1,82 @@
+package namespace
+
+// Path segmentation and name interning.
+//
+// Resolving a path used to strings.Split every Lookup, allocating a
+// slice plus one substring header per component. SegmentIter walks the
+// same components as substrings of the original path — no allocation at
+// all. The Interner deduplicates component strings at generation time:
+// synthetic trees repeat a small set of names ("f0000" exists in every
+// user's directories), so interning collapses millions of retained name
+// strings to a few thousand.
+
+// SegmentIter iterates over the slash-separated components of a path.
+// The zero value is empty; construct with Segments.
+type SegmentIter struct {
+	path string
+	pos  int
+}
+
+// Segments returns an iterator over path's non-empty components.
+// Leading, trailing, and repeated slashes are skipped, matching the
+// semantics of strings.Split + "skip empty parts".
+func Segments(path string) SegmentIter {
+	return SegmentIter{path: path}
+}
+
+// Next returns the next component as a substring of the original path
+// (no copy), and whether one was present.
+func (it *SegmentIter) Next() (string, bool) {
+	p := it.path
+	i := it.pos
+	for i < len(p) && p[i] == '/' {
+		i++
+	}
+	if i == len(p) {
+		it.pos = i
+		return "", false
+	}
+	start := i
+	for i < len(p) && p[i] != '/' {
+		i++
+	}
+	it.pos = i
+	return p[start:i], true
+}
+
+// Interner deduplicates strings. Intended for name generation: a
+// generator builds candidate names in a scratch buffer and interns
+// them, so each distinct name is allocated exactly once no matter how
+// many inodes share it.
+type Interner struct {
+	m map[string]string
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{m: make(map[string]string)}
+}
+
+// Intern returns the canonical copy of s.
+func (in *Interner) Intern(s string) string {
+	if c, ok := in.m[s]; ok {
+		return c
+	}
+	in.m[s] = s
+	return s
+}
+
+// InternBytes returns the canonical string for b without allocating on
+// a hit: the map lookup with a string-converted key does not copy, so
+// only the first sighting of a name pays for its string.
+func (in *Interner) InternBytes(b []byte) string {
+	if c, ok := in.m[string(b)]; ok {
+		return c
+	}
+	s := string(b)
+	in.m[s] = s
+	return s
+}
+
+// Len reports the number of distinct interned strings.
+func (in *Interner) Len() int { return len(in.m) }

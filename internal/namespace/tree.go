@@ -191,15 +191,18 @@ func (t *Tree) Link(n *Inode, dir *Inode, name string) error {
 	return nil
 }
 
-// Lookup resolves an absolute slash-separated path.
+// Lookup resolves an absolute slash-separated path. Components are
+// iterated in place (see Segments), so resolution does not allocate.
 func (t *Tree) Lookup(path string) (*Inode, error) {
 	if path == "" || path[0] != '/' {
 		return nil, fmt.Errorf("namespace: path %q is not absolute", path)
 	}
 	n := t.Root
-	for _, part := range strings.Split(path, "/") {
-		if part == "" {
-			continue
+	it := Segments(path)
+	for {
+		part, ok := it.Next()
+		if !ok {
+			return n, nil
 		}
 		c, ok := n.LookupChild(part)
 		if !ok {
@@ -207,7 +210,6 @@ func (t *Tree) Lookup(path string) (*Inode, error) {
 		}
 		n = c
 	}
-	return n, nil
 }
 
 // Walk visits every inode in depth-first order, parents before children.

@@ -7,12 +7,20 @@ package sim
 // NIC (width n).
 //
 // Jobs are served in submission order. When a job's service completes its
-// done callback runs at the completion instant.
+// callback runs at the completion instant.
+//
+// Jobs are pooled: a free-list of *job structs is recycled so a
+// steady-state submit/complete cycle allocates nothing. A job is
+// returned to the free list only by the completion event that consumes
+// it — never while its completion is still queued in the engine — so
+// Engine.Stop leaving events queued cannot corrupt the pool (see
+// DESIGN.md, "Pooling rules").
 type Server struct {
 	eng   *Engine
 	width int
 	busy  int
-	queue []job
+	queue []*job
+	free  []*job
 
 	// Stats
 	Completed  uint64
@@ -21,9 +29,13 @@ type Server struct {
 	lastChange Time
 }
 
+// job is one pooled unit of service. fn/a/b use the engine's typed
+// callback convention; the legacy done-func form rides in fn=callFunc0.
 type job struct {
+	s       *Server
 	service Time
-	done    func()
+	fn      EventFunc
+	a, b    any
 }
 
 // NewServer creates a service centre with the given parallel width.
@@ -57,34 +69,67 @@ func (s *Server) account(now Time) {
 // Submit enqueues a job with the given service time. done runs when the
 // job completes; it may be nil.
 func (s *Server) Submit(service Time, done func()) {
+	if done == nil {
+		s.SubmitCall(service, nil, nil, nil)
+		return
+	}
+	s.SubmitCall(service, callFunc0, done, nil)
+}
+
+// SubmitCall enqueues a job whose completion runs fn(a, b) — the
+// allocation-free form of Submit. fn may be nil.
+func (s *Server) SubmitCall(service Time, fn EventFunc, a, b any) {
 	if service < 0 {
 		panic("sim: negative service time")
 	}
 	s.Submitted++
 	s.account(s.eng.Now())
+	j := s.getJob()
+	j.service, j.fn, j.a, j.b = service, fn, a, b
 	if s.busy < s.width {
-		s.start(job{service, done})
+		s.start(j)
 		return
 	}
-	s.queue = append(s.queue, job{service, done})
+	s.queue = append(s.queue, j)
 }
 
-func (s *Server) start(j job) {
+func (s *Server) getJob() *job {
+	if n := len(s.free); n > 0 {
+		j := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return j
+	}
+	return &job{s: s}
+}
+
+func (s *Server) start(j *job) {
 	s.busy++
-	s.eng.After(j.service, func() {
-		s.account(s.eng.Now())
-		s.busy--
-		s.Completed++
-		if len(s.queue) > 0 {
-			next := s.queue[0]
-			// Shift rather than re-slice forever to avoid leaking the
-			// backing array on long runs.
-			copy(s.queue, s.queue[1:])
-			s.queue = s.queue[:len(s.queue)-1]
-			s.start(next)
-		}
-		if j.done != nil {
-			j.done()
-		}
-	})
+	s.eng.AfterCall(j.service, jobComplete, j, nil)
+}
+
+// jobComplete is the pooled completion dispatcher: it releases the job
+// back to the free list before invoking the callback, so the callback
+// may resubmit without growing the pool.
+func jobComplete(x, _ any) {
+	j := x.(*job)
+	s := j.s
+	s.account(s.eng.Now())
+	s.busy--
+	s.Completed++
+	fn, a, b := j.fn, j.a, j.b
+	j.fn, j.a, j.b = nil, nil, nil
+	s.free = append(s.free, j)
+	if len(s.queue) > 0 {
+		next := s.queue[0]
+		// Shift rather than re-slice forever to avoid leaking the
+		// backing array on long runs.
+		copy(s.queue, s.queue[1:])
+		s.queue[len(s.queue)-1] = nil
+		s.queue = s.queue[:len(s.queue)-1]
+		s.start(next)
+	}
+	if fn != nil {
+		fn(a, b)
+	}
 }

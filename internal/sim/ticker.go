@@ -22,8 +22,13 @@ func NewTicker(eng *Engine, period Time, fn func(now Time)) *Ticker {
 // Start schedules the first tick phase+period from now.
 func (t *Ticker) Start(phase Time) {
 	t.stopped = false
-	t.eng.After(phase+t.period, t.tick)
+	t.eng.AfterCall(phase+t.period, tickerTick, t, nil)
 }
+
+// tickerTick is the recurring tick dispatcher: the ticker itself is the
+// event payload, so a perpetual ticker schedules forever without
+// allocating (no method-value closure per tick).
+func tickerTick(a, _ any) { a.(*Ticker).tick() }
 
 func (t *Ticker) tick() {
 	if t.stopped {
@@ -32,7 +37,7 @@ func (t *Ticker) tick() {
 	t.Ticks++
 	t.fn(t.eng.Now())
 	if !t.stopped {
-		t.eng.After(t.period, t.tick)
+		t.eng.AfterCall(t.period, tickerTick, t, nil)
 	}
 }
 

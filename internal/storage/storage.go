@@ -117,6 +117,20 @@ func (s *Store) ReadInode(id namespace.InodeID, done func()) {
 	s.readDisk.Submit(s.cfg.ReadLatency+s.cfg.ReadPerRecord, done)
 }
 
+// ReadInodeCall is the allocation-free form of ReadInode: the
+// completion runs fn(a, b) with the payload riding in the event. The
+// shared-pool path still closes over the arguments (it is an ablation
+// configuration, not the measured hot path).
+func (s *Store) ReadInodeCall(id namespace.InodeID, fn sim.EventFunc, a, b any) {
+	s.Stats.InodeReads++
+	s.Stats.RecordsRead++
+	if s.cfg.Pool != nil {
+		s.cfg.Pool.Read(osd.DirObject(id), 1, func() { fn(a, b) })
+		return
+	}
+	s.readDisk.SubmitCall(s.cfg.ReadLatency+s.cfg.ReadPerRecord, fn, a, b)
+}
+
 // ReadDir fetches directory dir and its embedded inodes in one I/O:
 // records is the number of entries transferred (directory + children).
 func (s *Store) ReadDir(dir namespace.InodeID, records int, done func()) {
@@ -130,6 +144,20 @@ func (s *Store) ReadDir(dir namespace.InodeID, records int, done func()) {
 		return
 	}
 	s.readDisk.Submit(s.cfg.ReadLatency+sim.Time(records)*s.cfg.ReadPerRecord, done)
+}
+
+// ReadDirCall is the allocation-free form of ReadDir.
+func (s *Store) ReadDirCall(dir namespace.InodeID, records int, fn sim.EventFunc, a, b any) {
+	if records < 1 {
+		records = 1
+	}
+	s.Stats.DirReads++
+	s.Stats.RecordsRead += uint64(records)
+	if s.cfg.Pool != nil {
+		s.cfg.Pool.Read(osd.DirObject(dir), records, func() { fn(a, b) })
+		return
+	}
+	s.readDisk.SubmitCall(s.cfg.ReadLatency+sim.Time(records)*s.cfg.ReadPerRecord, fn, a, b)
 }
 
 // Commit appends an update for the inode to the bounded log. Records
@@ -148,6 +176,19 @@ func (s *Store) Commit(id namespace.InodeID, done func()) {
 		return
 	}
 	s.logDisk.Submit(s.cfg.LogAppendLatency, done)
+}
+
+// CommitCall is the allocation-free form of Commit.
+func (s *Store) CommitCall(id namespace.InodeID, fn sim.EventFunc, a, b any) {
+	s.Stats.LogAppends++
+	if expelled := s.log.Append(id); expelled {
+		s.Stats.TierWrites++
+	}
+	if s.cfg.Pool != nil {
+		s.cfg.Pool.Write(osd.LogObject(s.cfg.PoolOwner), func() { fn(a, b) })
+		return
+	}
+	s.logDisk.SubmitCall(s.cfg.LogAppendLatency, fn, a, b)
 }
 
 // WorkingSet returns the distinct inode IDs currently in the log, oldest

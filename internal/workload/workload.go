@@ -18,7 +18,7 @@
 package workload
 
 import (
-	"fmt"
+	"strconv"
 
 	"dynmds/internal/msg"
 	"dynmds/internal/namespace"
@@ -191,7 +191,7 @@ func (g *General) Next(now sim.Time, r *sim.RNG) (Op, bool) {
 		return Op{Op: msg.Readdir, Target: dir}, true
 	case x < m.Stat+m.Open+m.Readdir+m.Create:
 		g.seq++
-		return Op{Op: msg.Create, Target: dir, NewName: fmt.Sprintf("c%d_%d", g.client, g.seq)}, true
+		return Op{Op: msg.Create, Target: dir, NewName: newName('c', g.client, g.seq)}, true
 	case x < m.Stat+m.Open+m.Readdir+m.Create+m.Unlink:
 		if f := pickFile(dir, r); f != nil {
 			return Op{Op: msg.Unlink, Target: f}, true
@@ -199,7 +199,7 @@ func (g *General) Next(now sim.Time, r *sim.RNG) (Op, bool) {
 		return Op{Op: msg.Stat, Target: dir}, true
 	case x < m.Stat+m.Open+m.Readdir+m.Create+m.Unlink+m.Mkdir:
 		g.seq++
-		return Op{Op: msg.Mkdir, Target: dir, NewName: fmt.Sprintf("d%d_%d", g.client, g.seq)}, true
+		return Op{Op: msg.Mkdir, Target: dir, NewName: newName('d', g.client, g.seq)}, true
 	case x < m.Stat+m.Open+m.Readdir+m.Create+m.Unlink+m.Mkdir+m.Chmod:
 		if r.Float64() < g.cfg.PDirChmod {
 			return Op{Op: msg.Chmod, Target: dir}, true
@@ -212,15 +212,27 @@ func (g *General) Next(now sim.Time, r *sim.RNG) (Op, bool) {
 		if r.Float64() < g.cfg.PDirRename {
 			if d := pickDir(dir, r); d != nil {
 				g.seq++
-				return Op{Op: msg.Rename, Target: d, DstDir: dir, NewName: fmt.Sprintf("r%d_%d", g.client, g.seq)}, true
+				return Op{Op: msg.Rename, Target: d, DstDir: dir, NewName: newName('r', g.client, g.seq)}, true
 			}
 		}
 		if f := pickFile(dir, r); f != nil {
 			g.seq++
-			return Op{Op: msg.Rename, Target: f, DstDir: dir, NewName: fmt.Sprintf("r%d_%d", g.client, g.seq)}, true
+			return Op{Op: msg.Rename, Target: f, DstDir: dir, NewName: newName('r', g.client, g.seq)}, true
 		}
 		return Op{Op: msg.Stat, Target: dir}, true
 	}
+}
+
+// newName formats prefix<client>_<seq> ("c12_345") with strconv instead
+// of fmt: the one retained string is the new entry's name; everything
+// else stays on the stack.
+func newName(prefix byte, client, seq int) string {
+	var buf [24]byte
+	b := append(buf[:0], prefix)
+	b = strconv.AppendInt(b, int64(client), 10)
+	b = append(b, '_')
+	b = strconv.AppendInt(b, int64(seq), 10)
+	return string(b)
 }
 
 // wander implements the locality random walk within the region.
