@@ -6,15 +6,20 @@
 //	mdsim -fig 2            # regenerate Figure 2 (full scale)
 //	mdsim -fig all -quick   # all figures, reduced scale
 //	mdsim -strategy DynamicSubtree -mds 8 -clients 40 -dur 20
-//	mdsim -bench-json BENCH_1.json   # hot-path benchmark, JSON report
+//	mdsim -bench-json BENCH_2.json   # hot-path + sweep benchmark, JSON report
+//	mdsim -fig 2 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"time"
 
 	"dynmds/internal/cluster"
@@ -23,6 +28,10 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		fig      = flag.String("fig", "", "experiment: 2..7, 'sci', 'failover', or 'all'")
 		quick    = flag.Bool("quick", false, "reduced-scale experiments")
@@ -36,27 +45,63 @@ func main() {
 		warm     = flag.Float64("warmup", 5, "warmup in simulated seconds")
 	)
 	list := flag.Bool("list", false, "list available experiments")
-	benchJSON := flag.String("bench-json", "", "run the Figure 2 hot-path benchmark and write a JSON report to this file")
+	benchJSON := flag.String("bench-json", "", "run the hot-path and sweep benchmarks and write a JSON report to this file")
+	share := flag.Bool("share-snapshots", true, "share one frozen namespace snapshot across sweep runs (off = legacy per-run generation)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	harness.SetSnapshotSharing(*share)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdsim:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "mdsim:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mdsim:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "mdsim:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range append(harness.All(), harness.Extras()...) {
 			fmt.Printf("%-10s %s\n           %s\n", e.ID, e.Title, e.Description)
 		}
-		return
+		return 0
 	}
 
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, *seed); err != nil {
+		if err := runBenchJSON(*benchJSON, *seed, *quick, *share); err != nil {
 			fmt.Fprintln(os.Stderr, "mdsim:", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	if *fig != "" {
-		runFigures(*fig, harness.Options{Quick: *quick, Seed: *seed})
-		return
+		if err := runFigures(*fig, harness.Options{Quick: *quick, Seed: *seed}); err != nil {
+			fmt.Fprintln(os.Stderr, "mdsim:", err)
+			return 1
+		}
+		return 0
 	}
 
 	cfg := cluster.Default()
@@ -74,16 +119,21 @@ func main() {
 	res, err := harness.RunOne(harness.RunSpec{Label: "custom", Cfg: cfg})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mdsim:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Println(res)
-	fmt.Printf("wall time: %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("wall time: %v (setup %v, run %v)\n",
+		time.Since(start).Round(time.Millisecond),
+		res.SetupWall.Round(time.Millisecond), res.RunWall.Round(time.Millisecond))
+	return 0
 }
 
 // benchReport is the schema of the -bench-json output: the headline
 // numbers for the simulator's hot path on the Figure 2 DynamicSubtree
 // configuration (the same one bench_test.go's BenchmarkFig2_DynamicSubtree
-// runs), so perf regressions are catchable from a single command.
+// runs), plus whole-sweep reports for the Figure 2 and Figure 4 sweeps
+// with the setup-vs-run wall split and snapshot-cache activity, so perf
+// regressions are catchable from a single command.
 type benchReport struct {
 	Config       string  `json:"config"`
 	Runs         int     `json:"runs"`
@@ -94,12 +144,29 @@ type benchReport struct {
 	AllocsPerEv  float64 `json:"allocs_per_event"`
 	SimOpsPerSec float64 `json:"simops_per_sec_per_mds"`
 	HitRate      float64 `json:"hitrate"`
+
+	ShareSnapshots bool          `json:"share_snapshots"`
+	Quick          bool          `json:"quick"`
+	Sweeps         []sweepReport `json:"sweeps"`
+	PeakRSSKB      int64         `json:"peak_rss_kb"` // process high-water mark (VmHWM)
+}
+
+// sweepReport aggregates one whole-figure sweep.
+type sweepReport struct {
+	Figure             string `json:"figure"`
+	Runs               int    `json:"runs"`
+	WallNs             int64  `json:"wall_ns"`       // whole figure, wall clock
+	SetupWallNs        int64  `json:"setup_wall_ns"` // sum of per-run setup (generation/thaw + assembly)
+	RunWallNs          int64  `json:"run_wall_ns"`   // sum of per-run event-loop execution
+	SnapshotsGenerated int64  `json:"snapshots_generated"`
+	SnapshotsShared    int64  `json:"snapshots_shared"`
 }
 
 // runBenchJSON runs the Figure 2 dynamic-subtree configuration once as
-// warmup and three times measured, then writes per-run wall time,
-// allocation, and event-throughput aggregates as JSON.
-func runBenchJSON(path string, seed int64) error {
+// warmup and three times measured, then the full Figure 2 and Figure 4
+// sweeps, and writes wall time, allocation, event-throughput, and
+// setup-vs-run aggregates as JSON.
+func runBenchJSON(path string, seed int64, quick, share bool) error {
 	cfg := cluster.Default()
 	cfg.Seed = seed
 	cfg.Strategy = cluster.StratDynamic
@@ -149,16 +216,50 @@ func runBenchJSON(path string, seed int64) error {
 	}
 
 	rep := benchReport{
-		Config:       "fig2-dynamic-8mds",
-		Runs:         runs,
-		NsPerOp:      wallSum.Nanoseconds() / runs,
-		AllocsPerOp:  allocSum / runs,
-		Events:       eventSum / runs,
-		NsPerEvent:   float64(wallSum.Nanoseconds()) / float64(eventSum),
-		AllocsPerEv:  float64(allocSum) / float64(eventSum),
-		SimOpsPerSec: lastRes.AvgThroughput,
-		HitRate:      lastRes.HitRate,
+		Config:         "fig2-dynamic-8mds",
+		Runs:           runs,
+		NsPerOp:        wallSum.Nanoseconds() / runs,
+		AllocsPerOp:    allocSum / runs,
+		Events:         eventSum / runs,
+		NsPerEvent:     float64(wallSum.Nanoseconds()) / float64(eventSum),
+		AllocsPerEv:    float64(allocSum) / float64(eventSum),
+		SimOpsPerSec:   lastRes.AvgThroughput,
+		HitRate:        lastRes.HitRate,
+		ShareSnapshots: share,
+		Quick:          quick,
 	}
+
+	// Whole-sweep benchmarks: Figure 2 (one fs per cluster size, five
+	// strategies each) and Figure 4 (one fs, strategies × cache sizes).
+	for _, id := range []string{"fig2", "fig4"} {
+		e, ok := harness.ByID(id)
+		if !ok {
+			return fmt.Errorf("unknown figure %s", id)
+		}
+		harness.ResetSnapshotCache()
+		harness.ResetSweepAccounting()
+		start := time.Now()
+		if err := e.Run(io.Discard, harness.Options{Quick: quick, Seed: seed}); err != nil {
+			return err
+		}
+		wall := time.Since(start)
+		setup, runW, nruns := harness.SweepAccounting()
+		gen, shared := harness.SnapshotCacheStats()
+		rep.Sweeps = append(rep.Sweeps, sweepReport{
+			Figure:             id,
+			Runs:               nruns,
+			WallNs:             wall.Nanoseconds(),
+			SetupWallNs:        setup.Nanoseconds(),
+			RunWallNs:          runW.Nanoseconds(),
+			SnapshotsGenerated: gen,
+			SnapshotsShared:    shared,
+		})
+		fmt.Printf("%s sweep: %v wall (%v setup, %v run) over %d runs, %d generated / %d shared\n",
+			id, wall.Round(time.Millisecond), setup.Round(time.Millisecond),
+			runW.Round(time.Millisecond), nruns, gen, shared)
+	}
+	rep.PeakRSSKB = peakRSSKB()
+
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -166,12 +267,36 @@ func runBenchJSON(path string, seed int64) error {
 	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: %d ns/op, %d allocs/op, %.1f ns/event, %.3f allocs/event\n",
-		path, rep.NsPerOp, rep.AllocsPerOp, rep.NsPerEvent, rep.AllocsPerEv)
+	fmt.Printf("wrote %s: %d ns/op, %d allocs/op, %.1f ns/event, %.3f allocs/event, peak RSS %d kB\n",
+		path, rep.NsPerOp, rep.AllocsPerOp, rep.NsPerEvent, rep.AllocsPerEv, rep.PeakRSSKB)
 	return nil
 }
 
-func runFigures(which string, opt harness.Options) {
+// peakRSSKB reads the process's peak resident set size (VmHWM) from
+// /proc/self/status, in kilobytes. Returns 0 where unavailable.
+func peakRSSKB() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if !bytes.HasPrefix(line, []byte("VmHWM:")) {
+			continue
+		}
+		fields := bytes.Fields(line[len("VmHWM:"):])
+		if len(fields) < 1 {
+			return 0
+		}
+		kb, err := strconv.ParseInt(string(fields[0]), 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb
+	}
+	return 0
+}
+
+func runFigures(which string, opt harness.Options) error {
 	var exps []harness.Experiment
 	if which == "all" {
 		exps = append(harness.All(), harness.Extras()...)
@@ -181,8 +306,7 @@ func runFigures(which string, opt harness.Options) {
 			e, ok = harness.ByID(which)
 		}
 		if !ok {
-			fmt.Fprintf(os.Stderr, "mdsim: unknown figure %q (use 2..7 or 'all')\n", which)
-			os.Exit(1)
+			return fmt.Errorf("unknown figure %q (use 2..7 or 'all')", which)
 		}
 		exps = []harness.Experiment{e}
 	}
@@ -190,9 +314,9 @@ func runFigures(which string, opt harness.Options) {
 		start := time.Now()
 		fmt.Printf("== %s ==\n%s\n\n", e.Title, e.Description)
 		if err := e.Run(os.Stdout, opt); err != nil {
-			fmt.Fprintln(os.Stderr, "mdsim:", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Printf("(wall time %v)\n\n", time.Since(start).Round(time.Millisecond))
 	}
+	return nil
 }

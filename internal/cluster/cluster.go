@@ -7,6 +7,7 @@ package cluster
 
 import (
 	"fmt"
+	"time"
 
 	"dynmds/internal/client"
 	"dynmds/internal/core"
@@ -74,6 +75,12 @@ type Config struct {
 	MDS      mds.Config
 	Client   client.Config
 	Workload WorkloadConfig
+
+	// Snapshot, when non-nil, is a pre-generated frozen namespace shared
+	// with other runs; New thaws a private copy-on-write overlay over it
+	// instead of generating from FS. FS/Seed still key the workload RNG
+	// streams, so a run produces bit-identical results either way.
+	Snapshot *fsgen.FrozenSnapshot
 
 	// Balancer enables dynamic load balancing (DynamicSubtree only).
 	Balancer *core.BalancerConfig
@@ -156,7 +163,17 @@ type Cluster struct {
 	warmServed, warmForwards, warmArrivals uint64
 	warmHits, warmMisses                   uint64
 	warmTaken                              bool
+
+	// setupWall is the wall-clock cost of New (generation or thaw plus
+	// cluster assembly). The harness may add shared-snapshot generation
+	// time for the run that paid it.
+	setupWall time.Duration
+	runWall   time.Duration
 }
+
+// AddSetupWall charges additional setup time (e.g. shared snapshot
+// generation) to this run's accounting.
+func (c *Cluster) AddSetupWall(d time.Duration) { c.setupWall += d }
 
 // New builds a cluster from the configuration.
 func New(cfg Config) (*Cluster, error) {
@@ -166,11 +183,18 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.SeriesBucket <= 0 {
 		cfg.SeriesBucket = sim.Second
 	}
-	fs := cfg.FS
-	fs.Seed = cfg.Seed
-	snap, err := fsgen.Generate(fs)
-	if err != nil {
-		return nil, err
+	setupStart := time.Now()
+	var snap *fsgen.Snapshot
+	if cfg.Snapshot != nil {
+		snap = cfg.Snapshot.Thaw()
+	} else {
+		fs := cfg.FS
+		fs.Seed = cfg.Seed
+		var err error
+		snap, err = fsgen.Generate(fs)
+		if err != nil {
+			return nil, err
+		}
 	}
 	eng := sim.NewEngine()
 	c := &Cluster{
@@ -237,6 +261,7 @@ func New(cfg Config) (*Cluster, error) {
 	if err := c.buildClients(); err != nil {
 		return nil, err
 	}
+	c.setupWall = time.Since(setupStart)
 	return c, nil
 }
 
@@ -393,6 +418,7 @@ func (c *Cluster) snapshotWarmup() {
 
 // Run executes the simulation and gathers results.
 func (c *Cluster) Run() *Result {
+	runStart := time.Now()
 	stagger := sim.Time(0)
 	for _, cl := range c.Clients {
 		cl.Start(stagger)
@@ -408,6 +434,7 @@ func (c *Cluster) Run() *Result {
 		c.Eng.At(c.Cfg.Warmup, c.snapshotWarmup)
 	}
 	c.Eng.RunUntil(c.Cfg.Duration)
+	c.runWall = time.Since(runStart)
 	return c.Collect()
 }
 
@@ -437,6 +464,15 @@ type Result struct {
 	LatencyP50 float64
 	LatencyP99 float64
 
+	// Wall-clock accounting: SetupWall covers namespace generation (or
+	// thaw) plus cluster assembly; RunWall covers event-loop execution.
+	// Real time, unrelated to simulated time.
+	SetupWall time.Duration
+	RunWall   time.Duration
+	// SharedSnapshot reports whether this run thawed a shared frozen
+	// namespace rather than generating its own.
+	SharedSnapshot bool
+
 	// Series for the over-time figures (bucketed from t=0).
 	RepliesPerNode []*metrics.Series
 	Forwards       *metrics.Series
@@ -461,6 +497,9 @@ func (c *Cluster) Collect() *Result {
 		Forwards:       c.Forwards,
 		Arrivals:       c.Arrivals,
 		Bucket:         cfg.SeriesBucket,
+		SetupWall:      c.setupWall,
+		RunWall:        c.runWall,
+		SharedSnapshot: cfg.Snapshot != nil,
 	}
 	var served, forwards, arrivals, hits, misses uint64
 	for _, n := range c.Nodes {

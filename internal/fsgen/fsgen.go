@@ -71,13 +71,6 @@ func (c Config) Scale(f float64) Config {
 	return s
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // Snapshot is a generated namespace plus the index lists workload
 // generators draw from.
 type Snapshot struct {
@@ -93,6 +86,84 @@ type Snapshot struct {
 	// distinct name removes the bulk of generation-time allocation.
 	// Workload generators reuse it for the names they synthesise.
 	Names *namespace.Interner
+}
+
+// FrozenSnapshot is an immutable, shareable form of Snapshot: the tree
+// frozen into flat arrays (namespace.Frozen) plus the workload index
+// lists demoted to inode IDs. One FrozenSnapshot may back any number of
+// concurrent simulation runs; each run calls Thaw to get a private
+// copy-on-write view. Everything here is read-only after GenerateFrozen
+// returns.
+type FrozenSnapshot struct {
+	Base       *namespace.Frozen
+	HomeIDs    []namespace.InodeID
+	ProjectIDs []namespace.InodeID
+	SystemID   namespace.InodeID // 0 when the config has no system tree
+	// Names is the interner the generator used; workload generators for
+	// runs sharing this snapshot must NOT share it (Interner is not
+	// goroutine-safe) — Thaw hands each run a fresh one.
+	Names *namespace.Interner
+}
+
+// GenerateFrozen builds a snapshot and freezes it for sharing.
+func GenerateFrozen(cfg Config) (*FrozenSnapshot, error) {
+	snap, err := Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	base, err := snap.Tree.Freeze()
+	if err != nil {
+		return nil, err
+	}
+	fs := &FrozenSnapshot{Base: base, Names: snap.Names}
+	for _, h := range snap.Homes {
+		fs.HomeIDs = append(fs.HomeIDs, h.ID)
+	}
+	for _, p := range snap.Projects {
+		fs.ProjectIDs = append(fs.ProjectIDs, p.ID)
+	}
+	if snap.System != nil {
+		fs.SystemID = snap.System.ID
+	}
+	return fs, nil
+}
+
+// Thaw layers a private copy-on-write overlay over the shared base and
+// re-resolves the workload index lists against it. The result behaves
+// exactly like a freshly Generated snapshot; mutations stay private to
+// this overlay. Safe to call concurrently on one FrozenSnapshot.
+func (fs *FrozenSnapshot) Thaw() *Snapshot {
+	t := namespace.NewOverlay(fs.Base)
+	snap := &Snapshot{
+		Tree:     t,
+		Homes:    make([]*namespace.Inode, len(fs.HomeIDs)),
+		Projects: make([]*namespace.Inode, len(fs.ProjectIDs)),
+		// Workload generators mutate the interner, so each run gets its
+		// own rather than sharing the generator's.
+		Names: namespace.NewInterner(),
+	}
+	for i, id := range fs.HomeIDs {
+		n, ok := t.ByID(id)
+		if !ok {
+			panic("fsgen: frozen snapshot home inode missing")
+		}
+		snap.Homes[i] = n
+	}
+	for i, id := range fs.ProjectIDs {
+		n, ok := t.ByID(id)
+		if !ok {
+			panic("fsgen: frozen snapshot project inode missing")
+		}
+		snap.Projects[i] = n
+	}
+	if fs.SystemID != 0 {
+		n, ok := t.ByID(fs.SystemID)
+		if !ok {
+			panic("fsgen: frozen snapshot system inode missing")
+		}
+		snap.System = n
+	}
+	return snap
 }
 
 // namer formats the generator's numbered names ("u0042", "lib003.so")

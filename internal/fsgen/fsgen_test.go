@@ -114,3 +114,67 @@ func TestHomesAreDisjointSubtrees(t *testing.T) {
 		}
 	}
 }
+
+func TestGenerateFrozenThawMatchesGenerate(t *testing.T) {
+	cfg := Default()
+	cfg.Users = 10
+	want, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := GenerateFrozen(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fs.Thaw()
+	if err := got.Tree.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := Describe(want.Tree), Describe(got.Tree)
+	if sa != sb {
+		t.Fatalf("thawed stats differ:\n%v\n%v", sa, sb)
+	}
+	if len(got.Homes) != len(want.Homes) || len(got.Projects) != len(want.Projects) {
+		t.Fatalf("index lists differ: %d/%d homes, %d/%d projects",
+			len(got.Homes), len(want.Homes), len(got.Projects), len(want.Projects))
+	}
+	for i := range want.Homes {
+		if got.Homes[i].ID != want.Homes[i].ID || got.Homes[i].Path() != want.Homes[i].Path() {
+			t.Fatalf("home %d differs: %v vs %v", i, got.Homes[i], want.Homes[i])
+		}
+	}
+	if got.System.ID != want.System.ID {
+		t.Fatalf("system dir differs: %v vs %v", got.System, want.System)
+	}
+}
+
+// fig2LargestFS is the file-system scale of the biggest Figure 2 run
+// (n=50 MDS nodes): the per-run setup cost the snapshot cache removes.
+func fig2LargestFS() Config {
+	cfg := Default()
+	cfg.Users = 25 * 50
+	cfg.Projects = 2 * 50
+	return cfg
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	cfg := fig2LargestFS()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkThaw(b *testing.B) {
+	fs, err := GenerateFrozen(fig2LargestFS())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = fs.Thaw()
+	}
+}

@@ -128,13 +128,14 @@ func Fig4(w io.Writer, opt Options) error {
 	if opt.Quick {
 		fractions = []float64{0.05, 0.2, 0.6}
 	}
-	// Estimate total metadata size from one generation.
+	// Estimate total metadata size from one generation. With snapshot
+	// sharing on this primes the cache, so the sweep below reuses the
+	// same frozen base instead of regenerating per run.
 	base := scaledConfig(opt.Seed, cluster.StratStatic, n, opt.Quick)
-	probe, err := cluster.New(base)
+	totalInodes, err := namespaceSize(base)
 	if err != nil {
 		return err
 	}
-	totalInodes := probe.Snap.Tree.Len()
 
 	var specs []RunSpec
 	for _, f := range fractions {

@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"dynmds/internal/cluster"
+	"dynmds/internal/sim"
+)
+
+// withSharing runs fn with snapshot sharing forced to on, starting from
+// a clean cache, and restores the previous mode afterwards.
+func withSharing(t *testing.T, on bool, fn func()) {
+	t.Helper()
+	prev := SnapshotSharing()
+	SetSnapshotSharing(on)
+	ResetSnapshotCache()
+	defer func() {
+		SetSnapshotSharing(prev)
+		ResetSnapshotCache()
+	}()
+	fn()
+}
+
+// TestSharedSnapshotEquivalence is the acceptance gate for the
+// frozen-base refactor: every strategy, run through the legacy
+// per-run-generation path and through the shared-snapshot path, must
+// produce bit-identical results — hit rate, op counts, migrations, all
+// of it. The workloads mutate the namespace (create-heavy general mix),
+// so this exercises the copy-on-write overlay, not just reads.
+func TestSharedSnapshotEquivalence(t *testing.T) {
+	for _, s := range cluster.Strategies {
+		cfg := tinyCfg(s)
+		var legacy, shared *cluster.Result
+		withSharing(t, false, func() {
+			r, err := RunOne(RunSpec{Label: "legacy/" + s, Cfg: cfg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			legacy = r
+		})
+		withSharing(t, true, func() {
+			r, err := RunOne(RunSpec{Label: "shared/" + s, Cfg: cfg})
+			if err != nil {
+				t.Fatal(err)
+			}
+			shared = r
+		})
+		if legacy.SharedSnapshot || !shared.SharedSnapshot {
+			t.Fatalf("%s: SharedSnapshot flags wrong: legacy=%v shared=%v",
+				s, legacy.SharedSnapshot, shared.SharedSnapshot)
+		}
+		legacy.SharedSnapshot = shared.SharedSnapshot
+		if !reflect.DeepEqual(stripWall(legacy), stripWall(shared)) {
+			t.Fatalf("%s diverged:\nlegacy: %+v\nshared: %+v", s, legacy, shared)
+		}
+	}
+}
+
+// TestSharedSnapshotCacheReuse verifies the sweep generates each
+// distinct fs exactly once: five strategies over the same config is one
+// generation plus four reuses, and a second sweep is pure reuse.
+func TestSharedSnapshotCacheReuse(t *testing.T) {
+	withSharing(t, true, func() {
+		var specs []RunSpec
+		for _, s := range cluster.Strategies {
+			specs = append(specs, RunSpec{Label: s, Cfg: tinyCfg(s)})
+		}
+		if _, err := Sweep(specs); err != nil {
+			t.Fatal(err)
+		}
+		gen, shared := SnapshotCacheStats()
+		if gen != 1 || shared != int64(len(specs)-1) {
+			t.Fatalf("after sweep 1: generated=%d shared=%d, want 1/%d", gen, shared, len(specs)-1)
+		}
+		if _, err := Sweep(specs); err != nil {
+			t.Fatal(err)
+		}
+		gen, shared = SnapshotCacheStats()
+		if gen != 1 || shared != int64(2*len(specs)-1) {
+			t.Fatalf("after sweep 2: generated=%d shared=%d, want 1/%d", gen, shared, 2*len(specs)-1)
+		}
+	})
+}
+
+// TestConcurrentOverlayRuns mutates one shared frozen base from many
+// simulation runs at once — under -race this proves overlay runs never
+// write to shared state, and the results must still match a serial
+// legacy run exactly.
+func TestConcurrentOverlayRuns(t *testing.T) {
+	cfg := tinyCfg(cluster.StratDynamic)
+	cfg.Duration = 3 * sim.Second
+
+	var want *cluster.Result
+	withSharing(t, false, func() {
+		r, err := RunOne(RunSpec{Label: "legacy", Cfg: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = r
+	})
+
+	withSharing(t, true, func() {
+		// All goroutines race on a cold cache: one generates, the rest
+		// block on the entry's once and then share the frozen base.
+		const runs = 4
+		results := make([]*cluster.Result, runs)
+		errs := make([]error, runs)
+		var wg sync.WaitGroup
+		for i := 0; i < runs; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i], errs[i] = RunOne(RunSpec{Label: "conc", Cfg: cfg})
+			}(i)
+		}
+		wg.Wait()
+		for i := 0; i < runs; i++ {
+			if errs[i] != nil {
+				t.Fatal(errs[i])
+			}
+			got := stripWall(results[i])
+			got.SharedSnapshot = false
+			if !reflect.DeepEqual(stripWall(want), got) {
+				t.Fatalf("concurrent run %d diverged:\nlegacy: %+v\nshared: %+v", i, want, results[i])
+			}
+		}
+		gen, shared := SnapshotCacheStats()
+		if gen != 1 || shared != runs-1 {
+			t.Fatalf("generated=%d shared=%d, want 1/%d", gen, shared, runs-1)
+		}
+	})
+}

@@ -54,9 +54,19 @@ type Inode struct {
 	parent *Inode
 	name   string
 
-	// Directory state (nil/empty for files).
+	// Directory state (nil/empty for files). Overlay directories share
+	// one backing array for their initial child slices (see NewOverlay).
 	children   []*Inode
 	childIndex map[string]int
+
+	// tree is the owning tree; it backs base-index lookups for overlay
+	// trees (non-overlay nodes never consult it).
+	tree *Tree
+	// lazyIdx marks an overlay directory whose private name index has
+	// not been built yet. While set, LookupChild reads the frozen
+	// base's shared per-directory name map; the first structural
+	// mutation builds childIndex and clears the flag (see expand).
+	lazyIdx bool
 
 	// SubtreeInodes counts inodes in the subtree rooted here, including
 	// this one (1 for files). Maintained incrementally; used by workload
@@ -86,6 +96,13 @@ func (n *Inode) Child(i int) *Inode { return n.children[i] }
 
 // LookupChild finds a child by name.
 func (n *Inode) LookupChild(name string) (*Inode, bool) {
+	if n.lazyIdx {
+		id, ok := n.tree.base.nodes[n.ID-1].kids[name]
+		if !ok {
+			return nil, false
+		}
+		return n.tree.node(id), true
+	}
 	if n.childIndex == nil {
 		return nil, false
 	}
@@ -157,6 +174,7 @@ func (n *Inode) attach(child *Inode) error {
 	if n.Kind != Dir {
 		return fmt.Errorf("namespace: %s is not a directory", n.Path())
 	}
+	n.expand()
 	if n.childIndex == nil {
 		n.childIndex = make(map[string]int)
 	}
@@ -170,6 +188,7 @@ func (n *Inode) attach(child *Inode) error {
 }
 
 func (n *Inode) detach(child *Inode) error {
+	n.expand()
 	i, ok := n.childIndex[child.name]
 	if !ok || n.children[i] != child {
 		return fmt.Errorf("namespace: %s does not contain %q", n.Path(), child.name)

@@ -14,6 +14,16 @@ type Tree struct {
 	byID   map[InodeID]*Inode
 	nextID InodeID
 
+	// base is the shared immutable snapshot this tree overlays, nil for
+	// an ordinary tree. slab then holds the run-private copies of every
+	// base inode (indexed by id-1), and byID holds only inodes created
+	// after the thaw (see frozen.go).
+	base *Frozen
+	slab []Inode
+	// gone tombstones base IDs destroyed in this overlay so ByID cannot
+	// resurrect their slab slots. Allocated on first removal.
+	gone map[InodeID]struct{}
+
 	// Anchors locates multiply-linked inodes (§4.5). Populated lazily,
 	// only for inodes with NLink > 1 and their ancestor directories.
 	Anchors *AnchorTable
@@ -27,7 +37,7 @@ type Tree struct {
 func NewTree() *Tree {
 	t := &Tree{byID: make(map[InodeID]*Inode)}
 	t.Anchors = NewAnchorTable()
-	root := &Inode{ID: t.allocID(), Kind: Dir, Mode: 0o755, NLink: 1, SubtreeInodes: 1}
+	root := &Inode{ID: t.allocID(), Kind: Dir, Mode: 0o755, NLink: 1, SubtreeInodes: 1, tree: t}
 	t.Root = root
 	t.byID[root.ID] = root
 	t.NumDirs = 1
@@ -39,14 +49,23 @@ func (t *Tree) allocID() InodeID {
 	return t.nextID
 }
 
-// ByID returns the inode with the given ID, if it exists.
+// ByID returns the inode with the given ID, if it exists. On an overlay
+// tree base IDs resolve directly into the slab.
 func (t *Tree) ByID(id InodeID) (*Inode, bool) {
-	n, ok := t.byID[id]
-	return n, ok
+	if t.base != nil && t.base.contains(id) {
+		if _, dead := t.gone[id]; dead {
+			return nil, false
+		}
+		return t.node(id), true
+	}
+	if n, ok := t.byID[id]; ok {
+		return n, true
+	}
+	return nil, false
 }
 
 // Len returns the total number of live inodes.
-func (t *Tree) Len() int { return len(t.byID) }
+func (t *Tree) Len() int { return t.NumFiles + t.NumDirs }
 
 // Mkdir creates a directory named name under parent.
 func (t *Tree) Mkdir(parent *Inode, name string) (*Inode, error) {
@@ -62,7 +81,7 @@ func (t *Tree) add(parent *Inode, name string, kind Kind) (*Inode, error) {
 	if err := validName(name); err != nil {
 		return nil, err
 	}
-	n := &Inode{ID: t.allocID(), Kind: kind, Mode: 0o644, NLink: 1, name: name}
+	n := &Inode{ID: t.allocID(), Kind: kind, Mode: 0o644, NLink: 1, name: name, tree: t}
 	if kind == Dir {
 		n.Mode = 0o755
 	}
@@ -94,7 +113,7 @@ func (t *Tree) Remove(n *Inode) error {
 	if n == t.Root {
 		return fmt.Errorf("namespace: cannot remove root")
 	}
-	if n.Kind == Dir && len(n.children) > 0 {
+	if n.Kind == Dir && n.NumChildren() > 0 {
 		return fmt.Errorf("namespace: directory %s not empty", n.Path())
 	}
 	parent := n.parent
@@ -113,6 +132,7 @@ func (t *Tree) Remove(n *Inode) error {
 	}
 	t.Anchors.Drop(t, n)
 	delete(t.byID, n.ID)
+	t.destroyed(n.ID)
 	if n.Kind == Dir {
 		t.NumDirs--
 	} else {
@@ -220,8 +240,8 @@ func (t *Tree) Walk(fn func(*Inode) bool) {
 		if !fn(n) {
 			return
 		}
-		for _, c := range n.children {
-			rec(c)
+		for i := 0; i < n.NumChildren(); i++ {
+			rec(n.Child(i))
 		}
 	}
 	rec(t.Root)
@@ -235,6 +255,9 @@ func (t *Tree) CheckInvariants() error {
 		if err != nil {
 			return false
 		}
+		// Invariant checking inspects the private childIndex directly, so
+		// build it first if the directory is still lazy.
+		n.expand()
 		want := 1
 		for _, c := range n.children {
 			if c.parent != n {
@@ -255,8 +278,8 @@ func (t *Tree) CheckInvariants() error {
 			err = fmt.Errorf("file subtree count for %s = %d", n, n.SubtreeInodes)
 			return false
 		}
-		if _, ok := t.byID[n.ID]; !ok {
-			err = fmt.Errorf("inode %s missing from byID", n)
+		if got, ok := t.ByID(n.ID); !ok || got != n {
+			err = fmt.Errorf("inode %s not resolvable by ID", n)
 			return false
 		}
 		return true

@@ -1,9 +1,18 @@
 #!/usr/bin/env sh
 # Tier-1 gate: vet, build, and run the full test suite under the race
-# detector. Run from the repository root; any failure fails the script.
+# detector, then smoke-test the figure harness and emit a perf report.
+# Run from the repository root; any failure fails the script.
 set -eu
 cd "$(dirname "$0")/.."
 
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Figure smoke run: exercises the sweep runner, the snapshot cache, and
+# the copy-on-write overlay path end to end at reduced scale.
+go run ./cmd/mdsim -fig 2 -quick
+
+# Perf report (quick scale in CI; regenerate the committed BENCH_2.json
+# with a full-scale run: `go run ./cmd/mdsim -bench-json BENCH_2.json`).
+go run ./cmd/mdsim -bench-json BENCH_2.quick.json -quick
