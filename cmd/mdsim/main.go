@@ -24,6 +24,7 @@ import (
 
 	"dynmds/internal/cluster"
 	"dynmds/internal/harness"
+	simnet "dynmds/internal/net"
 	"dynmds/internal/sim"
 )
 
@@ -47,11 +48,15 @@ func run() int {
 	list := flag.Bool("list", false, "list available experiments")
 	benchJSON := flag.String("bench-json", "", "run the hot-path and sweep benchmarks and write a JSON report to this file")
 	share := flag.Bool("share-snapshots", true, "share one frozen namespace snapshot across sweep runs (off = legacy per-run generation)")
+	netModel := flag.String("net-model", simnet.ModelFixed, "fabric latency model: fixed or queued")
+	linkBW := flag.Float64("link-bw", 0, "queued-model link bandwidth in bytes per simulated second (0 = default)")
+	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	harness.SetSnapshotSharing(*share)
+	harness.SetSweepWorkers(*workers)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -89,7 +94,7 @@ func run() int {
 	}
 
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, *seed, *quick, *share); err != nil {
+		if err := runBenchJSON(*benchJSON, *seed, *quick, *share, *netModel); err != nil {
 			fmt.Fprintln(os.Stderr, "mdsim:", err)
 			return 1
 		}
@@ -97,7 +102,7 @@ func run() int {
 	}
 
 	if *fig != "" {
-		if err := runFigures(*fig, harness.Options{Quick: *quick, Seed: *seed}); err != nil {
+		if err := runFigures(*fig, harness.Options{Quick: *quick, Seed: *seed, NetModel: *netModel}); err != nil {
 			fmt.Fprintln(os.Stderr, "mdsim:", err)
 			return 1
 		}
@@ -112,6 +117,8 @@ func run() int {
 	cfg.FS.Users = *users
 	cfg.MDS.CacheCapacity = *cacheCap
 	cfg.MDS.Storage.LogCapacity = *cacheCap
+	cfg.NetModel = *netModel
+	cfg.LinkBandwidth = *linkBW
 	cfg.Duration = sim.FromSeconds(*dur)
 	cfg.Warmup = sim.FromSeconds(*warm)
 
@@ -122,6 +129,9 @@ func run() int {
 		return 1
 	}
 	fmt.Println(res)
+	fmt.Printf("fabric (%s model): %d messages, %d bytes, max link queue %d\n",
+		res.Net.Model, res.Net.Messages, res.Net.Bytes, res.Net.MaxQueueDepth)
+	fmt.Print(res.Net.Table())
 	fmt.Printf("wall time: %v (setup %v, run %v)\n",
 		time.Since(start).Round(time.Millisecond),
 		res.SetupWall.Round(time.Millisecond), res.RunWall.Round(time.Millisecond))
@@ -147,8 +157,26 @@ type benchReport struct {
 
 	ShareSnapshots bool          `json:"share_snapshots"`
 	Quick          bool          `json:"quick"`
+	NetModel       string        `json:"net_model"`
+	Net            netReport     `json:"net"` // fabric counters from the measured config
 	Sweeps         []sweepReport `json:"sweeps"`
 	PeakRSSKB      int64         `json:"peak_rss_kb"` // process high-water mark (VmHWM)
+}
+
+// netReport summarizes the message fabric's per-class accounting for the
+// measured configuration's final run.
+type netReport struct {
+	Messages      uint64           `json:"messages"`
+	Bytes         uint64           `json:"bytes"`
+	MaxQueueDepth int              `json:"max_queue_depth"`
+	PerClass      []netClassReport `json:"per_class"`
+}
+
+type netClassReport struct {
+	Class     string `json:"class"`
+	Sent      uint64 `json:"sent"`
+	Delivered uint64 `json:"delivered"`
+	Bytes     uint64 `json:"bytes"`
 }
 
 // sweepReport aggregates one whole-figure sweep.
@@ -166,7 +194,7 @@ type sweepReport struct {
 // warmup and three times measured, then the full Figure 2 and Figure 4
 // sweeps, and writes wall time, allocation, event-throughput, and
 // setup-vs-run aggregates as JSON.
-func runBenchJSON(path string, seed int64, quick, share bool) error {
+func runBenchJSON(path string, seed int64, quick, share bool, netModel string) error {
 	cfg := cluster.Default()
 	cfg.Seed = seed
 	cfg.Strategy = cluster.StratDynamic
@@ -175,6 +203,7 @@ func runBenchJSON(path string, seed int64, quick, share bool) error {
 	cfg.FS.Users = 200
 	cfg.MDS.CacheCapacity = 2500
 	cfg.MDS.Storage.LogCapacity = 2500
+	cfg.NetModel = netModel
 	cfg.Duration = 10 * sim.Second
 	cfg.Warmup = 4 * sim.Second
 
@@ -227,6 +256,24 @@ func runBenchJSON(path string, seed int64, quick, share bool) error {
 		HitRate:        lastRes.HitRate,
 		ShareSnapshots: share,
 		Quick:          quick,
+		NetModel:       lastRes.Net.Model,
+		Net: netReport{
+			Messages:      lastRes.Net.Messages,
+			Bytes:         lastRes.Net.Bytes,
+			MaxQueueDepth: lastRes.Net.MaxQueueDepth,
+		},
+	}
+	for c := 0; c < simnet.NumClasses; c++ {
+		cs := lastRes.Net.PerClass[c]
+		if cs.Sent == 0 {
+			continue
+		}
+		rep.Net.PerClass = append(rep.Net.PerClass, netClassReport{
+			Class:     simnet.Class(c).String(),
+			Sent:      cs.Sent,
+			Delivered: cs.Delivered,
+			Bytes:     cs.Bytes,
+		})
 	}
 
 	// Whole-sweep benchmarks: Figure 2 (one fs per cluster size, five
@@ -239,7 +286,7 @@ func runBenchJSON(path string, seed int64, quick, share bool) error {
 		harness.ResetSnapshotCache()
 		harness.ResetSweepAccounting()
 		start := time.Now()
-		if err := e.Run(io.Discard, harness.Options{Quick: quick, Seed: seed}); err != nil {
+		if err := e.Run(io.Discard, harness.Options{Quick: quick, Seed: seed, NetModel: netModel}); err != nil {
 			return err
 		}
 		wall := time.Since(start)

@@ -16,6 +16,7 @@ import (
 	"dynmds/internal/metrics"
 	"dynmds/internal/msg"
 	"dynmds/internal/namespace"
+	"dynmds/internal/net"
 	"dynmds/internal/osd"
 	"dynmds/internal/partition"
 	"dynmds/internal/sim"
@@ -75,6 +76,15 @@ type Config struct {
 	MDS      mds.Config
 	Client   client.Config
 	Workload WorkloadConfig
+
+	// NetModel selects the message-fabric latency model: net.ModelFixed
+	// (the default; reproduces the constant NetLatency/FwdLatency hops
+	// exactly) or net.ModelQueued (adds per-link serialization delay
+	// from message size and link bandwidth).
+	NetModel string
+	// LinkBandwidth sets the queued model's per-link capacity in bytes
+	// per simulated second; zero means net.DefaultBandwidth.
+	LinkBandwidth float64
 
 	// Snapshot, when non-nil, is a pre-generated frozen namespace shared
 	// with other runs; New thaws a private copy-on-write overlay over it
@@ -139,6 +149,7 @@ type Cluster struct {
 	Cfg      Config
 	Eng      *sim.Engine
 	Snap     *fsgen.Snapshot
+	Fab      *net.Fabric
 	Strategy partition.Strategy
 	Dyn      *core.DynamicSubtree
 	Traffic  *core.TrafficControl
@@ -197,10 +208,15 @@ func New(cfg Config) (*Cluster, error) {
 		}
 	}
 	eng := sim.NewEngine()
+	model, err := buildNetModel(cfg)
+	if err != nil {
+		return nil, err
+	}
 	c := &Cluster{
 		Cfg:       cfg,
 		Eng:       eng,
 		Snap:      snap,
+		Fab:       net.NewFabric(eng, cfg.NumMDS, model),
 		Forwards:  metrics.NewSeries(cfg.SeriesBucket),
 		Arrivals:  metrics.NewSeries(cfg.SeriesBucket),
 		Latencies: metrics.NewHistogram(0.0005, 12), // 0.5 ms .. ~2 s
@@ -263,6 +279,20 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.setupWall = time.Since(setupStart)
 	return c, nil
+}
+
+// buildNetModel constructs the fabric latency model from the config;
+// the base latencies come from the per-node MDS service model.
+func buildNetModel(cfg Config) (net.LatencyModel, error) {
+	base := net.Fixed{Net: cfg.MDS.NetLatency, Fwd: cfg.MDS.FwdLatency}
+	switch cfg.NetModel {
+	case "", net.ModelFixed:
+		return base, nil
+	case net.ModelQueued:
+		return &net.Queued{Base: base, Bandwidth: cfg.LinkBandwidth}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown net model %q", cfg.NetModel)
+	}
 }
 
 func (c *Cluster) buildStrategy(cfg Config, snap *fsgen.Snapshot) error {
@@ -383,6 +413,10 @@ func (c *Cluster) NumMDS() int { return len(c.Nodes) }
 // Tree implements mds.Cluster.
 func (c *Cluster) Tree() *namespace.Tree { return c.Snap.Tree }
 
+// Fabric implements mds.Cluster: the message fabric shared by every
+// node and the client edge.
+func (c *Cluster) Fabric() *net.Fabric { return c.Fab }
+
 // Deliver implements mds.Cluster: route the reply to its client.
 func (c *Cluster) Deliver(rep *msg.Reply) {
 	c.Latencies.Observe(rep.Latency().Seconds())
@@ -394,10 +428,11 @@ func (c *Cluster) Deliver(rep *msg.Reply) {
 // (and their hint slices) may be pooled.
 func (c *Cluster) DeliverConsumesReply() bool { return true }
 
-// Send implements client.Network: client→MDS network hop.
+// Send implements client.Network: the client→MDS hop enters the fabric
+// at the client edge.
 func (c *Cluster) Send(i int, req *msg.Request) {
 	c.Arrivals.Observe(c.Eng.Now(), 1)
-	c.Eng.AfterCall(c.Cfg.MDS.NetLatency, nodeReceive, c.Nodes[i], req)
+	c.Fab.Send(net.Request, c.Fab.ClientEdge(), i, net.Bytes(net.Request), nodeReceive, c.Nodes[i], req)
 }
 
 // nodeReceive delivers a client request at its MDS after the network hop.
@@ -473,6 +508,10 @@ type Result struct {
 	// namespace rather than generating its own.
 	SharedSnapshot bool
 
+	// Net summarises fabric traffic for the whole run: total messages
+	// and bytes, per-class counters, and the deepest per-link queue.
+	Net net.Stats
+
 	// Series for the over-time figures (bucketed from t=0).
 	RepliesPerNode []*metrics.Series
 	Forwards       *metrics.Series
@@ -500,6 +539,7 @@ func (c *Cluster) Collect() *Result {
 		SetupWall:      c.setupWall,
 		RunWall:        c.runWall,
 		SharedSnapshot: cfg.Snapshot != nil,
+		Net:            c.Fab.Summary(),
 	}
 	var served, forwards, arrivals, hits, misses uint64
 	for _, n := range c.Nodes {

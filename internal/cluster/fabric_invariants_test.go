@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"testing"
+
+	"dynmds/internal/net"
+	"dynmds/internal/sim"
+)
+
+// fig2QuickConfig mirrors the Figure 2 quick-scale point used by CI.
+func fig2QuickConfig(strategy string) Config {
+	cfg := Default()
+	cfg.Strategy = strategy
+	cfg.NumMDS = 4
+	cfg.ClientsPerMDS = 30
+	cfg.FS.Users = 100
+	cfg.Duration = 10 * sim.Second
+	cfg.Warmup = 4 * sim.Second
+	return cfg
+}
+
+// drain stops every client and runs the engine long past the last
+// bounded network hop, so only the perpetual tickers (flushers,
+// balancer) remain. Two simulated seconds dwarfs the longest message
+// chain (a forwarded request with a disk fetch is a few milliseconds).
+func drain(cl *Cluster) {
+	for _, c := range cl.Clients {
+		c.Stop()
+	}
+	cl.Eng.RunUntil(cl.Cfg.Duration + 2*sim.Second)
+}
+
+// TestMessageConservation checks the fabric's accounting identity for
+// every strategy: once the clients stop and in-flight traffic drains,
+// every message sent has been delivered exactly once, no pooled
+// envelope has leaked, and the request/reply flow balances against the
+// clients' own issue/complete counters.
+func TestMessageConservation(t *testing.T) {
+	for _, s := range Strategies {
+		s := s
+		t.Run(s, func(t *testing.T) {
+			t.Parallel()
+			cl, err := New(fig2QuickConfig(s))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cl.Run()
+			drain(cl)
+
+			if n := cl.Fab.InFlight(); n != 0 {
+				t.Errorf("in-flight after drain = %d", n)
+			}
+			if n := cl.Fab.LiveEnvelopes(); n != 0 {
+				t.Errorf("live envelopes after drain = %d", n)
+			}
+			for c := 0; c < net.NumClasses; c++ {
+				cs := cl.Fab.Class(net.Class(c))
+				if cs.Sent != cs.Delivered {
+					t.Errorf("%s: sent %d != delivered %d",
+						net.Class(c), cs.Sent, cs.Delivered)
+				}
+			}
+
+			// Every issued request crossed the client edge exactly once
+			// (retries are disabled), and every one of them was answered
+			// with exactly one reply that reached its client.
+			var issued, completed uint64
+			for _, c := range cl.Clients {
+				issued += c.Stats.Issued
+				completed += c.Stats.Completed
+			}
+			req := cl.Fab.Class(net.Request)
+			rep := cl.Fab.Class(net.Reply)
+			if req.Sent != issued {
+				t.Errorf("requests sent %d != issued %d", req.Sent, issued)
+			}
+			if rep.Sent != req.Sent {
+				t.Errorf("replies sent %d != requests sent %d", rep.Sent, req.Sent)
+			}
+			if completed != rep.Sent {
+				t.Errorf("completed %d != replies sent %d", completed, rep.Sent)
+			}
+		})
+	}
+}
+
+// TestQueuedInfiniteBandwidthMatchesFixed checks the queued model
+// degenerates to the fixed model when serialization delay vanishes: a
+// run under each must agree on every headline number and on the
+// fabric's totals.
+func TestQueuedInfiniteBandwidthMatchesFixed(t *testing.T) {
+	fixed := fig2QuickConfig(StratDynamic)
+	queued := fixed
+	queued.NetModel = net.ModelQueued
+	queued.LinkBandwidth = 1e18
+
+	run := func(cfg Config) *Result {
+		cl, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl.Run()
+	}
+	a, b := run(fixed), run(queued)
+	if a.String() != b.String() {
+		t.Errorf("results differ:\nfixed:  %s\nqueued: %s", a, b)
+	}
+	if a.MeasuredOps != b.MeasuredOps {
+		t.Errorf("ops: fixed %d, queued %d", a.MeasuredOps, b.MeasuredOps)
+	}
+	if a.Net.Messages != b.Net.Messages || a.Net.Bytes != b.Net.Bytes {
+		t.Errorf("fabric totals: fixed %d msg/%d B, queued %d msg/%d B",
+			a.Net.Messages, a.Net.Bytes, b.Net.Messages, b.Net.Bytes)
+	}
+}
+
+// TestQueuedModelDeterministic checks the queued model at a finite
+// bandwidth is itself reproducible run to run.
+func TestQueuedModelDeterministic(t *testing.T) {
+	cfg := fig2QuickConfig(StratDynamic)
+	cfg.NetModel = net.ModelQueued
+	cfg.LinkBandwidth = 1e6 // slow enough that queues actually form
+
+	run := func() *Result {
+		cl, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl.Run()
+	}
+	a, b := run(), run()
+	if a.String() != b.String() {
+		t.Errorf("queued runs differ:\n%s\n%s", a, b)
+	}
+	if a.Net != b.Net {
+		t.Errorf("fabric stats differ:\n%+v\n%+v", a.Net, b.Net)
+	}
+	if a.Net.MaxQueueDepth < 2 {
+		t.Errorf("max queue depth = %d; expected real queueing at 1 MB/s",
+			a.Net.MaxQueueDepth)
+	}
+}

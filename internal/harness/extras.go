@@ -35,9 +35,10 @@ func Extras() []Experiment {
 }
 
 // sciConfig builds the scientific workload run.
-func sciConfig(seed int64, strategy string, quick bool) cluster.Config {
+func sciConfig(opt Options, strategy string) cluster.Config {
 	cfg := cluster.Default()
-	cfg.Seed = seed
+	cfg.Seed = opt.Seed
+	cfg.NetModel = opt.NetModel
 	cfg.Strategy = strategy
 	cfg.NumMDS = 6
 	cfg.ClientsPerMDS = 40
@@ -49,7 +50,7 @@ func sciConfig(seed int64, strategy string, quick bool) cluster.Config {
 	cfg.Workload.BurstFraction = 0.5
 	cfg.Duration = 24 * sim.Second
 	cfg.Warmup = 8 * sim.Second
-	if quick {
+	if opt.Quick {
 		cfg.Duration = 12 * sim.Second
 		cfg.Warmup = 4 * sim.Second
 	}
@@ -65,11 +66,11 @@ func SciExt(w io.Writer, opt Options) error {
 	for _, s := range cluster.Strategies {
 		specs = append(specs, RunSpec{
 			Label: "sci/" + s,
-			Cfg:   sciConfig(opt.Seed, s, opt.Quick),
+			Cfg:   sciConfig(opt, s),
 		})
 	}
 	// Dynamic again with directory hashing of huge shared dirs.
-	hashed := sciConfig(opt.Seed, cluster.StratDynamic, opt.Quick)
+	hashed := sciConfig(opt, cluster.StratDynamic)
 	hashed.HashDirThreshold = 256
 	specs = append(specs, RunSpec{Label: "sci/DynamicSubtree+dirhash", Cfg: hashed})
 
@@ -95,6 +96,7 @@ func SciExt(w io.Writer, opt Options) error {
 func FailoverExt(w io.Writer, opt Options) error {
 	cfg := cluster.Default()
 	cfg.Seed = opt.Seed
+	cfg.NetModel = opt.NetModel
 	cfg.Strategy = cluster.StratDynamic
 	cfg.NumMDS = 6
 	cfg.ClientsPerMDS = 30

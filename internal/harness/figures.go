@@ -12,9 +12,10 @@ import (
 // scaledConfig builds the Figure 2/3 scaling configuration: MDS memory
 // is fixed while file system size and client base scale with the
 // cluster, exactly as §5.3 describes.
-func scaledConfig(seed int64, strategy string, n int, quick bool) cluster.Config {
+func scaledConfig(opt Options, strategy string, n int) cluster.Config {
 	cfg := cluster.Default()
-	cfg.Seed = seed
+	cfg.Seed = opt.Seed
+	cfg.NetModel = opt.NetModel
 	cfg.Strategy = strategy
 	cfg.NumMDS = n
 	cfg.ClientsPerMDS = 60
@@ -24,7 +25,7 @@ func scaledConfig(seed int64, strategy string, n int, quick bool) cluster.Config
 	cfg.MDS.Storage.LogCapacity = 2500
 	cfg.Duration = 30 * sim.Second
 	cfg.Warmup = 10 * sim.Second
-	if quick {
+	if opt.Quick {
 		cfg.ClientsPerMDS = 30
 		cfg.Duration = 10 * sim.Second
 		cfg.Warmup = 4 * sim.Second
@@ -62,7 +63,7 @@ func Fig2(w io.Writer, opt Options) error {
 		for _, s := range cluster.Strategies {
 			specs = append(specs, RunSpec{
 				Label: fmt.Sprintf("fig2/%s/n=%d", s, n),
-				Cfg:   scaledConfig(opt.Seed, s, n, opt.Quick),
+				Cfg:   scaledConfig(opt, s, n),
 			})
 		}
 	}
@@ -96,7 +97,7 @@ func Fig3(w io.Writer, opt Options) error {
 		for _, s := range cluster.Strategies {
 			specs = append(specs, RunSpec{
 				Label: fmt.Sprintf("fig3/%s/n=%d", s, n),
-				Cfg:   scaledConfig(opt.Seed, s, n, opt.Quick),
+				Cfg:   scaledConfig(opt, s, n),
 			})
 		}
 	}
@@ -131,7 +132,7 @@ func Fig4(w io.Writer, opt Options) error {
 	// Estimate total metadata size from one generation. With snapshot
 	// sharing on this primes the cache, so the sweep below reuses the
 	// same frozen base instead of regenerating per run.
-	base := scaledConfig(opt.Seed, cluster.StratStatic, n, opt.Quick)
+	base := scaledConfig(opt, cluster.StratStatic, n)
 	totalInodes, err := namespaceSize(base)
 	if err != nil {
 		return err
@@ -140,7 +141,7 @@ func Fig4(w io.Writer, opt Options) error {
 	var specs []RunSpec
 	for _, f := range fractions {
 		for _, s := range cluster.Strategies {
-			cfg := scaledConfig(opt.Seed, s, n, opt.Quick)
+			cfg := scaledConfig(opt, s, n)
 			perMDS := int(f * float64(totalInodes) / float64(n))
 			if perMDS < 64 {
 				perMDS = 64
@@ -173,9 +174,10 @@ func Fig4(w io.Writer, opt Options) error {
 }
 
 // shiftConfig builds the Figure 5/6 workload-evolution run.
-func shiftConfig(seed int64, strategy string, quick bool) cluster.Config {
+func shiftConfig(opt Options, strategy string) cluster.Config {
 	cfg := cluster.Default()
-	cfg.Seed = seed
+	cfg.Seed = opt.Seed
+	cfg.NetModel = opt.NetModel
 	cfg.Strategy = strategy
 	cfg.NumMDS = 6
 	cfg.ClientsPerMDS = 30
@@ -188,7 +190,7 @@ func shiftConfig(seed int64, strategy string, quick bool) cluster.Config {
 	cfg.Workload.Kind = cluster.WorkShift
 	cfg.Workload.ShiftFraction = 0.5
 	cfg.SeriesBucket = sim.Second
-	if quick {
+	if opt.Quick {
 		cfg.Workload.ShiftTime = 8 * sim.Second
 		cfg.Duration = 24 * sim.Second
 		cfg.Warmup = 4 * sim.Second
@@ -210,8 +212,8 @@ func shiftConfig(seed int64, strategy string, quick bool) cluster.Config {
 // throughput over time under the shifting workload, dynamic vs static.
 func Fig5(w io.Writer, opt Options) error {
 	specs := []RunSpec{
-		{Label: "fig5/dynamic", Cfg: shiftConfig(opt.Seed, cluster.StratDynamic, opt.Quick)},
-		{Label: "fig5/static", Cfg: shiftConfig(opt.Seed, cluster.StratStatic, opt.Quick)},
+		{Label: "fig5/dynamic", Cfg: shiftConfig(opt, cluster.StratDynamic)},
+		{Label: "fig5/static", Cfg: shiftConfig(opt, cluster.StratStatic)},
 	}
 	results, err := Sweep(specs)
 	if err != nil {
@@ -257,8 +259,8 @@ func nodeRange(r *cluster.Result, i int) (min, avg, max float64) {
 // over time under the same shift.
 func Fig6(w io.Writer, opt Options) error {
 	specs := []RunSpec{
-		{Label: "fig6/dynamic", Cfg: shiftConfig(opt.Seed, cluster.StratDynamic, opt.Quick)},
-		{Label: "fig6/static", Cfg: shiftConfig(opt.Seed, cluster.StratStatic, opt.Quick)},
+		{Label: "fig6/dynamic", Cfg: shiftConfig(opt, cluster.StratDynamic)},
+		{Label: "fig6/static", Cfg: shiftConfig(opt, cluster.StratStatic)},
 	}
 	results, err := Sweep(specs)
 	if err != nil {
@@ -296,9 +298,10 @@ func fracAt(r *cluster.Result, i int) float64 {
 }
 
 // flashConfig builds the Figure 7 flash-crowd run.
-func flashConfig(seed int64, trafficOn, quick bool) cluster.Config {
+func flashConfig(opt Options, trafficOn bool) cluster.Config {
 	cfg := cluster.Default()
-	cfg.Seed = seed
+	cfg.Seed = opt.Seed
+	cfg.NetModel = opt.NetModel
 	cfg.Strategy = cluster.StratDynamic
 	cfg.NumMDS = 8
 	cfg.ClientsPerMDS = 1250 // 10,000 clients, as in the paper
@@ -315,7 +318,7 @@ func flashConfig(seed int64, trafficOn, quick bool) cluster.Config {
 	if !trafficOn {
 		cfg.Traffic = nil
 	}
-	if quick {
+	if opt.Quick {
 		cfg.ClientsPerMDS = 250
 	}
 	return cfg
@@ -325,8 +328,8 @@ func flashConfig(seed int64, trafficOn, quick bool) cluster.Config {
 // second through the flash crowd, without and with traffic control.
 func Fig7(w io.Writer, opt Options) error {
 	specs := []RunSpec{
-		{Label: "fig7/no-tc", Cfg: flashConfig(opt.Seed, false, opt.Quick)},
-		{Label: "fig7/tc", Cfg: flashConfig(opt.Seed, true, opt.Quick)},
+		{Label: "fig7/no-tc", Cfg: flashConfig(opt, false)},
+		{Label: "fig7/tc", Cfg: flashConfig(opt, true)},
 	}
 	results, err := Sweep(specs)
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dynmds/internal/cluster"
@@ -83,16 +84,34 @@ func SweepAccounting() (setup, run time.Duration, runs int) {
 	return account.setup, account.run, account.runs
 }
 
-// Sweep runs all specs on a worker pool of GOMAXPROCS goroutines and
-// returns results in spec order. The semaphore is acquired before each
-// goroutine is spawned, so at most GOMAXPROCS workers exist at a time
-// (rather than one goroutine per spec all blocking on the semaphore).
-// All failures are reported, joined in spec order.
+// sweepWorkers overrides the sweep pool size when positive; zero falls
+// back to GOMAXPROCS. Atomic so tests and the CLI may set it without
+// racing an in-flight sweep.
+var sweepWorkers atomic.Int32
+
+// SetSweepWorkers bounds the sweep worker pool. n <= 0 restores the
+// default (GOMAXPROCS).
+func SetSweepWorkers(n int) { sweepWorkers.Store(int32(n)) }
+
+// SweepWorkers returns the current sweep pool size.
+func SweepWorkers() int {
+	if n := int(sweepWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Sweep runs all specs on a worker pool of SweepWorkers goroutines
+// (GOMAXPROCS unless overridden via SetSweepWorkers / mdsim -workers)
+// and returns results in spec order. The semaphore is acquired before
+// each goroutine is spawned, so at most SweepWorkers workers exist at a
+// time (rather than one goroutine per spec all blocking on the
+// semaphore). All failures are reported, joined in spec order.
 func Sweep(specs []RunSpec) ([]*cluster.Result, error) {
 	results := make([]*cluster.Result, len(specs))
 	errs := make([]error, len(specs))
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	sem := make(chan struct{}, SweepWorkers())
 	for i, spec := range specs {
 		sem <- struct{}{}
 		wg.Add(1)
@@ -116,6 +135,9 @@ type Options struct {
 	// full experiment, smaller = quicker.
 	Quick bool
 	Seed  int64
+	// NetModel selects the message-fabric latency model for every run
+	// ("" = fixed; see internal/net).
+	NetModel string
 }
 
 // Experiment is one regenerable figure.

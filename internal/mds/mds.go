@@ -18,6 +18,7 @@ import (
 	"dynmds/internal/metrics"
 	"dynmds/internal/msg"
 	"dynmds/internal/namespace"
+	"dynmds/internal/net"
 	"dynmds/internal/partition"
 	"dynmds/internal/sim"
 	"dynmds/internal/storage"
@@ -96,6 +97,9 @@ type Cluster interface {
 	Tree() *namespace.Tree
 	// Deliver hands a completed reply back to the issuing client.
 	Deliver(rep *msg.Reply)
+	// Fabric returns the message fabric every simulated hop routes
+	// through (see internal/net).
+	Fabric() *net.Fabric
 }
 
 // Stats counts one node's activity.
@@ -167,6 +171,9 @@ type MDS struct {
 	cfg     Config
 	strat   partition.Strategy
 	cluster Cluster
+	// fab is the cluster's message fabric; every network hop this node
+	// initiates goes through it (never eng.AfterCall directly).
+	fab *net.Fabric
 
 	cpu   *sim.Server
 	cache *cache.Cache
@@ -232,6 +239,7 @@ func New(id int, eng *sim.Engine, cfg Config, strat partition.Strategy, tc *core
 		cfg:         cfg,
 		strat:       strat,
 		cluster:     cl,
+		fab:         cl.Fabric(),
 		cpu:         sim.NewServer(eng, 1),
 		cache:       cache.New(cfg.CacheCapacity),
 		store:       storage.New(eng, cfg.Storage),
@@ -268,12 +276,16 @@ func New(id int, eng *sim.Engine, cfg Config, strat partition.Strategy, tc *core
 		}
 		m.Stats.EvictNoticesSent++
 		peer := m.cluster.Node(auth)
-		m.eng.AfterCall(m.cfg.FwdLatency, evictNoticeArrive, peer, nil)
+		m.fab.Send(net.EvictNotice, m.id, auth, net.Bytes(net.EvictNotice), evictNoticeArrive, peer, nil)
 	}
 	return m
 }
 
 func evictNoticeArrive(a, _ any) { a.(*MDS).Stats.EvictNoticesRecvd++ }
+
+// call0 adapts a bare func() to a fabric delivery continuation, for the
+// rare cold paths (write flushes, stat callbacks) that keep closures.
+func call0(a, _ any) { a.(func())() }
 
 // StartFlusher begins the periodic write-flush ticker. The cluster
 // calls it at Run time; a perpetual ticker must not be created during
@@ -368,7 +380,7 @@ func (m *MDS) forward(req *msg.Request, to int) {
 	m.maybePreemptiveReplicate(req)
 	req.Hops++
 	peer := m.cluster.Node(to)
-	m.eng.AfterCall(m.cfg.FwdLatency, mdsReceive, peer, req)
+	m.fab.Send(net.Forward, m.id, to, net.Bytes(net.Forward), mdsReceive, peer, req)
 }
 
 // maybePreemptiveReplicate implements §5.4's suggested improvement: a
@@ -442,15 +454,16 @@ func (m *MDS) fetchRecord(ino *namespace.Inode, cl cache.Class, fn sim.EventFunc
 	m.noteMiss()
 	f := m.getFetch()
 	f.ino, f.cl, f.fn, f.a, f.b = ino, cl, fn, a, b
-	if m.strat.Authority(ino) == m.id {
+	auth := m.strat.Authority(ino)
+	if auth == m.id {
 		m.diskLoad(f)
 		return
 	}
 	// Remote record: round trip to the authority, then install a
 	// replica locally (for prefixes, the overhead Figure 3 measures).
 	m.Stats.RemoteFetches++
-	peer := m.cluster.Node(m.strat.Authority(ino))
-	m.eng.AfterCall(m.cfg.FwdLatency, remoteFetchAtPeer, peer, f)
+	peer := m.cluster.Node(auth)
+	m.fab.Send(net.FetchReq, m.id, auth, net.Bytes(net.FetchReq), remoteFetchAtPeer, peer, f)
 }
 
 func (m *MDS) getFetch() *fetch {
@@ -488,12 +501,13 @@ func finishFetch(f *fetch) {
 func remoteFetchAtPeer(a, b any) {
 	peer := a.(*MDS)
 	f := b.(*fetch)
-	peer.handleFetch(f.ino, remoteFetchReturn, f, nil)
+	peer.handleFetch(f.ino, remoteFetchReturn, f, peer)
 }
 
-func remoteFetchReturn(x, _ any) {
+func remoteFetchReturn(x, p any) {
 	f := x.(*fetch)
-	f.m.eng.AfterCall(f.m.cfg.FwdLatency, remoteFetchInstall, f, nil)
+	peer := p.(*MDS)
+	f.m.fab.Send(net.FetchResp, peer.id, f.m.id, net.Bytes(net.FetchResp), remoteFetchInstall, f, nil)
 }
 
 func remoteFetchInstall(x, _ any) {
@@ -681,15 +695,21 @@ func (m *MDS) finishServe(req *msg.Request) {
 	if m.lh != nil && m.lh.Stale(target) {
 		m.lh.Apply(target)
 		m.Stats.LHApplied++
-		m.eng.After(2*m.cfg.FwdLatency, func() {
-			if m.failed {
-				return
-			}
-			m.commit(target, func() { m.finishServe2(req) })
-		})
+		// One lazy propagation round trip (priced at 2×Fwd by the
+		// model), carried on the node's loopback link, then a commit.
+		m.fab.Send(net.LHPropagate, m.id, m.id, net.Bytes(net.LHPropagate), lhPropagated, m, req)
 		return
 	}
 	m.finishServe2(req)
+}
+
+func lhPropagated(a, b any) {
+	m := a.(*MDS)
+	req := b.(*msg.Request)
+	if m.failed {
+		return
+	}
+	m.commit(req.Target, func() { m.finishServe2(req) })
 }
 
 func (m *MDS) finishServe2(req *msg.Request) {
@@ -806,7 +826,7 @@ func (m *MDS) propagateCoherence(target *namespace.Inode) {
 		}
 		m.Stats.CoherenceSent++
 		peer := m.cluster.Node(i)
-		m.eng.AfterCall(m.cfg.FwdLatency, coherenceArrive, peer, nil)
+		m.fab.Send(net.Coherence, m.id, i, net.Bytes(net.Coherence), coherenceArrive, peer, nil)
 	}
 }
 
@@ -971,7 +991,7 @@ func (m *MDS) pushReplicas(target *namespace.Inode) {
 			continue
 		}
 		peer := m.cluster.Node(i)
-		m.eng.AfterCall(m.cfg.FwdLatency, installReplicaAt, peer, target)
+		m.fab.Send(net.ReplicaInstall, m.id, i, net.Bytes(net.ReplicaInstall), installReplicaAt, peer, target)
 	}
 	m.Stats.ReplicasPushed += uint64(m.cluster.NumMDS() - 1)
 }
@@ -1006,11 +1026,14 @@ func (m *MDS) reply(req *msg.Request) {
 		m.OnReply(m.id, req, now)
 	}
 	rep := m.getReply()
-	rep.Req, rep.ServedBy, rep.Completed = req, m.id, now+m.cfg.NetLatency
+	rep.Req, rep.ServedBy = req, m.id
 	if !m.strat.ClientComputable() {
 		rep.Hints = m.appendHints(rep.Hints[:0], req.Target)
 	}
-	m.eng.AfterCall(m.cfg.NetLatency, mdsDeliver, m, rep)
+	// The fabric prices the hop (hints add bytes under the queued
+	// model) and reports when the reply lands at the client edge.
+	rep.Completed = m.fab.Send(net.Reply, m.id, m.fab.ClientEdge(),
+		net.ReplyBytes(len(rep.Hints)), mdsDeliver, m, rep)
 }
 
 func (m *MDS) getReply() *msg.Reply {

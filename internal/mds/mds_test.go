@@ -7,6 +7,7 @@ import (
 	"dynmds/internal/core"
 	"dynmds/internal/msg"
 	"dynmds/internal/namespace"
+	"dynmds/internal/net"
 	"dynmds/internal/partition"
 	"dynmds/internal/sim"
 	"dynmds/internal/storage"
@@ -16,6 +17,7 @@ import (
 type testCluster struct {
 	nodes   []*MDS
 	tree    *namespace.Tree
+	fab     *net.Fabric
 	replies []*msg.Reply
 }
 
@@ -23,6 +25,17 @@ func (tc *testCluster) Node(i int) *MDS        { return tc.nodes[i] }
 func (tc *testCluster) NumMDS() int            { return len(tc.nodes) }
 func (tc *testCluster) Tree() *namespace.Tree  { return tc.tree }
 func (tc *testCluster) Deliver(rep *msg.Reply) { tc.replies = append(tc.replies, rep) }
+func (tc *testCluster) Fabric() *net.Fabric    { return tc.fab }
+
+// newTestCluster builds the fake with a fixed-latency fabric matching
+// testMDSConfig's latencies, sized for n nodes.
+func newTestCluster(eng *sim.Engine, tree *namespace.Tree, n int) *testCluster {
+	cfg := testMDSConfig()
+	return &testCluster{
+		tree: tree,
+		fab:  net.NewFabric(eng, n, net.Fixed{Net: cfg.NetLatency, Fwd: cfg.FwdLatency}),
+	}
+}
 
 func testMDSConfig() Config {
 	return Config{
@@ -70,7 +83,7 @@ func buildCluster(t *testing.T, eng *sim.Engine, n int, makeStrat func(*namespac
 	if trafficOn {
 		tc = &core.TrafficControl{Enabled: true, ReplicateThreshold: 5, UnreplicateThreshold: 1}
 	}
-	cl := &testCluster{tree: tree}
+	cl := newTestCluster(eng, tree, n)
 	for i := 0; i < n; i++ {
 		cl.nodes = append(cl.nodes, New(i, eng, testMDSConfig(), strat, tc, cl))
 	}

@@ -3,6 +3,7 @@ package mds
 import (
 	"dynmds/internal/msg"
 	"dynmds/internal/namespace"
+	"dynmds/internal/net"
 	"dynmds/internal/partition"
 	"dynmds/internal/sim"
 )
@@ -65,7 +66,7 @@ func (m *MDS) flushWrites(now sim.Time) {
 		}
 		peer := m.cluster.Node(auth)
 		size, ino := size, ino // capture per-iteration copies
-		m.eng.After(m.cfg.FwdLatency, func() {
+		m.fab.Send(net.WriteFlush, m.id, auth, net.Bytes(net.WriteFlush), call0, func() {
 			if peer.failed {
 				return
 			}
@@ -74,7 +75,7 @@ func (m *MDS) flushWrites(now sim.Time) {
 					ino.Size = size
 				}
 			})
-		})
+		}, nil)
 		m.clearUnflushed(ino)
 	}
 	m.sizePending = make(map[namespace.InodeID]int64)
@@ -112,7 +113,7 @@ func (m *MDS) statCallbackSlow(req *msg.Request, mask uint64) {
 		}
 		outstanding++
 		peer := m.cluster.Node(i)
-		m.eng.After(m.cfg.FwdLatency, func() {
+		m.fab.Send(net.StatCallback, m.id, i, net.Bytes(net.StatCallback), call0, func() {
 			peer.cpu.Submit(peer.cfg.PeerService, func() {
 				// Peer reports its local max and clears it.
 				if size, ok := peer.sizePending[target.ID]; ok {
@@ -122,13 +123,13 @@ func (m *MDS) statCallbackSlow(req *msg.Request, mask uint64) {
 					delete(peer.sizePending, target.ID)
 				}
 				peer.clearUnflushed(target)
-				m.eng.After(m.cfg.FwdLatency, func() {
+				m.fab.Send(net.StatCallback, peer.id, m.id, net.Bytes(net.StatCallback), call0, func() {
 					outstanding--
 					if outstanding == 0 && !m.failed {
 						done()
 					}
-				})
+				}, nil)
 			})
-		})
+		}, nil)
 	}
 }

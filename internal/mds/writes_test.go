@@ -174,7 +174,7 @@ func TestPreemptiveReplication(t *testing.T) {
 		UnreplicateThreshold: 1,
 		PreemptiveThreshold:  5,
 	}
-	cl := &testCluster{tree: tree}
+	cl := newTestCluster(eng, tree, 3)
 	for i := 0; i < 3; i++ {
 		cl.nodes = append(cl.nodes, New(i, eng, testMDSConfig(), strat, tc, cl))
 	}

@@ -1,0 +1,189 @@
+package net
+
+import (
+	"dynmds/internal/metrics"
+	"dynmds/internal/sim"
+)
+
+// LinkStats counts one directed link's lifetime traffic.
+type LinkStats struct {
+	Messages uint64
+	Bytes    uint64
+	// MaxDepth is the high-water mark of messages simultaneously in
+	// flight on the link (its queue depth).
+	MaxDepth int
+}
+
+// Link is one directed endpoint pair, with its counters and the mutable
+// per-link state latency models use.
+type Link struct {
+	From, To int
+	Stats    LinkStats
+	// BusyUntil is the queued model's serialization horizon: the time
+	// the link finishes transmitting everything accepted so far.
+	BusyUntil sim.Time
+
+	depth int // messages currently in flight
+}
+
+// ClassStats counts one message class fabric-wide.
+type ClassStats struct {
+	Sent      uint64
+	Delivered uint64
+	Bytes     uint64
+}
+
+// envelope carries one in-flight message: the delivery continuation
+// (fn, a, b) rides in the envelope, and the envelope itself is the
+// single event payload, so a hop schedules without allocating once the
+// pool is warm. Envelopes are owned by the fabric and recycled by the
+// delivery dispatch, never while an engine event still references them.
+type envelope struct {
+	fab   *Fabric
+	link  *Link
+	class Class
+	fn    sim.EventFunc
+	a, b  any
+}
+
+// Fabric routes every simulated message. It is single-threaded, like
+// the engine it schedules on: one fabric per cluster, no locks.
+type Fabric struct {
+	eng   *sim.Engine
+	model LatencyModel
+	n     int // MDS endpoints; endpoint n is the client edge
+	links []Link
+	class [NumClasses]ClassStats
+	pool  []*envelope
+	live  int // envelopes checked out of the pool (leak detector)
+}
+
+// NewFabric creates a fabric over numMDS node endpoints plus the client
+// edge, pricing transit with the given model.
+func NewFabric(eng *sim.Engine, numMDS int, model LatencyModel) *Fabric {
+	f := &Fabric{eng: eng, model: model, n: numMDS}
+	w := numMDS + 1
+	f.links = make([]Link, w*w)
+	for i := range f.links {
+		f.links[i].From, f.links[i].To = i/w, i%w
+	}
+	return f
+}
+
+// ClientEdge returns the endpoint index aggregating the client
+// population.
+func (f *Fabric) ClientEdge() int { return f.n }
+
+// Model returns the latency model's name.
+func (f *Fabric) Model() string { return f.model.Name() }
+
+// Send routes one message of the given class and size from endpoint
+// `from` to endpoint `to`; fn(a, b) runs at delivery. It returns the
+// delivery time. Counters update at send and delivery, so at any
+// instant Sent - Delivered messages are in flight.
+func (f *Fabric) Send(c Class, from, to, bytes int, fn sim.EventFunc, a, b any) sim.Time {
+	now := f.eng.Now()
+	l := &f.links[from*(f.n+1)+to]
+	delay := f.model.Delay(l, c, bytes, now)
+	l.Stats.Messages++
+	l.Stats.Bytes += uint64(bytes)
+	l.depth++
+	if l.depth > l.Stats.MaxDepth {
+		l.Stats.MaxDepth = l.depth
+	}
+	cs := &f.class[c]
+	cs.Sent++
+	cs.Bytes += uint64(bytes)
+	env := f.getEnv()
+	env.link, env.class, env.fn, env.a, env.b = l, c, fn, a, b
+	f.eng.AfterCall(delay, deliverEnvelope, env, nil)
+	return now + delay
+}
+
+// deliverEnvelope completes one hop: release the envelope first, then
+// run the continuation (which may immediately send again and reuse it).
+func deliverEnvelope(x, _ any) {
+	env := x.(*envelope)
+	f := env.fab
+	env.link.depth--
+	f.class[env.class].Delivered++
+	fn, a, b := env.fn, env.a, env.b
+	f.putEnv(env)
+	fn(a, b)
+}
+
+func (f *Fabric) getEnv() *envelope {
+	f.live++
+	if n := len(f.pool); n > 0 {
+		env := f.pool[n-1]
+		f.pool[n-1] = nil
+		f.pool = f.pool[:n-1]
+		return env
+	}
+	return &envelope{fab: f}
+}
+
+func (f *Fabric) putEnv(env *envelope) {
+	env.link, env.fn, env.a, env.b = nil, nil, nil, nil
+	f.live--
+	f.pool = append(f.pool, env)
+}
+
+// Class returns the fabric-wide counters for one message class.
+func (f *Fabric) Class(c Class) ClassStats { return f.class[c] }
+
+// LinkBetween returns the counters of the directed from→to link.
+func (f *Fabric) LinkBetween(from, to int) LinkStats {
+	return f.links[from*(f.n+1)+to].Stats
+}
+
+// InFlight returns the number of messages sent but not yet delivered.
+func (f *Fabric) InFlight() int {
+	var d int
+	for i := range f.class {
+		d += int(f.class[i].Sent - f.class[i].Delivered)
+	}
+	return d
+}
+
+// LiveEnvelopes returns the number of envelopes checked out of the
+// pool; it equals InFlight unless an envelope leaked.
+func (f *Fabric) LiveEnvelopes() int { return f.live }
+
+// Stats is the run-level fabric summary surfaced in cluster.Result.
+type Stats struct {
+	Model    string
+	Messages uint64
+	Bytes    uint64
+	// MaxQueueDepth is the largest per-link in-flight high-water mark.
+	MaxQueueDepth int
+	PerClass      [NumClasses]ClassStats
+}
+
+// Summary snapshots the fabric's counters.
+func (f *Fabric) Summary() Stats {
+	s := Stats{Model: f.model.Name(), PerClass: f.class}
+	for i := range f.class {
+		s.Messages += f.class[i].Sent
+		s.Bytes += f.class[i].Bytes
+	}
+	for i := range f.links {
+		if d := f.links[i].Stats.MaxDepth; d > s.MaxQueueDepth {
+			s.MaxQueueDepth = d
+		}
+	}
+	return s
+}
+
+// Table renders the per-class counters as an aligned console table.
+func (s *Stats) Table() string {
+	tb := metrics.NewTable("class", "sent", "delivered", "bytes")
+	for c := 0; c < NumClasses; c++ {
+		cs := s.PerClass[c]
+		if cs.Sent == 0 {
+			continue
+		}
+		tb.AddRow(Class(c).String(), int(cs.Sent), int(cs.Delivered), int(cs.Bytes))
+	}
+	return tb.String()
+}

@@ -10,9 +10,11 @@ go build ./...
 go test -race ./...
 
 # Figure smoke run: exercises the sweep runner, the snapshot cache, and
-# the copy-on-write overlay path end to end at reduced scale.
+# the copy-on-write overlay path end to end at reduced scale, under
+# both fabric latency models.
 go run ./cmd/mdsim -fig 2 -quick
+go run ./cmd/mdsim -fig 2 -quick -net-model queued
 
-# Perf report (quick scale in CI; regenerate the committed BENCH_2.json
-# with a full-scale run: `go run ./cmd/mdsim -bench-json BENCH_2.json`).
-go run ./cmd/mdsim -bench-json BENCH_2.quick.json -quick
+# Perf report (quick scale in CI; regenerate the committed BENCH_3.json
+# with a full-scale run: `go run ./cmd/mdsim -bench-json BENCH_3.json`).
+go run ./cmd/mdsim -bench-json BENCH_3.quick.json -quick

@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Regenerate the committed golden experiment outputs in testdata/:
+#
+#   scripts/regen-golden.sh          # quick golden only (~1 min)
+#   scripts/regen-golden.sh -full    # also the full-scale goldens (~10 min)
+#
+# testdata/figures_quick.txt  every experiment at reduced scale (-quick)
+# testdata/figures_full.txt   Figures 2-7 at paper scale
+# testdata/extras_full.txt    the sci and failover extensions at paper scale
+#
+# All runs use seed 1 and the default fixed network model; with those
+# held, output is bit-identical across machines, so a diff against the
+# committed files is a real behaviour change, not noise (the "(wall
+# time ...)" lines are the one exception — real time varies run to run).
+set -eu
+cd "$(dirname "$0")/.."
+
+go build ./cmd/mdsim
+
+go run ./cmd/mdsim -fig all -quick > testdata/figures_quick.txt
+echo "wrote testdata/figures_quick.txt"
+
+if [ "${1:-}" = "-full" ]; then
+	: > testdata/figures_full.txt
+	for f in 2 3 4 5 6 7; do
+		go run ./cmd/mdsim -fig "$f" >> testdata/figures_full.txt
+	done
+	echo "wrote testdata/figures_full.txt"
+	go run ./cmd/mdsim -fig sci > testdata/extras_full.txt
+	go run ./cmd/mdsim -fig failover >> testdata/extras_full.txt
+	echo "wrote testdata/extras_full.txt"
+fi
