@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"dynmds/internal/cluster"
+	"dynmds/internal/fault"
 	"dynmds/internal/harness"
 	simnet "dynmds/internal/net"
 	"dynmds/internal/sim"
@@ -34,7 +35,7 @@ func main() {
 
 func run() int {
 	var (
-		fig      = flag.String("fig", "", "experiment: 2..7, 'sci', 'failover', or 'all'")
+		fig      = flag.String("fig", "", "experiment: 2..7, 'sci', 'failover', 'avail', or 'all'")
 		quick    = flag.Bool("quick", false, "reduced-scale experiments")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		strategy = flag.String("strategy", cluster.StratDynamic, "strategy for a custom run")
@@ -49,11 +50,28 @@ func run() int {
 	benchJSON := flag.String("bench-json", "", "run the hot-path and sweep benchmarks and write a JSON report to this file")
 	share := flag.Bool("share-snapshots", true, "share one frozen namespace snapshot across sweep runs (off = legacy per-run generation)")
 	netModel := flag.String("net-model", simnet.ModelFixed, "fabric latency model: fixed or queued")
+	faults := flag.String("faults", "", "fault schedule for a custom run, e.g. 'crash@3s-6s:mds1,drop@0.02:all' (see internal/fault)")
 	linkBW := flag.Float64("link-bw", 0, "queued-model link bandwidth in bytes per simulated second (0 = default)")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	// Validate the knobs that select named models up front, so a typo
+	// fails with a usage error before any simulation work starts.
+	if *netModel != simnet.ModelFixed && *netModel != simnet.ModelQueued {
+		fmt.Fprintf(os.Stderr, "mdsim: unknown -net-model %q (use %q or %q)\n",
+			*netModel, simnet.ModelFixed, simnet.ModelQueued)
+		flag.Usage()
+		return 2
+	}
+	if *faults != "" {
+		if _, err := fault.ParseSchedule(*faults); err != nil {
+			fmt.Fprintf(os.Stderr, "mdsim: bad -faults schedule: %v\n", err)
+			flag.Usage()
+			return 2
+		}
+	}
 
 	harness.SetSnapshotSharing(*share)
 	harness.SetSweepWorkers(*workers)
@@ -119,6 +137,7 @@ func run() int {
 	cfg.MDS.Storage.LogCapacity = *cacheCap
 	cfg.NetModel = *netModel
 	cfg.LinkBandwidth = *linkBW
+	cfg.Faults = *faults
 	cfg.Duration = sim.FromSeconds(*dur)
 	cfg.Warmup = sim.FromSeconds(*warm)
 
@@ -132,6 +151,20 @@ func run() int {
 	fmt.Printf("fabric (%s model): %d messages, %d bytes, max link queue %d\n",
 		res.Net.Model, res.Net.Messages, res.Net.Bytes, res.Net.MaxQueueDepth)
 	fmt.Print(res.Net.Table())
+	if res.FaultSchedule != "" {
+		fmt.Printf("faults (%s): %d retries, %d timed out, %d fetch timeouts, %d fwd timeouts, %d dead letters, %d suspicions\n",
+			res.FaultSchedule, res.Retries, res.TimedOut, res.FetchTimeouts,
+			res.FwdTimeouts, res.DeadLetters, res.Suspicions)
+		for _, ev := range res.Failures {
+			fmt.Printf("  crash  t=%.3fs mds%d\n", ev.At.Seconds(), ev.Node)
+		}
+		for _, ev := range res.Downs {
+			fmt.Printf("  down   t=%.3fs mds%d (suspicion confirmed)\n", ev.At.Seconds(), ev.Node)
+		}
+		for _, ev := range res.Recoveries {
+			fmt.Printf("  recover t=%.3fs mds%d (%d records warmed)\n", ev.At.Seconds(), ev.Node, ev.Warmed)
+		}
+	}
 	fmt.Printf("wall time: %v (setup %v, run %v)\n",
 		time.Since(start).Round(time.Millisecond),
 		res.SetupWall.Round(time.Millisecond), res.RunWall.Round(time.Millisecond))
@@ -160,7 +193,11 @@ type benchReport struct {
 	NetModel       string        `json:"net_model"`
 	Net            netReport     `json:"net"` // fabric counters from the measured config
 	Sweeps         []sweepReport `json:"sweeps"`
-	PeakRSSKB      int64         `json:"peak_rss_kb"` // process high-water mark (VmHWM)
+	// Availability holds the fault-injection experiment's per-strategy
+	// crash/recovery metrics (one of eight nodes down for a window,
+	// measured against a fault-free control run).
+	Availability []harness.AvailMetrics `json:"availability"`
+	PeakRSSKB    int64                  `json:"peak_rss_kb"` // process high-water mark (VmHWM)
 }
 
 // netReport summarizes the message fabric's per-class accounting for the
@@ -304,6 +341,16 @@ func runBenchJSON(path string, seed int64, quick, share bool, netModel string) e
 		fmt.Printf("%s sweep: %v wall (%v setup, %v run) over %d runs, %d generated / %d shared\n",
 			id, wall.Round(time.Millisecond), setup.Round(time.Millisecond),
 			runW.Round(time.Millisecond), nruns, gen, shared)
+	}
+	// Availability experiment: crash/recovery metrics per strategy.
+	avail, err := harness.AvailabilityReport(harness.Options{Quick: quick, Seed: seed, NetModel: netModel})
+	if err != nil {
+		return err
+	}
+	rep.Availability = avail
+	for _, m := range avail {
+		fmt.Printf("avail %s: dip %.3f of control, detect %.2fs, recover %.1fs, %d retries\n",
+			m.Strategy, m.DipFrac, m.DetectSeconds, m.RecoverySeconds, m.Retries)
 	}
 	rep.PeakRSSKB = peakRSSKB()
 

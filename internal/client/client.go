@@ -32,10 +32,18 @@ type Config struct {
 	// KnownCap bounds the location-knowledge cache (FIFO eviction).
 	KnownCap int
 	// RetryTimeout, when positive, re-sends a request that has not
-	// been answered within the timeout — to a random node, since the
-	// original target may be down. Needed for failover scenarios;
-	// zero disables retries.
+	// been answered within the timeout. Retries resteer: the stale
+	// location hint for the target is invalidated and the resend avoids
+	// the node tried last, since that node may be down. Needed for
+	// failover and fault-injection scenarios; zero disables retries.
 	RetryTimeout sim.Time
+	// RetryBackoffMax caps the exponential backoff between retries
+	// (timeout doubles per attempt). Zero means 8× RetryTimeout.
+	RetryBackoffMax sim.Time
+	// MaxRetries bounds the resend attempts per request; once exhausted
+	// the request is abandoned and counted as timed out, and the client
+	// moves on to its next operation. Zero means retry forever.
+	MaxRetries int
 }
 
 // Stats counts one client's activity.
@@ -43,7 +51,11 @@ type Stats struct {
 	Issued    uint64
 	Completed uint64
 	Retries   uint64
-	Latency   metrics.Welford
+	// TimedOut counts requests abandoned after MaxRetries unanswered
+	// sends (or cut off by Stop while still unanswered). Every issued
+	// request ends up either Completed or TimedOut once the run drains.
+	TimedOut uint64
+	Latency  metrics.Welford
 }
 
 // Client is one simulated client.
@@ -61,11 +73,18 @@ type Client struct {
 	nextID   uint64
 	stopped  bool
 	inflight *msg.Request
+	attempts int // resends of the current in-flight request
+	lastMDS  int // node the in-flight request was last sent to
 	// reqPool recycles completed requests. Reuse is only safe without
 	// retries: a retried request can be answered twice, and a recycled
 	// struct would make the stale duplicate pointer-equal to the new
 	// in-flight request, defeating the duplicate check in OnReply.
 	reqPool *msg.Request
+
+	// OnComplete, when set, observes each accepted completion (duplicate
+	// replies excluded). The cluster uses it for the per-second
+	// completed-op availability series.
+	OnComplete func(now sim.Time)
 
 	Stats Stats
 }
@@ -136,27 +155,72 @@ func (c *Client) issue() {
 	req.NewName = op.NewName
 	req.Size = op.Size
 	req.Issued = c.eng.Now()
+	req.Via = -1
 	mds := c.direct(req)
 	req.FirstMDS = mds
 	c.Stats.Issued++
 	c.inflight = req
+	c.attempts = 0
+	c.lastMDS = mds
 	c.net.Send(mds, req)
 	c.armRetry(req)
 }
 
-// armRetry schedules a retransmission for an unanswered request. The
-// retry goes to a random node: the original target may have failed, and
-// any node can forward to the current authority.
+// backoff returns the wait before the next retransmission: the base
+// timeout doubled per attempt already made, capped at RetryBackoffMax.
+func (c *Client) backoff() sim.Time {
+	max := c.cfg.RetryBackoffMax
+	if max <= 0 {
+		max = 8 * c.cfg.RetryTimeout
+	}
+	shift := c.attempts
+	if shift > 16 {
+		shift = 16
+	}
+	d := c.cfg.RetryTimeout << uint(shift)
+	if d > max || d <= 0 {
+		d = max
+	}
+	return d
+}
+
+// armRetry schedules a retransmission for an unanswered request with
+// capped exponential backoff. Each retry resteers: the (possibly stale)
+// location hint for the target is dropped and the resend avoids the
+// node tried last — the original target may have failed, and any node
+// can forward to the current authority. After MaxRetries attempts the
+// request is abandoned as timed out and the closed loop moves on.
 func (c *Client) armRetry(req *msg.Request) {
 	if c.cfg.RetryTimeout <= 0 {
 		return
 	}
-	c.eng.After(c.cfg.RetryTimeout, func() {
-		if c.stopped || c.inflight != req {
+	c.eng.After(c.backoff(), func() {
+		if c.inflight != req {
 			return
 		}
+		if c.stopped {
+			// The run is draining: account the unanswered request so
+			// every issued op ends up completed or timed out.
+			c.Stats.TimedOut++
+			c.inflight = nil
+			return
+		}
+		if c.cfg.MaxRetries > 0 && c.attempts >= c.cfg.MaxRetries {
+			c.Stats.TimedOut++
+			c.inflight = nil
+			c.eng.AfterCall(c.rng.Exp(c.cfg.ThinkMean), clientIssue, c, nil)
+			return
+		}
+		c.attempts++
 		c.Stats.Retries++
+		if req.Target != nil {
+			c.known.del(req.Target.ID)
+		}
 		to := c.rng.Pick(c.net.NumMDS())
+		if n := c.net.NumMDS(); n > 1 && to == c.lastMDS {
+			to = (to + 1) % n
+		}
+		c.lastMDS = to
 		c.net.Send(to, req)
 		c.armRetry(req)
 	})
@@ -188,13 +252,18 @@ func (c *Client) direct(req *msg.Request) int {
 // record latency, think, and issue the next request. Duplicate replies
 // (a retried request answered twice) are dropped.
 func (c *Client) OnReply(rep *msg.Reply) {
-	if rep.Req.Acked || (c.inflight != nil && rep.Req != c.inflight) {
-		return // stale duplicate from a retry race
+	if rep.Req != c.inflight {
+		// Stale: a duplicate from a retry race, or a late answer to a
+		// request already abandoned as timed out.
+		return
 	}
 	rep.Req.Acked = true
 	c.inflight = nil
 	c.Stats.Completed++
 	c.Stats.Latency.Add(rep.Latency().Seconds())
+	if c.OnComplete != nil {
+		c.OnComplete(c.eng.Now())
+	}
 	for _, h := range rep.Hints {
 		c.known.put(h)
 	}
@@ -209,6 +278,10 @@ func (c *Client) OnReply(rep *msg.Reply) {
 	}
 	c.eng.AfterCall(c.rng.Exp(c.cfg.ThinkMean), clientIssue, c, nil)
 }
+
+// Inflight reports whether the client still holds an unanswered
+// request (drain/invariant checks).
+func (c *Client) Inflight() bool { return c.inflight != nil }
 
 // KnownLocations reports the current size of the location cache.
 func (c *Client) KnownLocations() int { return c.known.len() }
@@ -237,6 +310,10 @@ func (k *knownCache) get(id namespace.InodeID) (msg.Hint, bool) {
 	h, ok := k.m[id]
 	return h, ok
 }
+
+// del invalidates one hint (retry resteering). The stale FIFO slot is
+// harmless: eviction's delete of an already-gone id is a no-op.
+func (k *knownCache) del(id namespace.InodeID) { delete(k.m, id) }
 
 func (k *knownCache) put(h msg.Hint) {
 	if _, exists := k.m[h.Ino]; exists {

@@ -228,6 +228,146 @@ func TestRetryOnTimeout(t *testing.T) {
 	}
 }
 
+func TestRetryExponentialBackoff(t *testing.T) {
+	tr, f := testTree(t)
+	_ = tr
+	eng := sim.NewEngine()
+	net := &fakeNet{n: 4}
+	c := New(0, eng, Config{
+		ThinkMean:       sim.Millisecond,
+		RetryTimeout:    10 * sim.Millisecond,
+		RetryBackoffMax: 40 * sim.Millisecond,
+	}, sim.NewRNG(9), net, partition.FileHash{N: 4},
+		fixedGen{workload.Op{Op: msg.Stat, Target: f}})
+	c.Start(0)
+	// No reply ever arrives. Resends land at 10, 30 (10+20), 70
+	// (+40 capped), 110 (+40 capped), ...
+	eng.RunUntil(120 * sim.Millisecond)
+	wantAt := []sim.Time{0, 10, 30, 70, 110}
+	if len(net.sends) != len(wantAt) {
+		t.Fatalf("sends = %d, want %d", len(net.sends), len(wantAt))
+	}
+	for i, s := range net.sends {
+		if s.req.Issued != 0 {
+			t.Fatalf("send %d: issued = %v", i, s.req.Issued)
+		}
+	}
+	if c.Stats.Retries != 4 {
+		t.Errorf("retries = %d", c.Stats.Retries)
+	}
+}
+
+func TestRetryResteersAwayFromLastNode(t *testing.T) {
+	tr, f := testTree(t)
+	_ = tr
+	eng := sim.NewEngine()
+	net := &fakeNet{n: 4}
+	c := New(0, eng, Config{ThinkMean: sim.Millisecond, RetryTimeout: 5 * sim.Millisecond},
+		sim.NewRNG(11), net, partition.NewStaticSubtree(4, tr, 2),
+		fixedGen{workload.Op{Op: msg.Stat, Target: f}})
+	// Seed a hint so the first send is steered; the retry must
+	// invalidate it and go elsewhere.
+	c.known.put(msg.Hint{Ino: f.ID, Authority: 2})
+	c.Start(0)
+	eng.RunUntil(200 * sim.Millisecond)
+	if len(net.sends) < 3 {
+		t.Fatalf("sends = %d", len(net.sends))
+	}
+	if net.sends[0].mds != 2 {
+		t.Fatalf("first send to %d, want hinted 2", net.sends[0].mds)
+	}
+	if _, ok := c.known.get(f.ID); ok {
+		t.Error("stale hint survived retry resteering")
+	}
+	for i := 1; i < len(net.sends); i++ {
+		if net.sends[i].mds == net.sends[i-1].mds {
+			t.Fatalf("retry %d resent to the same node %d", i, net.sends[i].mds)
+		}
+	}
+}
+
+func TestRetryMaxRetriesTimesOut(t *testing.T) {
+	tr, f := testTree(t)
+	_ = tr
+	eng := sim.NewEngine()
+	net := &fakeNet{n: 4}
+	c := New(0, eng, Config{
+		ThinkMean:    sim.Millisecond,
+		RetryTimeout: 5 * sim.Millisecond,
+		MaxRetries:   2,
+	}, sim.NewRNG(13), net, partition.FileHash{N: 4},
+		fixedGen{workload.Op{Op: msg.Stat, Target: f}})
+	c.Start(0)
+	eng.RunUntil(sim.Second)
+	if c.Stats.TimedOut == 0 {
+		t.Fatal("no request timed out")
+	}
+	// Abandoned requests free the loop: the client kept issuing.
+	if c.Stats.Issued < 2 {
+		t.Fatalf("issued = %d after first timeout", c.Stats.Issued)
+	}
+	// Max 1 + MaxRetries sends per request.
+	if max := int(c.Stats.Issued) * 3; len(net.sends) > max {
+		t.Fatalf("sends = %d > %d", len(net.sends), max)
+	}
+	// Every issued request is accounted: completed, timed out, or the
+	// one still in flight.
+	inflight := uint64(0)
+	if c.inflight != nil {
+		inflight = 1
+	}
+	if c.Stats.Issued != c.Stats.Completed+c.Stats.TimedOut+inflight {
+		t.Fatalf("accounting: issued %d != completed %d + timedout %d + inflight %d",
+			c.Stats.Issued, c.Stats.Completed, c.Stats.TimedOut, inflight)
+	}
+	// A late reply to an abandoned request must be ignored.
+	completed := c.Stats.Completed
+	c.OnReply(&msg.Reply{Req: net.sends[0].req, Completed: eng.Now()})
+	if c.Stats.Completed != completed {
+		t.Fatal("late reply to abandoned request was accepted")
+	}
+}
+
+func TestStoppedClientAccountsTimeout(t *testing.T) {
+	tr, f := testTree(t)
+	_ = tr
+	eng := sim.NewEngine()
+	net := &fakeNet{n: 2}
+	c := New(0, eng, Config{ThinkMean: sim.Millisecond, RetryTimeout: 5 * sim.Millisecond},
+		sim.NewRNG(17), net, partition.FileHash{N: 2},
+		fixedGen{workload.Op{Op: msg.Stat, Target: f}})
+	c.Start(0)
+	eng.RunUntil(sim.Millisecond)
+	c.Stop()
+	eng.RunUntil(sim.Second)
+	if c.Stats.TimedOut != 1 {
+		t.Fatalf("timed out = %d, want the orphaned in-flight request", c.Stats.TimedOut)
+	}
+	if c.inflight != nil {
+		t.Fatal("in-flight request not cleared at drain")
+	}
+}
+
+func TestOnCompleteHook(t *testing.T) {
+	tr, f := testTree(t)
+	_ = tr
+	eng := sim.NewEngine()
+	net := &fakeNet{n: 2}
+	c := New(0, eng, Config{ThinkMean: sim.Millisecond}, sim.NewRNG(19), net,
+		partition.FileHash{N: 2}, fixedGen{workload.Op{Op: msg.Stat, Target: f}})
+	var calls int
+	c.OnComplete = func(now sim.Time) { calls++ }
+	c.Start(0)
+	eng.RunUntil(sim.Millisecond)
+	req := net.sends[0].req
+	c.OnReply(&msg.Reply{Req: req, Completed: eng.Now()})
+	c.OnReply(&msg.Reply{Req: req, Completed: eng.Now()})
+	if calls != 1 {
+		t.Fatalf("OnComplete calls = %d (duplicate must not count)", calls)
+	}
+	eng.Run()
+}
+
 func TestSetGenerator(t *testing.T) {
 	tr, f := testTree(t)
 	g, err := tr.Create(f.Parent(), "other")

@@ -11,6 +11,7 @@ import (
 
 	"dynmds/internal/client"
 	"dynmds/internal/core"
+	"dynmds/internal/fault"
 	"dynmds/internal/fsgen"
 	"dynmds/internal/mds"
 	"dynmds/internal/metrics"
@@ -85,6 +86,21 @@ type Config struct {
 	// LinkBandwidth sets the queued model's per-link capacity in bytes
 	// per simulated second; zero means net.DefaultBandwidth.
 	LinkBandwidth float64
+
+	// Faults is a fault-injection schedule in the internal/fault DSL,
+	// e.g. "crash@30s:mds3,drop@0.01:link2-5,partition@60s-90s:{0-3|4-7}".
+	// Empty (or all-whitespace) disables fault injection entirely; runs
+	// are then bit-identical to a build without this field. When the
+	// schedule is non-empty, fault-mode defaults are applied to any
+	// zero-valued resilience knobs (client retry timeout and cap, MDS
+	// fetch/forward timeouts, suspicion threshold) so that crashes and
+	// drops are survivable out of the box.
+	Faults string
+	// SuspicionThreshold is the number of missed-timeout strikes against
+	// a peer before the cluster marks it down; the dynamic strategy then
+	// reassigns the suspect's subtrees to the least-loaded survivors.
+	// Zero means 3 when faults are enabled.
+	SuspicionThreshold int
 
 	// Snapshot, when non-nil, is a pre-generated frozen namespace shared
 	// with other runs; New thaws a private copy-on-write overlay over it
@@ -170,6 +186,25 @@ type Cluster struct {
 	// Pool is the shared OSD pool, when configured.
 	Pool *osd.Pool
 
+	// Fault-injection state (nil / zero when Cfg.Faults is empty).
+	sched   *fault.Schedule
+	plane   *fault.Plane
+	strikes []int  // missed-timeout strikes per node
+	down    []bool // nodes confirmed down by suspicion
+	// CompletedOps buckets accepted client completions per SeriesBucket —
+	// the availability series (non-nil only in fault mode).
+	CompletedOps *metrics.Series
+	// Failures, Recoveries and Downs log injected crashes, recoveries
+	// (with warmed-record counts) and suspicion-confirmed downs.
+	Failures   []FaultEvent
+	Recoveries []FaultEvent
+	Downs      []FaultEvent
+	suspicions uint64
+	// lostRoots remembers, per failed node, the subtree roots failover
+	// reassigned away, so recovery can fail them back to the rejoining
+	// node — whose log-warmed cache covers exactly that working set.
+	lostRoots map[int][]*namespace.Inode
+
 	// Warmup snapshots for windowed aggregates.
 	warmServed, warmForwards, warmArrivals uint64
 	warmHits, warmMisses                   uint64
@@ -193,6 +228,16 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	if cfg.SeriesBucket <= 0 {
 		cfg.SeriesBucket = sim.Second
+	}
+	sched, err := fault.ParseSchedule(cfg.Faults)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: bad fault schedule: %w", err)
+	}
+	if err := sched.Validate(cfg.NumMDS); err != nil {
+		return nil, fmt.Errorf("cluster: bad fault schedule: %w", err)
+	}
+	if !sched.Empty() {
+		applyFaultDefaults(&cfg)
 	}
 	setupStart := time.Now()
 	var snap *fsgen.Snapshot
@@ -220,6 +265,14 @@ func New(cfg Config) (*Cluster, error) {
 		Forwards:  metrics.NewSeries(cfg.SeriesBucket),
 		Arrivals:  metrics.NewSeries(cfg.SeriesBucket),
 		Latencies: metrics.NewHistogram(0.0005, 12), // 0.5 ms .. ~2 s
+	}
+	if !sched.Empty() {
+		c.sched = sched
+		c.plane = fault.NewPlane(cfg.Seed, sched, cfg.NumMDS)
+		c.Fab.SetFaultPlane(c.plane)
+		c.strikes = make([]int, cfg.NumMDS)
+		c.down = make([]bool, cfg.NumMDS)
+		c.CompletedOps = metrics.NewSeries(cfg.SeriesBucket)
 	}
 
 	// Strategy.
@@ -399,6 +452,9 @@ func (c *Cluster) buildClients() error {
 		}
 		rng := sim.NewStream(cfg.Seed, fmt.Sprintf("client-%d", i))
 		cl := client.New(i, c.Eng, cfg.Client, rng, c, c.Strategy, gen)
+		if c.CompletedOps != nil {
+			cl.OnComplete = c.observeComplete
+		}
 		c.Clients = append(c.Clients, cl)
 	}
 	return nil
@@ -468,6 +524,7 @@ func (c *Cluster) Run() *Result {
 	if c.Cfg.Warmup > 0 && c.Cfg.Warmup < c.Cfg.Duration {
 		c.Eng.At(c.Cfg.Warmup, c.snapshotWarmup)
 	}
+	c.scheduleFaults()
 	c.Eng.RunUntil(c.Cfg.Duration)
 	c.runWall = time.Since(runStart)
 	return c.Collect()
@@ -512,6 +569,21 @@ type Result struct {
 	// and bytes, per-class counters, and the deepest per-link queue.
 	Net net.Stats
 
+	// Fault-injection accounting (all zero / nil on fault-free runs).
+	FaultSchedule string       // the schedule source, "" when disabled
+	Retries       uint64       // client retransmissions
+	TimedOut      uint64       // client requests abandoned after retries
+	FetchTimeouts uint64       // MDS remote-fetch timeouts
+	FwdTimeouts   uint64       // MDS forward-ack timeouts
+	DeadLetters   uint64       // requests dropped for a confirmed-down authority
+	Suspicions    uint64       // missed-timeout strikes recorded
+	Failures      []FaultEvent // injected crashes
+	Recoveries    []FaultEvent // recoveries, with warmed-record counts
+	Downs         []FaultEvent // suspicion-confirmed downs
+	// CompletedOps buckets accepted client completions per SeriesBucket —
+	// the series behind availability/recovery-time analysis.
+	CompletedOps *metrics.Series
+
 	// Series for the over-time figures (bucketed from t=0).
 	RepliesPerNode []*metrics.Series
 	Forwards       *metrics.Series
@@ -541,6 +613,18 @@ func (c *Cluster) Collect() *Result {
 		SharedSnapshot: cfg.Snapshot != nil,
 		Net:            c.Fab.Summary(),
 	}
+	if c.sched != nil {
+		r.FaultSchedule = c.sched.Source()
+		r.Suspicions = c.suspicions
+		r.Failures = c.Failures
+		r.Recoveries = c.Recoveries
+		r.Downs = c.Downs
+		r.CompletedOps = c.CompletedOps
+		for _, cl := range c.Clients {
+			r.Retries += cl.Stats.Retries
+			r.TimedOut += cl.Stats.TimedOut
+		}
+	}
 	var served, forwards, arrivals, hits, misses uint64
 	for _, n := range c.Nodes {
 		served += n.Stats.Served
@@ -552,6 +636,9 @@ func (c *Cluster) Collect() *Result {
 		r.CacheLen += n.Cache().Len()
 		r.WritesAbsorbed += n.Stats.WritesAbsorbed
 		r.SizeCallbacks += n.Stats.SizeCallbacks
+		r.FetchTimeouts += n.Stats.FetchTimeouts
+		r.FwdTimeouts += n.Stats.FwdTimeouts
+		r.DeadLetters += n.Stats.DeadLetters
 	}
 	r.PrefixFrac /= float64(len(c.Nodes))
 	served -= c.warmServed

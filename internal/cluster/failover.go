@@ -1,52 +1,120 @@
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+
+	"dynmds/internal/namespace"
+)
 
 // FailNode takes node i down and — for the dynamic strategy — reassigns
-// its delegated subtrees to the surviving nodes (round-robin), modelling
-// the shared-storage failover of §2.1.2: because metadata lives on a
-// shared store rather than directly-attached disks, any node can assume
-// a failed node's workload. The new authorities start cold and re-read
+// its delegated subtrees to the surviving nodes, modelling the
+// shared-storage failover of §2.1.2: because metadata lives on a shared
+// store rather than directly-attached disks, any node can assume a
+// failed node's workload. The new authorities start cold and re-read
 // metadata on demand.
 //
 // Static and hashed strategies have no reassignment mechanism (the
 // paper notes static partitions require manual redistribution), so with
 // them FailNode only marks the node down; clients depend on retry
 // timeouts.
+//
+// Under fault injection the same reassignment runs automatically when
+// the suspicion protocol confirms a peer down; FailNode remains the
+// manual/operator entry point used by the failover experiment.
 func (c *Cluster) FailNode(i int) error {
 	if i < 0 || i >= len(c.Nodes) {
 		return fmt.Errorf("cluster: node %d out of range", i)
 	}
 	c.Nodes[i].Fail()
+	c.Failures = append(c.Failures, FaultEvent{At: c.Eng.Now(), Node: i})
 	if c.Dyn == nil {
 		return nil
 	}
+	return c.reassignRoots(i)
+}
+
+// reassignRoots re-delegates every subtree rooted at the victim to the
+// surviving nodes, greedily placing each root on the currently
+// least-loaded survivor by the decayed load metric (§5.1: a "weighted
+// combination of node throughput and cache misses"). The victim's last
+// observed load is split evenly across its roots as the estimated cost
+// of each assignment, so a large failed workload spreads over several
+// survivors instead of piling onto whichever node was idlest at the
+// instant of failure.
+func (c *Cluster) reassignRoots(victim int) error {
+	roots := c.Dyn.Table.RootsOf(victim)
+	if len(roots) == 0 {
+		return nil
+	}
+	now := c.Eng.Now()
+	load := make([]float64, len(c.Nodes))
 	alive := make([]int, 0, len(c.Nodes)-1)
 	for j, n := range c.Nodes {
-		if !n.Failed() {
+		if j != victim && !n.Failed() && !c.NodeDown(j) {
 			alive = append(alive, j)
+			load[j] = n.Load(now)
 		}
 	}
 	if len(alive) == 0 {
 		return fmt.Errorf("cluster: no surviving nodes")
 	}
-	k := 0
-	for _, root := range c.Dyn.Table.RootsOf(i) {
-		if err := c.Dyn.Table.Delegate(root, alive[k%len(alive)]); err != nil {
+	share := c.Nodes[victim].Load(now) / float64(len(roots))
+	if share <= 0 {
+		share = 1 // idle victim: still spread roots, one unit each
+	}
+	for _, root := range roots {
+		best := pickLeastLoaded(alive, load)
+		if err := c.Dyn.Table.Delegate(root, best); err != nil {
 			return err
 		}
-		k++
+		load[best] += share
 	}
+	if c.lostRoots == nil {
+		c.lostRoots = make(map[int][]*namespace.Inode)
+	}
+	c.lostRoots[victim] = roots
 	return nil
 }
 
+// pickLeastLoaded returns the alive node with the smallest load,
+// breaking ties toward the lowest id (alive is in ascending order).
+// Pure so the placement policy is unit-testable without a cluster.
+func pickLeastLoaded(alive []int, load []float64) int {
+	best := alive[0]
+	for _, j := range alive[1:] {
+		if load[j] < load[best] {
+			best = j
+		}
+	}
+	return best
+}
+
 // RecoverNode brings node i back. Its cache is pre-warmed from the
-// bounded log's working set (§4.6); under the dynamic strategy the load
-// balancer will migrate subtrees back to it as imbalance appears.
+// bounded log's working set (§4.6), and under the dynamic strategy the
+// subtrees failover reassigned away are failed back to it: the warmed
+// working set is precisely those subtrees, so the rejoining node can
+// serve them immediately, while waiting for the balancer's busy/avail
+// hysteresis to refill an idle node can take indefinitely (no survivor
+// is individually "busy" after a clean 1/n redistribution). Suspicion
+// state against the node is cleared so peers resume sending to it.
 // Returns the number of records warmed.
 func (c *Cluster) RecoverNode(i int) (int, error) {
 	if i < 0 || i >= len(c.Nodes) {
 		return 0, fmt.Errorf("cluster: node %d out of range", i)
 	}
-	return c.Nodes[i].Recover(), nil
+	warmed := c.Nodes[i].Recover()
+	if c.down != nil {
+		c.down[i] = false
+		c.strikes[i] = 0
+	}
+	if c.Dyn != nil {
+		for _, root := range c.lostRoots[i] {
+			if err := c.Dyn.Table.Delegate(root, i); err != nil {
+				return warmed, err
+			}
+		}
+		delete(c.lostRoots, i)
+	}
+	c.Recoveries = append(c.Recoveries, FaultEvent{At: c.Eng.Now(), Node: i, Warmed: warmed})
+	return warmed, nil
 }

@@ -70,6 +70,119 @@ func TestFailoverDynamic(t *testing.T) {
 	}
 }
 
+func TestPickLeastLoaded(t *testing.T) {
+	load := []float64{5, 2, 9, 2}
+	if got := pickLeastLoaded([]int{0, 2}, load); got != 0 {
+		t.Errorf("pick([0 2]) = %d, want 0", got)
+	}
+	// Ties break toward the lowest id.
+	if got := pickLeastLoaded([]int{1, 3}, load); got != 1 {
+		t.Errorf("pick([1 3]) = %d, want 1 (tie → lowest)", got)
+	}
+	if got := pickLeastLoaded([]int{3}, load); got != 3 {
+		t.Errorf("pick([3]) = %d, want 3", got)
+	}
+}
+
+// TestFailNodeSpreadsRoots checks the least-loaded reassignment spreads
+// a victim's subtrees over all survivors instead of dumping them on
+// one: on an idle cluster every assignment costs one estimated unit, so
+// the greedy placement degenerates to an even split.
+func TestFailNodeSpreadsRoots(t *testing.T) {
+	cfg := smallConfig(StratDynamic)
+	cfg.NumMDS = 4
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const victim = 2
+	moved := len(cl.Dyn.Table.RootsOf(victim))
+	if moved < 2 {
+		t.Skipf("victim owns %d roots; need >= 2 for a spread", moved)
+	}
+	before := map[int]int{}
+	for j := 0; j < cfg.NumMDS; j++ {
+		before[j] = len(cl.Dyn.Table.RootsOf(j))
+	}
+	if err := cl.FailNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(cl.Dyn.Table.RootsOf(victim)); n != 0 {
+		t.Fatalf("victim retains %d roots", n)
+	}
+	// Every node is idle (Load = 0), so each assignment adds one
+	// estimated unit and the greedy placement must split the victim's
+	// roots evenly: per-survivor gains differ by at most one.
+	minGain, maxGain := moved, 0
+	for j := 0; j < cfg.NumMDS; j++ {
+		if j == victim {
+			continue
+		}
+		gain := len(cl.Dyn.Table.RootsOf(j)) - before[j]
+		if gain < minGain {
+			minGain = gain
+		}
+		if gain > maxGain {
+			maxGain = gain
+		}
+	}
+	if maxGain-minGain > 1 {
+		t.Fatalf("uneven reassignment of %d roots: gains range %d..%d", moved, minGain, maxGain)
+	}
+	if maxGain == moved {
+		t.Fatalf("all %d roots dumped on one survivor", moved)
+	}
+}
+
+// TestSuspicionLifecycle drives the mds.FaultCluster surface directly:
+// strikes below the threshold are reversible by exoneration, the
+// threshold confirms the peer down (reassigning its subtrees), and a
+// down verdict is sticky until recovery clears it.
+func TestSuspicionLifecycle(t *testing.T) {
+	cfg := smallConfig(StratDynamic)
+	cfg.Faults = "drop@0:all" // enable fault mode without perturbing anything
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const peer = 1
+	cl.Suspect(0, peer)
+	cl.Suspect(2, peer)
+	if cl.NodeDown(peer) {
+		t.Fatal("down below threshold")
+	}
+	cl.Exonerate(peer)
+	cl.Suspect(0, peer)
+	cl.Suspect(0, peer)
+	if cl.NodeDown(peer) {
+		t.Fatal("exoneration did not reset strikes")
+	}
+	cl.Suspect(0, peer)
+	if !cl.NodeDown(peer) {
+		t.Fatal("threshold did not confirm the peer down")
+	}
+	if len(cl.Downs) != 1 || cl.Downs[0].Node != peer {
+		t.Fatalf("down event not recorded: %v", cl.Downs)
+	}
+	if n := len(cl.Dyn.Table.RootsOf(peer)); n != 0 {
+		t.Fatalf("down peer retains %d roots", n)
+	}
+	// Sticky: a late ack must not resurrect a confirmed-down node.
+	cl.Exonerate(peer)
+	if !cl.NodeDown(peer) {
+		t.Fatal("exoneration resurrected a down node")
+	}
+	if _, err := cl.RecoverNode(peer); err != nil {
+		t.Fatal(err)
+	}
+	if cl.NodeDown(peer) {
+		t.Fatal("recovery did not clear the down verdict")
+	}
+	if len(cl.Recoveries) != 1 {
+		t.Fatalf("recovery event not recorded: %v", cl.Recoveries)
+	}
+}
+
 func TestFailoverErrors(t *testing.T) {
 	cl, err := New(smallConfig(StratDynamic))
 	if err != nil {

@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"fmt"
+
+	"dynmds/internal/sim"
+)
+
+// Fault-mode defaults, applied to zero-valued resilience knobs when a
+// non-empty fault schedule is configured. Without retry and timeout
+// paths an injected crash or message drop would hang clients forever;
+// with them every fault is survivable out of the box.
+const (
+	defaultRetryTimeout = 150 * sim.Millisecond
+	defaultMaxRetries   = 8
+	// The fetch timeout must dwarf a loaded peer's disk queue (the
+	// response rides behind its read disk), or cold caches trigger
+	// storms of duplicate reads; it is a lost-message backstop, not a
+	// failure detector.
+	defaultFetchTimeout = 400 * sim.Millisecond
+	// The forward ack is sent before CPU/disk service, so its deadline
+	// only needs to cover two network hops plus scheduling noise.
+	defaultFwdTimeout         = 20 * sim.Millisecond
+	defaultSuspicionThreshold = 3
+)
+
+// applyFaultDefaults fills zero-valued timeout knobs; explicit settings
+// are never overridden.
+func applyFaultDefaults(cfg *Config) {
+	if cfg.Client.RetryTimeout <= 0 {
+		cfg.Client.RetryTimeout = defaultRetryTimeout
+	}
+	if cfg.Client.MaxRetries <= 0 {
+		cfg.Client.MaxRetries = defaultMaxRetries
+	}
+	if cfg.MDS.FetchTimeout <= 0 {
+		cfg.MDS.FetchTimeout = defaultFetchTimeout
+	}
+	if cfg.MDS.FwdTimeout <= 0 {
+		cfg.MDS.FwdTimeout = defaultFwdTimeout
+	}
+	if cfg.SuspicionThreshold <= 0 {
+		cfg.SuspicionThreshold = defaultSuspicionThreshold
+	}
+}
+
+// FaultEvent records one fault-injection incident on the simulated
+// timeline.
+type FaultEvent struct {
+	At   sim.Time
+	Node int
+	// Warmed is the number of cache records preloaded from the bounded
+	// log's working set (recovery events only).
+	Warmed int
+}
+
+// scheduleFaults posts the parsed schedule's node events onto the
+// engine. Crashes only mark the node dead — detection and subtree
+// reassignment happen through the suspicion protocol, not by fiat —
+// while recoveries go through RecoverNode so the warmed-count and the
+// down/strike state are handled in one place. Drop, lag and partition
+// rules need no events: the fault plane evaluates them per message.
+func (c *Cluster) scheduleFaults() {
+	if c.sched == nil {
+		return
+	}
+	for _, ev := range c.sched.Crashes {
+		ev := ev
+		c.Eng.At(ev.At, func() {
+			c.Nodes[ev.Node].Fail()
+			c.Failures = append(c.Failures, FaultEvent{At: ev.At, Node: ev.Node})
+		})
+	}
+	for _, ev := range c.sched.Recovers {
+		ev := ev
+		c.Eng.At(ev.At, func() {
+			c.RecoverNode(ev.Node) //nolint:errcheck // node index validated at parse
+		})
+	}
+	for _, w := range c.sched.Slows {
+		w := w
+		c.Eng.At(w.From, func() { c.Nodes[w.Node].SetSlow(w.Factor) })
+		c.Eng.At(w.To, func() { c.Nodes[w.Node].SetSlow(1) })
+	}
+}
+
+// observeComplete feeds the per-second availability series (client
+// OnComplete hook; attached only in fault mode).
+func (c *Cluster) observeComplete(now sim.Time) {
+	c.CompletedOps.Observe(now, 1)
+}
+
+// Suspect implements mds.FaultCluster: one missed-timeout strike
+// against peer. At SuspicionThreshold strikes the peer is marked down:
+// peers stop round-tripping to it (dead-letter forwards, direct disk
+// reads for fetches) and the dynamic strategy reassigns its subtrees to
+// the least-loaded survivors — the automatic failover of §2.1.2,
+// triggered by detection rather than an operator call.
+func (c *Cluster) Suspect(reporter, peer int) {
+	if c.strikes == nil || peer < 0 || peer >= len(c.strikes) {
+		return
+	}
+	c.suspicions++
+	if c.down[peer] {
+		return
+	}
+	c.strikes[peer]++
+	if c.strikes[peer] >= c.Cfg.SuspicionThreshold {
+		c.markDown(peer)
+	}
+}
+
+// Exonerate implements mds.FaultCluster: a reply or ack from the peer
+// proves it alive, clearing accumulated strikes. A node already marked
+// down stays down until RecoverNode (suspicion is sticky; a stray late
+// ack from a crashed node's final moments must not resurrect it).
+func (c *Cluster) Exonerate(peer int) {
+	if c.strikes == nil || peer < 0 || peer >= len(c.strikes) {
+		return
+	}
+	if !c.down[peer] {
+		c.strikes[peer] = 0
+	}
+}
+
+// NodeDown implements mds.FaultCluster.
+func (c *Cluster) NodeDown(peer int) bool {
+	return c.down != nil && peer >= 0 && peer < len(c.down) && c.down[peer]
+}
+
+// markDown confirms a suspect dead and fails its workload over.
+func (c *Cluster) markDown(peer int) {
+	if c.down[peer] {
+		return
+	}
+	c.down[peer] = true
+	c.Downs = append(c.Downs, FaultEvent{At: c.Eng.Now(), Node: peer})
+	if c.Dyn != nil {
+		c.reassignRoots(peer) //nolint:errcheck // delegation over a live table
+	}
+}
+
+// DrainCheck verifies that after a drain (clients stopped, engine run
+// past the last timeout) no operation is orphaned: every issued request
+// either completed or was accounted as timed out, and no client still
+// holds an in-flight request. It returns the first violation found.
+func (c *Cluster) DrainCheck() error {
+	for _, cl := range c.Clients {
+		s := cl.Stats
+		if cl.Inflight() {
+			return fmt.Errorf("cluster: client has an unaccounted in-flight request (issued=%d completed=%d timedout=%d)",
+				s.Issued, s.Completed, s.TimedOut)
+		}
+		if s.Issued != s.Completed+s.TimedOut {
+			return fmt.Errorf("cluster: orphaned ops: issued=%d != completed=%d + timedout=%d",
+				s.Issued, s.Completed, s.TimedOut)
+		}
+	}
+	return nil
+}

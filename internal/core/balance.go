@@ -150,30 +150,58 @@ func (b *Balancer) Rebalance(now sim.Time) {
 	if n < 2 {
 		return
 	}
+	// A failed node sits out the round entirely: it cannot heartbeat, it
+	// has no workload left to donate (failover reassigned its subtrees),
+	// and — critically — its decayed-to-zero load must not make it look
+	// "available", or the balancer would migrate authority onto a dead
+	// node and black-hole every request sent there.
 	loads := make([]float64, n)
+	dead := make([]bool, n)
+	alive := 0
 	var mean float64
 	for i, node := range b.nodes {
+		if nodeFailed(node) {
+			dead[i] = true
+			continue
+		}
 		loads[i] = node.Load(now)
 		mean += loads[i]
+		alive++
 	}
-	mean /= float64(n)
-	b.HeartbeatMsgs += uint64(n * (n - 1))
+	if alive < 2 {
+		return
+	}
+	mean /= float64(alive)
+	b.HeartbeatMsgs += uint64(alive * (alive - 1))
 	if mean < b.cfg.MinMeanLoad {
 		return
 	}
 	if b.cfg.DecisionDelay > 0 {
-		b.eng.After(b.cfg.DecisionDelay, func() { b.decide(loads, mean) })
+		b.eng.After(b.cfg.DecisionDelay, func() { b.decide(loads, dead, mean) })
 		return
 	}
-	b.decide(loads, mean)
+	b.decide(loads, dead, mean)
+}
+
+// failer is the optional capability a Node implementation exposes when
+// it can be taken down by fault injection or the failover extension.
+type failer interface{ Failed() bool }
+
+func nodeFailed(n Node) bool {
+	f, ok := n.(failer)
+	return ok && f.Failed()
 }
 
 // decide applies one round's migration decisions to the exchanged
-// load vector.
-func (b *Balancer) decide(loads []float64, mean float64) {
+// load vector. dead nodes (snapshotted with the loads, so the decision
+// acts on heartbeat-aged information) are excluded from both sides.
+func (b *Balancer) decide(loads []float64, dead []bool, mean float64) {
 	// Busy nodes descending, available nodes ascending by load.
 	var busy, avail []int
 	for i := range b.nodes {
+		if dead[i] {
+			continue
+		}
 		switch {
 		case loads[i] > mean*b.cfg.HighFactor:
 			busy = append(busy, i)

@@ -1,0 +1,198 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"dynmds/internal/cluster"
+	"dynmds/internal/metrics"
+	"dynmds/internal/sim"
+)
+
+// AvailMetrics summarises one strategy's availability through a
+// scheduled crash/recovery cycle. Because cluster throughput is not
+// stationary (caches keep churning as the touched namespace grows),
+// every ratio is computed bucket-by-bucket against a fault-free control
+// run of the same seed and configuration, not against a fixed pre-crash
+// average.
+type AvailMetrics struct {
+	Strategy string `json:"strategy"`
+	// Baseline is the control run's mean completed-op rate (ops/s,
+	// whole cluster) between warmup and the crash instant.
+	Baseline float64 `json:"baseline_ops_per_sec"`
+	// Dip is the faulty run's lowest per-second completion rate during
+	// the outage; DipFrac is the lowest faulty/control ratio over the
+	// same buckets (1.0 = unaffected, 0 = total outage).
+	Dip     float64 `json:"dip_ops_per_sec"`
+	DipFrac float64 `json:"dip_frac"`
+	// DetectSeconds is crash → suspicion-confirmed down; -1 if the
+	// cluster never confirmed the failure.
+	DetectSeconds float64 `json:"detect_seconds"`
+	// RecoverySeconds is the time from the node's recovery until the
+	// faulty run's completion rate regained 90% of the control run's
+	// rate in the same bucket; -1 if it never did within the run.
+	RecoverySeconds float64 `json:"recovery_seconds"`
+	Retries         uint64  `json:"retries"`
+	TimedOut        uint64  `json:"timed_out"`
+	Suspicions      uint64  `json:"suspicions"`
+	DeadLetters     uint64  `json:"dead_letters"`
+	// Warmed is the number of cache records preloaded from the bounded
+	// log at recovery.
+	Warmed int `json:"warmed_records"`
+}
+
+// availSpec describes the shared crash scenario.
+type availSpec struct {
+	cfg       cluster.Config // the faulty run; control clears Faults
+	crashAt   sim.Time
+	recoverAt sim.Time
+	victim    int
+}
+
+// inertSchedule enables fault-mode plumbing without any fault: the only
+// rule has probability zero, so the run is bit-identical to a no-fault
+// run with the same resilience knobs — the property the control run
+// leans on (tested in internal/cluster).
+const inertSchedule = "drop@0:all"
+
+func availScenario(opt Options, strategy string) availSpec {
+	cfg := cluster.Default()
+	cfg.Seed = opt.Seed
+	cfg.NetModel = opt.NetModel
+	cfg.Strategy = strategy
+	cfg.NumMDS = 8
+	cfg.ClientsPerMDS = 25
+	cfg.FS.Users = 200
+	cfg.MDS.CacheCapacity = 2500
+	cfg.Client.ThinkMean = 10 * sim.Millisecond
+	cfg.Duration = 40 * sim.Second
+	cfg.Warmup = 5 * sim.Second
+	s := availSpec{cfg: cfg, crashAt: 15 * sim.Second, recoverAt: 25 * sim.Second, victim: 2}
+	if opt.Quick {
+		s.cfg.Duration = 20 * sim.Second
+		s.cfg.Warmup = 3 * sim.Second
+		s.crashAt, s.recoverAt = 8*sim.Second, 13*sim.Second
+	}
+	s.cfg.Faults = fmt.Sprintf("crash@%dms-%dms:mds%d",
+		int64(s.crashAt/sim.Millisecond), int64(s.recoverAt/sim.Millisecond), s.victim)
+	return s
+}
+
+// AvailabilityReport runs the crash/recovery scenario for every
+// strategy — one of eight nodes killed mid-run and recovered later —
+// next to a fault-free control of the same configuration, and reduces
+// each pair's per-second completion series to availability metrics.
+// Exposed separately from the experiment so the benchmark emitter can
+// reuse the numbers.
+func AvailabilityReport(opt Options) ([]AvailMetrics, error) {
+	var specs []RunSpec
+	var scen []availSpec
+	for _, s := range cluster.Strategies {
+		sp := availScenario(opt, s)
+		scen = append(scen, sp)
+		control := sp.cfg
+		control.Faults = inertSchedule
+		specs = append(specs,
+			RunSpec{Label: "avail/" + s, Cfg: sp.cfg},
+			RunSpec{Label: "avail-control/" + s, Cfg: control})
+	}
+	results, err := Sweep(specs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]AvailMetrics, len(scen))
+	for i := range scen {
+		out[i] = reduceAvail(results[2*i], results[2*i+1], scen[i])
+	}
+	return out, nil
+}
+
+// reduceAvail computes the availability metrics from a faulty run and
+// its fault-free control.
+func reduceAvail(r, control *cluster.Result, sp availSpec) AvailMetrics {
+	m := AvailMetrics{
+		Strategy:        r.Strategy,
+		Retries:         r.Retries,
+		TimedOut:        r.TimedOut,
+		Suspicions:      r.Suspicions,
+		DeadLetters:     r.DeadLetters,
+		DetectSeconds:   -1,
+		RecoverySeconds: -1,
+	}
+	for _, ev := range r.Downs {
+		if ev.Node == sp.victim {
+			m.DetectSeconds = (ev.At - sp.crashAt).Seconds()
+			break
+		}
+	}
+	for _, ev := range r.Recoveries {
+		if ev.Node == sp.victim {
+			m.Warmed = ev.Warmed
+		}
+	}
+	s, cs := r.CompletedOps, control.CompletedOps
+	if s == nil || cs == nil {
+		return m
+	}
+	bucket := func(t sim.Time) int { return int(t / r.Bucket) }
+	// Baseline: control mean rate from warmup to the crash.
+	var sum float64
+	n := 0
+	for i := bucket(sp.cfg.Warmup); i < bucket(sp.crashAt); i++ {
+		sum += cs.Rate(i)
+		n++
+	}
+	if n > 0 {
+		m.Baseline = sum / float64(n)
+	}
+	// Dip: worst bucket wholly inside the outage, absolute and relative
+	// to the control's same bucket.
+	first := true
+	for i := bucket(sp.crashAt) + 1; i < bucket(sp.recoverAt); i++ {
+		rate := s.Rate(i)
+		if first || rate < m.Dip {
+			m.Dip = rate
+		}
+		if c := cs.Rate(i); c > 0 {
+			if frac := rate / c; first || frac < m.DipFrac {
+				m.DipFrac = frac
+			}
+		}
+		first = false
+	}
+	// Recovery: first post-recovery bucket back at 90% of the control.
+	for i := bucket(sp.recoverAt); i < bucket(sp.cfg.Duration); i++ {
+		if c := cs.Rate(i); c > 0 && s.Rate(i) >= 0.9*c {
+			m.RecoverySeconds = (s.BucketStart(i) - sp.recoverAt).Seconds()
+			break
+		}
+	}
+	return m
+}
+
+// AvailExt prints the availability experiment: per-strategy throughput
+// dip and recovery behaviour when one of eight nodes crashes mid-run.
+func AvailExt(w io.Writer, opt Options) error {
+	ms, err := AvailabilityReport(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Extension: availability under an injected crash "+
+		"(1 of 8 nodes down for a window, then log-warmed recovery; "+
+		"dip and recovery measured against a fault-free control run)")
+	tb := metrics.NewTable("strategy", "base ops/s", "dip ops/s", "dip frac",
+		"detect(s)", "recover(s)", "retries", "timed_out", "warmed")
+	for _, m := range ms {
+		tb.AddRow(m.Strategy,
+			int(m.Baseline),
+			int(m.Dip),
+			fmt.Sprintf("%.3f", m.DipFrac),
+			fmt.Sprintf("%.2f", m.DetectSeconds),
+			fmt.Sprintf("%.1f", m.RecoverySeconds),
+			int(m.Retries),
+			int(m.TimedOut),
+			m.Warmed)
+	}
+	_, err = io.WriteString(w, tb.String())
+	return err
+}

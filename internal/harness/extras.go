@@ -31,6 +31,14 @@ func Extras() []Experiment {
 				"with a log-warmed cache.",
 			Run: FailoverExt,
 		},
+		{
+			ID:    "avail",
+			Title: "Extension: availability under fault injection",
+			Description: "Per-strategy throughput dip, failure-detection and " +
+				"recovery time when one of eight nodes crashes mid-run on a " +
+				"deterministic fault schedule.",
+			Run: AvailExt,
+		},
 	}
 }
 

@@ -58,6 +58,24 @@ type Config struct {
 	// callbacks still collect on demand).
 	WriteFlushInterval sim.Time
 
+	// Fault-injection timeouts (zero disables both; the cluster sets
+	// them when a fault schedule is active, see internal/fault).
+	//
+	// FetchTimeout bounds a remote prefix-fetch round trip. On expiry
+	// the peer is reported suspect and the fetch falls back to this
+	// node's own read of the shared store — any node can read any
+	// record (§2.1.2), the peer round trip is only an optimisation.
+	// Arming it disables fetch-carrier pooling (a timed-out carrier may
+	// still be referenced by the late response).
+	FetchTimeout sim.Time
+	// FwdTimeout bounds the forward→ack handshake. When set, a node
+	// receiving a forwarded request acks it back to the forwarder
+	// (net.FwdAck); a missing ack reports the peer suspect and the
+	// forwarder re-resolves the authority and re-dispatches. Requests
+	// whose authority is confirmed down are dropped (dead-lettered) and
+	// covered by the client's retry timeout.
+	FwdTimeout sim.Time
+
 	// Ablation knobs (see DESIGN.md).
 	//
 	// NoPrefetch disables embedded-inode sibling prefetch even on
@@ -85,6 +103,21 @@ func DefaultConfig(cacheCapacity int) Config {
 		RateHalfLife:       5 * sim.Second,
 		WriteFlushInterval: sim.Second,
 	}
+}
+
+// FaultCluster is optionally implemented by the Cluster when fault
+// injection is active: nodes report peers that miss timeouts, clear
+// suspicion on proof of life, and check whether an authority is already
+// confirmed down. The cluster turns accumulated suspicion into failover
+// reassignment (see internal/cluster).
+type FaultCluster interface {
+	// Suspect records one missed-timeout strike against peer, observed
+	// by reporter.
+	Suspect(reporter, peer int)
+	// Exonerate clears the strikes against a peer that proved alive.
+	Exonerate(peer int)
+	// NodeDown reports whether peer has been confirmed down.
+	NodeDown(peer int) bool
 }
 
 // Cluster is the MDS's view of its surroundings.
@@ -119,6 +152,11 @@ type Stats struct {
 	Imported        uint64 // records imported by migrations
 	Exported        uint64
 	Dropped         uint64 // requests dropped (failed node)
+
+	// Fault-injection machinery (zero in fault-free runs).
+	FetchTimeouts uint64 // remote fetches that fell back to local disk
+	FwdTimeouts   uint64 // forwards that missed their ack
+	DeadLetters   uint64 // requests dropped: authority confirmed down
 
 	// Cache-coherence traffic (§4.2): updates pushed to replica
 	// holders, updates received for local replicas, and
@@ -155,6 +193,12 @@ type fetch struct {
 	cl   cache.Class
 	fn   sim.EventFunc
 	a, b any
+	// peer is the authority a remote fetch was sent to (-1 for local
+	// loads); done marks the fetch completed, so a timed-out fetch and
+	// its late remote response cannot both finish it. Both are only
+	// meaningful when FetchTimeout is armed.
+	peer int
+	done bool
 }
 
 // replyConsumer is optionally implemented by the Cluster. When Deliver
@@ -220,6 +264,20 @@ type MDS struct {
 	orphans map[namespace.InodeID]*namespace.Inode
 
 	failed bool
+	// slow scales this node's CPU service times while a slow-node fault
+	// window is active; 1 = normal speed.
+	slow float64
+	// fc is the cluster's suspicion surface, non-nil when the cluster
+	// implements FaultCluster; use is gated on the timeout knobs so
+	// fault-free runs are untouched.
+	fc FaultCluster
+	// pendingFwd tracks forwards awaiting their FwdAck; the value's seq
+	// invalidates stale timeout timers when a request is re-forwarded.
+	pendingFwd map[*msg.Request]fwdRec
+	fwdSeq     uint64
+	// poolFetch gates fetch-carrier recycling; off while FetchTimeout is
+	// armed (a timed-out carrier may be resumed by its late response).
+	poolFetch bool
 
 	// OnReply and OnForward, when set, observe served requests and
 	// forwards for time-series measurement.
@@ -258,6 +316,11 @@ func New(id int, eng *sim.Engine, cfg Config, strat partition.Strategy, tc *core
 	if l, ok := strat.(*partition.LazyHybrid); ok {
 		m.lh = l
 	}
+	m.slow = 1
+	m.poolFetch = cfg.FetchTimeout <= 0
+	if fc, ok := cl.(FaultCluster); ok {
+		m.fc = fc
+	}
 	if rc, ok := cl.(replyConsumer); ok && rc.DeliverConsumesReply() {
 		m.poolReplies = true
 	}
@@ -286,6 +349,32 @@ func evictNoticeArrive(a, _ any) { a.(*MDS).Stats.EvictNoticesRecvd++ }
 // call0 adapts a bare func() to a fabric delivery continuation, for the
 // rare cold paths (write flushes, stat callbacks) that keep closures.
 func call0(a, _ any) { a.(func())() }
+
+// fwdRec is one outstanding forward awaiting its ack: the destination
+// (for suspicion/exoneration) and a sequence number that invalidates
+// the timeout timer if the same request is forwarded again.
+type fwdRec struct {
+	to  int
+	seq uint64
+}
+
+// svc scales a CPU service time by the node's slow-node factor.
+func (m *MDS) svc(t sim.Time) sim.Time {
+	if m.slow <= 1 {
+		return t
+	}
+	return sim.Time(float64(t) * m.slow)
+}
+
+// SetSlow scales the node's CPU and disk service times by factor
+// (slow-node degradation); factor <= 1 restores normal speed.
+func (m *MDS) SetSlow(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	m.slow = factor
+	m.store.SetSlow(factor)
+}
 
 // StartFlusher begins the periodic write-flush ticker. The cluster
 // calls it at Run time; a perpetual ticker must not be created during
@@ -323,6 +412,15 @@ func (m *MDS) Receive(req *msg.Request) {
 		m.Stats.Dropped++
 		return
 	}
+	if m.cfg.FwdTimeout > 0 && req.Via >= 0 {
+		// Ack the forward so the forwarder's timeout stands down; only a
+		// live node acks, which is exactly the death signal the
+		// suspicion machinery needs.
+		via := req.Via
+		req.Via = -1
+		m.fab.Send(net.FwdAck, m.id, via, net.Bytes(net.FwdAck),
+			fwdAckArrive, m.cluster.Node(via), req)
+	}
 	m.Stats.Received++
 	if req.Hops == 0 {
 		m.Stats.ClientArrivals++
@@ -331,7 +429,26 @@ func (m *MDS) Receive(req *msg.Request) {
 	// throughput caps out, but its offered load keeps rising — the
 	// balancer must see the latter.
 	m.opsRate.Add(m.eng.Now(), 1)
-	m.cpu.SubmitCall(m.cfg.CPUService, mdsProcess, m, req)
+	m.cpu.SubmitCall(m.svc(m.cfg.CPUService), mdsProcess, m, req)
+}
+
+// fwdAckArrive lands a FwdAck at the forwarder: the outstanding-forward
+// record is retired and the destination, having proven itself alive, is
+// exonerated of any accumulated suspicion.
+func fwdAckArrive(a, b any) {
+	f := a.(*MDS)
+	req := b.(*msg.Request)
+	rec, ok := f.pendingFwd[req]
+	if !ok {
+		return // timer already fired, or the node failed in between
+	}
+	// A very late ack can race a re-forward of the same request and
+	// retire the newer record; the client's retry timeout backstops any
+	// request lost that way, so the race costs accuracy, not liveness.
+	delete(f.pendingFwd, req)
+	if f.fc != nil && !f.failed {
+		f.fc.Exonerate(rec.to)
+	}
 }
 
 func mdsProcess(a, b any) { a.(*MDS).process(b.(*msg.Request)) }
@@ -348,6 +465,11 @@ func (m *MDS) authorityFor(req *msg.Request) int {
 }
 
 func (m *MDS) process(req *msg.Request) {
+	if m.failed {
+		// The node died with this request still queued on its CPU.
+		m.Stats.Dropped++
+		return
+	}
 	auth := m.authorityFor(req)
 	if auth != m.id {
 		// Monotonic size updates are absorbed by any node holding a
@@ -366,6 +488,15 @@ func (m *MDS) process(req *msg.Request) {
 			m.reply(req)
 			return
 		}
+		if m.cfg.FwdTimeout > 0 && m.fc != nil && m.fc.NodeDown(auth) {
+			// The authority is confirmed down and nothing here can serve
+			// the request; dead-letter it. The client's retry timeout
+			// covers the loss — and under the dynamic strategy the
+			// suspicion machinery re-delegates the subtrees, so the next
+			// resolution lands on a live node.
+			m.Stats.DeadLetters++
+			return
+		}
 		m.forward(req, auth)
 		return
 	}
@@ -379,8 +510,37 @@ func (m *MDS) forward(req *msg.Request, to int) {
 	}
 	m.maybePreemptiveReplicate(req)
 	req.Hops++
+	if m.cfg.FwdTimeout > 0 {
+		req.Via = m.id
+		m.armFwdTimeout(req, to)
+	}
 	peer := m.cluster.Node(to)
 	m.fab.Send(net.Forward, m.id, to, net.Bytes(net.Forward), mdsReceive, peer, req)
+}
+
+// armFwdTimeout starts the forward→ack watchdog: if no FwdAck retires
+// the record in time, the destination is reported suspect and the
+// request is re-dispatched through authority resolution — by then
+// suspicion may have re-delegated the subtree to a live node.
+func (m *MDS) armFwdTimeout(req *msg.Request, to int) {
+	if m.pendingFwd == nil {
+		m.pendingFwd = make(map[*msg.Request]fwdRec)
+	}
+	m.fwdSeq++
+	seq := m.fwdSeq
+	m.pendingFwd[req] = fwdRec{to: to, seq: seq}
+	m.eng.After(m.cfg.FwdTimeout, func() {
+		rec, ok := m.pendingFwd[req]
+		if !ok || rec.seq != seq || m.failed {
+			return
+		}
+		delete(m.pendingFwd, req)
+		m.Stats.FwdTimeouts++
+		if m.fc != nil {
+			m.fc.Suspect(m.id, rec.to)
+		}
+		m.process(req)
+	})
 }
 
 // maybePreemptiveReplicate implements §5.4's suggested improvement: a
@@ -459,11 +619,43 @@ func (m *MDS) fetchRecord(ino *namespace.Inode, cl cache.Class, fn sim.EventFunc
 		m.diskLoad(f)
 		return
 	}
+	if m.cfg.FetchTimeout > 0 && m.fc != nil && m.fc.NodeDown(auth) {
+		// The authority is confirmed down; skip the doomed round trip
+		// and read the record from the shared store directly (§2.1.2).
+		m.diskLoad(f)
+		return
+	}
 	// Remote record: round trip to the authority, then install a
 	// replica locally (for prefixes, the overhead Figure 3 measures).
 	m.Stats.RemoteFetches++
+	f.peer = auth
+	if m.cfg.FetchTimeout > 0 {
+		m.armFetchTimeout(f)
+	}
 	peer := m.cluster.Node(auth)
 	m.fab.Send(net.FetchReq, m.id, auth, net.Bytes(net.FetchReq), remoteFetchAtPeer, peer, f)
+}
+
+// armFetchTimeout starts the remote-fetch watchdog: if the peer's
+// response has not installed the record in time, the fetch falls back
+// to this node's own read of the shared store — the remote round trip
+// is an optimisation, not a dependency (§2.1.2). The done flag keeps a
+// late response and the fallback from double-finishing the fetch.
+//
+// A fetch timeout deliberately does NOT report the peer suspect: the
+// response rides behind the peer's disk queue, so during a cold-start
+// or hot-spot burst a perfectly live peer can blow the deadline by
+// seconds, and striking here confirms healthy nodes dead cluster-wide.
+// Liveness suspicion comes only from the forward-ack path, whose ack is
+// sent before CPU/disk service and is therefore queue-independent.
+func (m *MDS) armFetchTimeout(f *fetch) {
+	m.eng.After(m.cfg.FetchTimeout, func() {
+		if f.done || m.failed {
+			return
+		}
+		m.Stats.FetchTimeouts++
+		m.diskLoad(f)
+	})
 }
 
 func (m *MDS) getFetch() *fetch {
@@ -477,15 +669,23 @@ func (m *MDS) getFetch() *fetch {
 }
 
 // putFetch releases a carrier back to its owning node's pool. Only the
-// dispatch that consumed the carrier may call it (see DESIGN.md).
+// dispatch that consumed the carrier may call it (see DESIGN.md). With
+// FetchTimeout armed, carriers are not recycled at all: a timed-out
+// carrier may still be referenced by a watchdog timer or a late remote
+// response, and reuse would let those resume the wrong fetch.
 func (m *MDS) putFetch(f *fetch) {
+	if !m.poolFetch {
+		return
+	}
 	f.ino, f.fn, f.a, f.b = nil, nil, nil, nil
+	f.peer, f.done = 0, false
 	m.fetchPool = append(m.fetchPool, f)
 }
 
 // finishFetch completes a coalesced fetch: it releases the carrier,
 // then runs the initiator's continuation and every waiter.
 func finishFetch(f *fetch) {
+	f.done = true
 	m, ino, fn, a, b := f.m, f.ino, f.fn, f.a, f.b
 	m.putFetch(f)
 	waiters := m.pending[ino.ID]
@@ -512,10 +712,16 @@ func remoteFetchReturn(x, p any) {
 
 func remoteFetchInstall(x, _ any) {
 	f := x.(*fetch)
-	if f.m.failed {
+	m := f.m
+	if m.failed || f.done {
+		// The node died, or the watchdog already fell back to a local
+		// disk read: the late response must not finish the fetch again.
 		return
 	}
-	f.m.installPrefix(f.ino)
+	if m.cfg.FetchTimeout > 0 && m.fc != nil {
+		m.fc.Exonerate(f.peer)
+	}
+	m.installPrefix(f.ino)
 	finishFetch(f)
 }
 
@@ -542,7 +748,7 @@ func (m *MDS) handleFetch(ino *namespace.Inode, fn sim.EventFunc, a, b any) {
 	m.Stats.PeerFetchServes++
 	pf := m.getFetch()
 	pf.ino, pf.fn, pf.a, pf.b = ino, fn, a, b
-	m.cpu.SubmitCall(m.cfg.PeerService, peerFetchServe, pf, nil)
+	m.cpu.SubmitCall(m.svc(m.cfg.PeerService), peerFetchServe, pf, nil)
 }
 
 func peerFetchServe(x, _ any) {
@@ -642,7 +848,7 @@ func (m *MDS) diskLoad(f *fetch) {
 func inodeLoaded(x, _ any) {
 	f := x.(*fetch)
 	m := f.m
-	if m.failed {
+	if m.failed || f.done {
 		return
 	}
 	m.insertLoaded(f.ino, f.cl)
@@ -652,7 +858,7 @@ func inodeLoaded(x, _ any) {
 func dirLoaded(x, _ any) {
 	f := x.(*fetch)
 	m := f.m
-	if m.failed {
+	if m.failed || f.done {
 		return
 	}
 	ino := f.ino
@@ -780,6 +986,15 @@ func dirContentsLoaded(x, y any) {
 func (m *MDS) completeOp(req *msg.Request) {
 	target := req.Target
 	if req.Op.IsUpdate() {
+		if req.Applied {
+			// A retried duplicate of an update that already committed:
+			// answer without re-applying (idempotent re-delivery). The
+			// first delivery mutated the namespace; re-running it would
+			// double-apply the operation.
+			m.finishReply(req)
+			return
+		}
+		req.Applied = true
 		m.applyUpdate(req)
 		if req.Op != msg.Write {
 			// Size updates are batched through the log by the
@@ -836,16 +1051,23 @@ func coherenceArrive(a, _ any) {
 		return
 	}
 	peer.Stats.CoherenceReceived++
-	peer.cpu.Submit(peer.cfg.PeerService, nil)
+	peer.cpu.Submit(peer.svc(peer.cfg.PeerService), nil)
 }
 
 func (m *MDS) finishReply(req *msg.Request) {
 	target := req.Target
+	// Open/close bookkeeping runs once per request even if a retried
+	// duplicate is answered again (req.Counted), so retries cannot leak
+	// phantom opens that would pin orphans forever.
 	switch req.Op {
 	case msg.Open:
-		m.opens[target.ID]++
+		if !req.Counted {
+			req.Counted = true
+			m.opens[target.ID]++
+		}
 	case msg.Close:
-		if m.opens[target.ID] > 0 {
+		if !req.Counted && m.opens[target.ID] > 0 {
+			req.Counted = true
 			m.opens[target.ID]--
 			if m.opens[target.ID] == 0 {
 				delete(m.opens, target.ID)
@@ -1003,7 +1225,7 @@ func (m *MDS) installReplica(target *namespace.Inode) {
 		return
 	}
 	m.Stats.ReplicaInstalls++
-	m.cpu.SubmitCall(m.cfg.PeerService, installReplicaApply, m, target)
+	m.cpu.SubmitCall(m.svc(m.cfg.PeerService), installReplicaApply, m, target)
 }
 
 func installReplicaApply(a, b any) {
@@ -1102,7 +1324,7 @@ func (m *MDS) noteMiss() {
 // (the double-commit hand-off).
 func (m *MDS) ImportSubtree(root *namespace.Inode, entries []*cache.Entry) {
 	m.Stats.Imported += uint64(len(entries))
-	cost := sim.Time(len(entries)+1) * m.cfg.ImportPerRecord
+	cost := m.svc(sim.Time(len(entries)+1) * m.cfg.ImportPerRecord)
 	m.cpu.Submit(cost, func() {
 		// Anchor the subtree: the new authority "must cache the
 		// containing directory (prefix) inodes for each of its
@@ -1135,15 +1357,25 @@ func (m *MDS) ImportSubtree(root *namespace.Inode, entries []*cache.Entry) {
 func (m *MDS) EvictSubtree(root *namespace.Inode) {
 	n := len(m.cache.EntriesUnder(root))
 	m.Stats.Exported += uint64(n)
-	cost := sim.Time(n+1) * m.cfg.ImportPerRecord
+	cost := m.svc(sim.Time(n+1) * m.cfg.ImportPerRecord)
 	m.cpu.Submit(cost, func() {
 		m.cache.RemoveSubtree(root)
 	})
 }
 
 // Fail marks the node down: it drops arrivals and abandons in-flight
-// work. Part of the failover extension.
-func (m *MDS) Fail() { m.failed = true }
+// work. Part of the failover extension. Coalesced-fetch waiter maps are
+// reset: their callbacks will never fire (the node is dead), and a
+// post-recovery fetch for the same inode must not coalesce onto a dead
+// waiter list and hang forever.
+func (m *MDS) Fail() {
+	m.failed = true
+	m.pending = make(map[namespace.InodeID][]pendingCall)
+	m.pendingDir = make(map[namespace.InodeID][]pendingCall)
+	if m.pendingFwd != nil {
+		m.pendingFwd = make(map[*msg.Request]fwdRec)
+	}
+}
 
 // Failed reports whether the node is down.
 func (m *MDS) Failed() bool { return m.failed }

@@ -70,7 +70,7 @@ func (m *MDS) flushWrites(now sim.Time) {
 			if peer.failed {
 				return
 			}
-			peer.cpu.Submit(peer.cfg.PeerService, func() {
+			peer.cpu.Submit(peer.svc(peer.cfg.PeerService), func() {
 				if size > ino.Size {
 					ino.Size = size
 				}
@@ -114,7 +114,7 @@ func (m *MDS) statCallbackSlow(req *msg.Request, mask uint64) {
 		outstanding++
 		peer := m.cluster.Node(i)
 		m.fab.Send(net.StatCallback, m.id, i, net.Bytes(net.StatCallback), call0, func() {
-			peer.cpu.Submit(peer.cfg.PeerService, func() {
+			peer.cpu.Submit(peer.svc(peer.cfg.PeerService), func() {
 				// Peer reports its local max and clears it.
 				if size, ok := peer.sizePending[target.ID]; ok {
 					if size > target.Size {

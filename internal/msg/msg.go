@@ -77,9 +77,20 @@ type Request struct {
 	Hops int
 	// FirstMDS is the node the client originally contacted.
 	FirstMDS int
+	// Via is the node that forwarded the request on its last hop, or -1
+	// if it arrived straight from the client. Receivers ack forwards back
+	// to Via when fault injection arms the forward timeout.
+	Via int
 	// Acked is set by the client when it accepts a reply, so duplicate
 	// replies to a retried request are recognised and dropped.
 	Acked bool
+	// Applied is set by the authority when an update commits, making
+	// re-delivered retries idempotent: a duplicate is answered without
+	// re-applying the mutation.
+	Applied bool
+	// Counted is set when the open/close bookkeeping for this request has
+	// run, so a re-delivered open or close does not double-count.
+	Counted bool
 }
 
 // Hint tells a client where to direct future requests for one inode: at

@@ -26,10 +26,13 @@ type Link struct {
 	depth int // messages currently in flight
 }
 
-// ClassStats counts one message class fabric-wide.
+// ClassStats counts one message class fabric-wide. Every send is either
+// eventually delivered or dropped at send time by the fault plane, so
+// Sent == Delivered + Dropped once traffic drains.
 type ClassStats struct {
 	Sent      uint64
 	Delivered uint64
+	Dropped   uint64
 	Bytes     uint64
 }
 
@@ -55,7 +58,8 @@ type Fabric struct {
 	links []Link
 	class [NumClasses]ClassStats
 	pool  []*envelope
-	live  int // envelopes checked out of the pool (leak detector)
+	live  int        // envelopes checked out of the pool (leak detector)
+	plane FaultPlane // nil unless fault injection is active
 }
 
 // NewFabric creates a fabric over numMDS node endpoints plus the client
@@ -77,6 +81,10 @@ func (f *Fabric) ClientEdge() int { return f.n }
 // Model returns the latency model's name.
 func (f *Fabric) Model() string { return f.model.Name() }
 
+// SetFaultPlane attaches a fault plane consulted on every Send. Pass
+// nil to detach.
+func (f *Fabric) SetFaultPlane(p FaultPlane) { f.plane = p }
+
 // Send routes one message of the given class and size from endpoint
 // `from` to endpoint `to`; fn(a, b) runs at delivery. It returns the
 // delivery time. Counters update at send and delivery, so at any
@@ -84,7 +92,22 @@ func (f *Fabric) Model() string { return f.model.Name() }
 func (f *Fabric) Send(c Class, from, to, bytes int, fn sim.EventFunc, a, b any) sim.Time {
 	now := f.eng.Now()
 	l := &f.links[from*(f.n+1)+to]
-	delay := f.model.Delay(l, c, bytes, now)
+	var extra sim.Time
+	if f.plane != nil {
+		var drop bool
+		drop, extra = f.plane.Transit(from, to, now)
+		if drop {
+			// The message dies at the sender's NIC: it never occupies
+			// the link and its continuation never runs. Count it so the
+			// conservation identity stays sent == delivered + dropped.
+			cs := &f.class[c]
+			cs.Sent++
+			cs.Dropped++
+			cs.Bytes += uint64(bytes)
+			return now
+		}
+	}
+	delay := extra + f.model.Delay(l, c, bytes, now)
 	l.Stats.Messages++
 	l.Stats.Bytes += uint64(bytes)
 	l.depth++
@@ -137,11 +160,12 @@ func (f *Fabric) LinkBetween(from, to int) LinkStats {
 	return f.links[from*(f.n+1)+to].Stats
 }
 
-// InFlight returns the number of messages sent but not yet delivered.
+// InFlight returns the number of messages sent but neither delivered
+// nor dropped.
 func (f *Fabric) InFlight() int {
 	var d int
 	for i := range f.class {
-		d += int(f.class[i].Sent - f.class[i].Delivered)
+		d += int(f.class[i].Sent - f.class[i].Delivered - f.class[i].Dropped)
 	}
 	return d
 }
@@ -155,6 +179,8 @@ type Stats struct {
 	Model    string
 	Messages uint64
 	Bytes    uint64
+	// Dropped counts messages the fault plane killed at send time.
+	Dropped uint64
 	// MaxQueueDepth is the largest per-link in-flight high-water mark.
 	MaxQueueDepth int
 	PerClass      [NumClasses]ClassStats
@@ -166,6 +192,7 @@ func (f *Fabric) Summary() Stats {
 	for i := range f.class {
 		s.Messages += f.class[i].Sent
 		s.Bytes += f.class[i].Bytes
+		s.Dropped += f.class[i].Dropped
 	}
 	for i := range f.links {
 		if d := f.links[i].Stats.MaxDepth; d > s.MaxQueueDepth {
@@ -175,8 +202,22 @@ func (f *Fabric) Summary() Stats {
 	return s
 }
 
-// Table renders the per-class counters as an aligned console table.
+// Table renders the per-class counters as an aligned console table. The
+// dropped column appears only when the fault plane actually dropped
+// something, so fault-free output is unchanged.
 func (s *Stats) Table() string {
+	if s.Dropped > 0 {
+		tb := metrics.NewTable("class", "sent", "delivered", "dropped", "bytes")
+		for c := 0; c < NumClasses; c++ {
+			cs := s.PerClass[c]
+			if cs.Sent == 0 {
+				continue
+			}
+			tb.AddRow(Class(c).String(), int(cs.Sent), int(cs.Delivered),
+				int(cs.Dropped), int(cs.Bytes))
+		}
+		return tb.String()
+	}
 	tb := metrics.NewTable("class", "sent", "delivered", "bytes")
 	for c := 0; c < NumClasses; c++ {
 		cs := s.PerClass[c]

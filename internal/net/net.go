@@ -50,6 +50,10 @@ const (
 	// LHPropagate is the Lazy Hybrid dual-entry refresh round trip,
 	// modelled as one loopback message priced at two forward hops.
 	LHPropagate
+	// FwdAck acknowledges a Forward hop back to the forwarder; only sent
+	// when fault injection arms the forward timeout, so the forwarder can
+	// distinguish a dead peer from a slow one.
+	FwdAck
 
 	numClasses
 )
@@ -60,7 +64,7 @@ const NumClasses = int(numClasses)
 var classNames = [NumClasses]string{
 	"request", "reply", "forward", "fetch_req", "fetch_resp",
 	"replica_install", "coherence", "evict_notice", "write_flush",
-	"stat_callback", "lh_propagate",
+	"stat_callback", "lh_propagate", "fwd_ack",
 }
 
 func (c Class) String() string {
@@ -85,6 +89,7 @@ var classBytes = [NumClasses]int{
 	WriteFlush:     64,
 	StatCallback:   64,
 	LHPropagate:    192,
+	FwdAck:         32,
 }
 
 // Bytes returns the nominal wire size of a class.
@@ -101,6 +106,17 @@ const (
 	ModelFixed  = "fixed"
 	ModelQueued = "queued"
 )
+
+// FaultPlane perturbs message transit. Transit is consulted once per
+// Send, before the latency model sees the message: a dropped message
+// never enters the link (no queue occupancy, no envelope), and a passed
+// message is delayed by extra on top of the model's price. A plane must
+// be deterministic, and must not consume randomness for messages no
+// active rule matches, so that an empty (or all-zero-probability)
+// schedule leaves a run bit-identical to one with no plane attached.
+type FaultPlane interface {
+	Transit(from, to int, now sim.Time) (drop bool, extra sim.Time)
+}
 
 // LatencyModel prices one message's transit. Delay may read and update
 // per-link state (the queued model's serialization horizon); it must be

@@ -80,6 +80,10 @@ type Store struct {
 	readDisk *sim.Server
 	logDisk  *sim.Server
 	log      *BoundedLog
+	// slow scales service times while a slow-node fault window is
+	// active; <= 1 means normal speed. The shared-pool ablation path is
+	// not scaled (pool service times belong to the pool, not the node).
+	slow float64
 
 	// Dirs is the long-term tier's directory-object model; nil when
 	// disabled.
@@ -105,6 +109,17 @@ func New(eng *sim.Engine, cfg Config) *Store {
 	return s
 }
 
+// SetSlow scales subsequent disk service times by factor (slow-node
+// fault injection); factor <= 1 restores normal speed.
+func (s *Store) SetSlow(factor float64) { s.slow = factor }
+
+func (s *Store) scaled(t sim.Time) sim.Time {
+	if s.slow <= 1 {
+		return t
+	}
+	return sim.Time(float64(t) * s.slow)
+}
+
 // ReadInode fetches a single metadata record (scattered-inode layout)
 // for the given inode. done runs when the I/O completes.
 func (s *Store) ReadInode(id namespace.InodeID, done func()) {
@@ -114,7 +129,7 @@ func (s *Store) ReadInode(id namespace.InodeID, done func()) {
 		s.cfg.Pool.Read(osd.DirObject(id), 1, done)
 		return
 	}
-	s.readDisk.Submit(s.cfg.ReadLatency+s.cfg.ReadPerRecord, done)
+	s.readDisk.Submit(s.scaled(s.cfg.ReadLatency+s.cfg.ReadPerRecord), done)
 }
 
 // ReadInodeCall is the allocation-free form of ReadInode: the
@@ -128,7 +143,7 @@ func (s *Store) ReadInodeCall(id namespace.InodeID, fn sim.EventFunc, a, b any) 
 		s.cfg.Pool.Read(osd.DirObject(id), 1, func() { fn(a, b) })
 		return
 	}
-	s.readDisk.SubmitCall(s.cfg.ReadLatency+s.cfg.ReadPerRecord, fn, a, b)
+	s.readDisk.SubmitCall(s.scaled(s.cfg.ReadLatency+s.cfg.ReadPerRecord), fn, a, b)
 }
 
 // ReadDir fetches directory dir and its embedded inodes in one I/O:
@@ -143,7 +158,7 @@ func (s *Store) ReadDir(dir namespace.InodeID, records int, done func()) {
 		s.cfg.Pool.Read(osd.DirObject(dir), records, done)
 		return
 	}
-	s.readDisk.Submit(s.cfg.ReadLatency+sim.Time(records)*s.cfg.ReadPerRecord, done)
+	s.readDisk.Submit(s.scaled(s.cfg.ReadLatency+sim.Time(records)*s.cfg.ReadPerRecord), done)
 }
 
 // ReadDirCall is the allocation-free form of ReadDir.
@@ -157,7 +172,7 @@ func (s *Store) ReadDirCall(dir namespace.InodeID, records int, fn sim.EventFunc
 		s.cfg.Pool.Read(osd.DirObject(dir), records, func() { fn(a, b) })
 		return
 	}
-	s.readDisk.SubmitCall(s.cfg.ReadLatency+sim.Time(records)*s.cfg.ReadPerRecord, fn, a, b)
+	s.readDisk.SubmitCall(s.scaled(s.cfg.ReadLatency+sim.Time(records)*s.cfg.ReadPerRecord), fn, a, b)
 }
 
 // Commit appends an update for the inode to the bounded log. Records
@@ -175,7 +190,7 @@ func (s *Store) Commit(id namespace.InodeID, done func()) {
 		s.cfg.Pool.Write(osd.LogObject(s.cfg.PoolOwner), done)
 		return
 	}
-	s.logDisk.Submit(s.cfg.LogAppendLatency, done)
+	s.logDisk.Submit(s.scaled(s.cfg.LogAppendLatency), done)
 }
 
 // CommitCall is the allocation-free form of Commit.
@@ -188,7 +203,7 @@ func (s *Store) CommitCall(id namespace.InodeID, fn sim.EventFunc, a, b any) {
 		s.cfg.Pool.Write(osd.LogObject(s.cfg.PoolOwner), func() { fn(a, b) })
 		return
 	}
-	s.logDisk.SubmitCall(s.cfg.LogAppendLatency, fn, a, b)
+	s.logDisk.SubmitCall(s.scaled(s.cfg.LogAppendLatency), fn, a, b)
 }
 
 // WorkingSet returns the distinct inode IDs currently in the log, oldest

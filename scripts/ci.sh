@@ -15,6 +15,21 @@ go test -race ./...
 go run ./cmd/mdsim -fig 2 -quick
 go run ./cmd/mdsim -fig 2 -quick -net-model queued
 
-# Perf report (quick scale in CI; regenerate the committed BENCH_3.json
-# with a full-scale run: `go run ./cmd/mdsim -bench-json BENCH_3.json`).
-go run ./cmd/mdsim -bench-json BENCH_3.quick.json -quick
+# Availability experiment under the race detector: fault injection,
+# client retries, suspicion-driven failover and log-warmed recovery at
+# reduced scale.
+go run -race ./cmd/mdsim -fig avail -quick
+
+# Bad knobs must fail fast with a usage error, not start a simulation.
+if go run ./cmd/mdsim -net-model bogus -fig 2 -quick 2>/dev/null; then
+    echo "ci: unknown -net-model was accepted" >&2
+    exit 1
+fi
+if go run ./cmd/mdsim -faults 'explode@1s:mds0' 2>/dev/null; then
+    echo "ci: unknown -faults schedule was accepted" >&2
+    exit 1
+fi
+
+# Perf report (quick scale in CI; regenerate the committed BENCH_4.json
+# with a full-scale run: `go run ./cmd/mdsim -bench-json BENCH_4.json`).
+go run ./cmd/mdsim -bench-json BENCH_4.quick.json -quick
