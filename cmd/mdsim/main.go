@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"time"
 
+	"dynmds/internal/chaos"
 	"dynmds/internal/cluster"
 	"dynmds/internal/fault"
 	"dynmds/internal/harness"
@@ -51,6 +52,9 @@ func run() int {
 	share := flag.Bool("share-snapshots", true, "share one frozen namespace snapshot across sweep runs (off = legacy per-run generation)")
 	netModel := flag.String("net-model", simnet.ModelFixed, "fabric latency model: fixed or queued")
 	faults := flag.String("faults", "", "fault schedule for a custom run, e.g. 'crash@3s-6s:mds1,drop@0.02:all' (see internal/fault)")
+	chaosRuns := flag.Int("chaos-runs", 0, "run a seeded chaos fuzz budget: this many generated schedules, each against every strategy, each run checked by simfsck")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the chaos budget (same seed = bit-identical schedules and results)")
+	chaosIntensity := flag.Float64("chaos-intensity", 1, "chaos generator intensity (scales fault counts and magnitudes)")
 	linkBW := flag.Float64("link-bw", 0, "queued-model link bandwidth in bytes per simulated second (0 = default)")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -119,6 +123,24 @@ func run() int {
 		return 0
 	}
 
+	if *chaosRuns > 0 {
+		rep, err := harness.Chaos(harness.ChaosOptions{
+			Seed:      *chaosSeed,
+			Schedules: *chaosRuns,
+			Intensity: *chaosIntensity,
+			NetModel:  *netModel,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mdsim:", err)
+			return 1
+		}
+		fmt.Print(rep)
+		if rep.Failed > 0 {
+			return 1
+		}
+		return 0
+	}
+
 	if *fig != "" {
 		if err := runFigures(*fig, harness.Options{Quick: *quick, Seed: *seed, NetModel: *netModel}); err != nil {
 			fmt.Fprintln(os.Stderr, "mdsim:", err)
@@ -141,34 +163,37 @@ func run() int {
 	cfg.Duration = sim.FromSeconds(*dur)
 	cfg.Warmup = sim.FromSeconds(*warm)
 
+	// Custom runs build the cluster directly (not via harness.RunOne):
+	// a -faults run is drained and checked by simfsck afterwards, which
+	// needs the live cluster, and a single run gains nothing from the
+	// shared snapshot cache.
 	start := time.Now()
-	res, err := harness.RunOne(harness.RunSpec{Label: "custom", Cfg: cfg})
+	cl, err := cluster.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mdsim:", err)
 		return 1
 	}
+	base := chaos.Capture(cl)
+	res := cl.Run()
 	fmt.Println(res)
 	fmt.Printf("fabric (%s model): %d messages, %d bytes, max link queue %d\n",
 		res.Net.Model, res.Net.Messages, res.Net.Bytes, res.Net.MaxQueueDepth)
 	fmt.Print(res.Net.Table())
-	if res.FaultSchedule != "" {
-		fmt.Printf("faults (%s): %d retries, %d timed out, %d fetch timeouts, %d fwd timeouts, %d dead letters, %d suspicions\n",
-			res.FaultSchedule, res.Retries, res.TimedOut, res.FetchTimeouts,
-			res.FwdTimeouts, res.DeadLetters, res.Suspicions)
-		for _, ev := range res.Failures {
-			fmt.Printf("  crash  t=%.3fs mds%d\n", ev.At.Seconds(), ev.Node)
-		}
-		for _, ev := range res.Downs {
-			fmt.Printf("  down   t=%.3fs mds%d (suspicion confirmed)\n", ev.At.Seconds(), ev.Node)
-		}
-		for _, ev := range res.Recoveries {
-			fmt.Printf("  recover t=%.3fs mds%d (%d records warmed)\n", ev.At.Seconds(), ev.Node, ev.Warmed)
+	fmt.Print(res.FaultSummary())
+	rc := 0
+	if cfg.Faults != "" {
+		cl.Drain()
+		if err := chaos.Fsck(cl, base); err != nil {
+			fmt.Printf("simfsck: FAIL\n%v\n", err)
+			rc = 1
+		} else {
+			fmt.Println("simfsck: clean")
 		}
 	}
 	fmt.Printf("wall time: %v (setup %v, run %v)\n",
 		time.Since(start).Round(time.Millisecond),
 		res.SetupWall.Round(time.Millisecond), res.RunWall.Round(time.Millisecond))
-	return 0
+	return rc
 }
 
 // benchReport is the schema of the -bench-json output: the headline
@@ -197,7 +222,11 @@ type benchReport struct {
 	// crash/recovery metrics (one of eight nodes down for a window,
 	// measured against a fault-free control run).
 	Availability []harness.AvailMetrics `json:"availability"`
-	PeakRSSKB    int64                  `json:"peak_rss_kb"` // process high-water mark (VmHWM)
+	// Chaos summarises the fixed-seed fuzz budget (schedules × all five
+	// strategies, every run checked by simfsck, failures shrunk to
+	// minimal repros). A clean budget has failed == 0.
+	Chaos     *harness.ChaosReport `json:"chaos"`
+	PeakRSSKB int64                `json:"peak_rss_kb"` // process high-water mark (VmHWM)
 }
 
 // netReport summarizes the message fabric's per-class accounting for the
@@ -351,6 +380,17 @@ func runBenchJSON(path string, seed int64, quick, share bool, netModel string) e
 	for _, m := range avail {
 		fmt.Printf("avail %s: dip %.3f of control, detect %.2fs, recover %.1fs, %d retries\n",
 			m.Strategy, m.DipFrac, m.DetectSeconds, m.RecoverySeconds, m.Retries)
+	}
+	// Chaos fuzz budget: 50 seeded schedules across all five strategies,
+	// every run simfsck-checked. A violation fails the whole bench.
+	chaosRep, err := harness.Chaos(harness.ChaosOptions{Seed: seed, Schedules: 50, NetModel: netModel})
+	if err != nil {
+		return err
+	}
+	rep.Chaos = chaosRep
+	fmt.Print(chaosRep)
+	if chaosRep.Failed > 0 {
+		return fmt.Errorf("chaos budget failed %d of %d runs", chaosRep.Failed, chaosRep.Runs)
 	}
 	rep.PeakRSSKB = peakRSSKB()
 

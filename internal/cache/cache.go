@@ -428,6 +428,39 @@ func (c *Cache) RemoveSubtree(root *namespace.Inode) int {
 	return n
 }
 
+// Clear discards every entry at once, with no eviction notifications:
+// crash semantics — the node's volatile memory is lost, not evicted.
+// fn, when non-nil, is called once per entry before the wipe (e.g. to
+// shed per-inode bookkeeping naming this node). Returns the number of
+// entries discarded.
+func (c *Cache) Clear(fn func(*Entry)) int {
+	var victims []*Entry
+	c.forEach(func(e *Entry) { victims = append(victims, e) })
+	if fn != nil {
+		for _, e := range victims {
+			fn(e)
+		}
+	}
+	// Children before parents so pins unwind; every entry goes, so the
+	// fixpoint always completes.
+	removed := 0
+	for removed < len(victims) {
+		progress := false
+		for _, e := range victims {
+			if c.lookup(e.Ino.ID) == nil || e.pins > 0 {
+				continue
+			}
+			c.drop(e, false)
+			removed++
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	return removed
+}
+
 // ForEach visits every entry in LRU-segment order (hot then warm, MRU
 // first). The callback must not mutate the cache.
 func (c *Cache) ForEach(fn func(*Entry)) { c.forEach(fn) }

@@ -1,0 +1,124 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"dynmds/internal/fault"
+	"dynmds/internal/sim"
+)
+
+func genConfig(run int) GenConfig {
+	return GenConfig{Seed: 7, Run: run, NumMDS: 4, Duration: 10 * sim.Second}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for run := 0; run < 20; run++ {
+		a, b := Generate(genConfig(run)), Generate(genConfig(run))
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("run %d: same config produced different schedules:\n%s\n%s", run, a, b)
+		}
+		if a.String() != b.String() {
+			t.Fatalf("run %d: canonical text differs", run)
+		}
+	}
+	// Different run indices must not all collapse to one schedule.
+	distinct := map[string]bool{}
+	for run := 0; run < 20; run++ {
+		distinct[Generate(genConfig(run)).String()] = true
+	}
+	if len(distinct) < 10 {
+		t.Errorf("20 runs produced only %d distinct schedules", len(distinct))
+	}
+}
+
+// TestGenerateValid: every generated schedule validates, round-trips
+// through the DSL, keeps all windows inside the run, and never crashes
+// node 0 — the designated failover survivor.
+func TestGenerateValid(t *testing.T) {
+	for run := 0; run < 200; run++ {
+		cfg := genConfig(run)
+		cfg.Intensity = float64(run%4) + 0.5
+		s := Generate(cfg)
+		if err := s.Validate(cfg.NumMDS); err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		back, err := fault.ParseSchedule(s.String())
+		if err != nil {
+			t.Fatalf("run %d: generated schedule does not reparse: %v\n%s", run, err, s)
+		}
+		if back.NumRules() != s.NumRules() {
+			t.Fatalf("run %d: reparse changed rule count %d -> %d", run, s.NumRules(), back.NumRules())
+		}
+		lo, hi := cfg.Duration/10, cfg.Duration*9/10
+		checkWin := func(from, to sim.Time) {
+			if from < lo || to > hi || from >= to {
+				t.Fatalf("run %d: window [%v, %v) outside [%v, %v)", run, from, to, lo, hi)
+			}
+		}
+		for _, e := range s.Crashes {
+			if e.Node == 0 {
+				t.Fatalf("run %d: schedule crashes node 0", run)
+			}
+			if e.At < lo || e.At >= hi {
+				t.Fatalf("run %d: crash at %v outside the run body", run, e.At)
+			}
+		}
+		for _, l := range s.Lags {
+			checkWin(l.From, l.To)
+		}
+		for _, w := range s.Slows {
+			checkWin(w.From, w.To)
+		}
+		for _, p := range s.Partitions {
+			checkWin(p.From, p.To)
+			if len(p.A) == 0 || len(p.B) == 0 {
+				t.Fatalf("run %d: empty partition group", run)
+			}
+		}
+		for _, d := range s.Drops {
+			if d.P < 0 || d.P > 0.3 {
+				t.Fatalf("run %d: drop probability %v out of bounds", run, d.P)
+			}
+		}
+	}
+}
+
+// TestGenerateClassMaskStability: disabling one rule class must not
+// reshuffle the rules of the remaining classes — the generator burns
+// its draws either way. This keeps "re-run with only crashes enabled"
+// a meaningful debugging step.
+func TestGenerateClassMaskStability(t *testing.T) {
+	for run := 0; run < 30; run++ {
+		cfg := genConfig(run)
+		full := Generate(cfg)
+		cfg.Classes = ClassCrash
+		only := Generate(cfg)
+		if !reflect.DeepEqual(full.Crashes, only.Crashes) ||
+			!reflect.DeepEqual(full.Recovers, only.Recovers) {
+			t.Fatalf("run %d: masking other classes changed the crash rules\nfull: %s\nmask: %s",
+				run, full, only)
+		}
+		if len(only.Drops)+len(only.Lags)+len(only.Slows)+len(only.Partitions) != 0 {
+			t.Fatalf("run %d: masked classes still generated rules: %s", run, only)
+		}
+	}
+}
+
+// TestGenerateIntensityScales: a higher intensity draws more rules in
+// aggregate.
+func TestGenerateIntensityScales(t *testing.T) {
+	total := func(intensity float64) int {
+		sum := 0
+		for run := 0; run < 60; run++ {
+			cfg := genConfig(run)
+			cfg.Intensity = intensity
+			sum += Generate(cfg).NumRules()
+		}
+		return sum
+	}
+	low, high := total(0.4), total(3)
+	if high <= low {
+		t.Errorf("intensity 3 generated %d rules, intensity 0.4 generated %d", high, low)
+	}
+}

@@ -1,0 +1,255 @@
+// Package chaos provides seeded chaos fuzzing for the simulated
+// cluster: a schedule generator that derives random-but-reproducible
+// fault schedules from a single seed, and simfsck, a cluster-wide
+// end-of-run consistency checker that goes beyond the per-structure
+// CheckInvariants methods. The fuzz driver and shrinker that tie them
+// together live in internal/harness (they need the run machinery).
+//
+// Determinism: Generate draws every value from one sim.NewStream keyed
+// by (Seed, Run), in a fixed order, so the same inputs always yield a
+// bit-identical schedule — and, because the fault plane is itself
+// deterministic, a bit-identical run.
+package chaos
+
+import (
+	"fmt"
+
+	"dynmds/internal/fault"
+	"dynmds/internal/sim"
+)
+
+// Classes selects which rule classes the generator may draw from.
+type Classes uint8
+
+// Rule-class bits.
+const (
+	ClassCrash Classes = 1 << iota
+	ClassDrop
+	ClassLag
+	ClassSlow
+	ClassPartition
+
+	// ClassAll enables every rule class (the zero GenConfig default).
+	ClassAll = ClassCrash | ClassDrop | ClassLag | ClassSlow | ClassPartition
+)
+
+// GenConfig parameterises schedule generation.
+type GenConfig struct {
+	// Seed and Run key the RNG stream: one seed spans a whole fuzz
+	// budget, Run indexes the schedules within it.
+	Seed int64
+	Run  int
+	// NumMDS is the cluster size the schedule must be valid for
+	// (needs >= 2: a single-node cluster has nothing to crash or
+	// partition).
+	NumMDS int
+	// Duration is the run length; every window falls inside
+	// [Duration/10, Duration*9/10] so the run warms up before the first
+	// fault and quiesces before the drain.
+	Duration sim.Time
+	// Intensity scales fault counts, drop probabilities, lag magnitudes
+	// and slow factors. 1.0 is the nominal mix; 0 means 1.0.
+	Intensity float64
+	// Classes masks the rule classes drawn from; zero means ClassAll.
+	Classes Classes
+}
+
+// Generate derives a random, valid fault schedule from the config.
+// Guarantees, so that simfsck's invariants are meaningful:
+//   - node 0 is never crashed, slowed or partitioned away alone — at
+//     least one node stays up for failover to target;
+//   - crash windows are paired with a recovery three times out of four
+//     (the rest stay down through the run's end);
+//   - drop probabilities, lag magnitudes and slow factors are bounded
+//     (<= 0.3, <= 50ms, <= 8x) so runs degrade rather than stall;
+//   - every window lies strictly inside the run and the result passes
+//     Validate(NumMDS).
+func Generate(cfg GenConfig) *fault.Schedule {
+	if cfg.NumMDS < 2 {
+		panic("chaos: Generate needs NumMDS >= 2")
+	}
+	if cfg.Duration <= 0 {
+		panic("chaos: Generate needs a positive Duration")
+	}
+	intensity := cfg.Intensity
+	if intensity <= 0 {
+		intensity = 1
+	}
+	classes := cfg.Classes
+	if classes == 0 {
+		classes = ClassAll
+	}
+	rng := sim.NewStream(cfg.Seed, fmt.Sprintf("chaos-gen-%d", cfg.Run))
+	g := &generator{
+		rng: rng,
+		n:   cfg.NumMDS,
+		lo:  cfg.Duration / 10,
+		hi:  cfg.Duration * 9 / 10,
+		s:   &fault.Schedule{},
+	}
+
+	// Count budget per class, scaled by intensity. Intn keeps the draw
+	// order fixed regardless of which classes are enabled: every class
+	// consumes its draws even when masked out, so toggling one class
+	// never reshuffles another class's rules.
+	scaled := func(max int) int {
+		m := int(float64(max)*intensity + 0.5)
+		if m < 1 {
+			m = 1
+		}
+		return g.rng.Intn(m + 1)
+	}
+	nCrash := scaled(min(2, cfg.NumMDS-1))
+	nDrop := scaled(2)
+	nLag := scaled(2)
+	nSlow := scaled(1)
+	nPart := scaled(1)
+
+	g.crashes(nCrash, classes&ClassCrash != 0)
+	g.drops(nDrop, intensity, classes&ClassDrop != 0)
+	g.lags(nLag, intensity, classes&ClassLag != 0)
+	g.slows(nSlow, intensity, classes&ClassSlow != 0)
+	g.partitions(nPart, classes&ClassPartition != 0)
+
+	if err := g.s.Validate(cfg.NumMDS); err != nil {
+		panic("chaos: generated an invalid schedule: " + err.Error())
+	}
+	return g.s
+}
+
+type generator struct {
+	rng    *sim.RNG
+	n      int
+	lo, hi sim.Time
+	s      *fault.Schedule
+}
+
+// at picks a millisecond-granular instant in [g.lo, g.hi).
+func (g *generator) at() sim.Time {
+	span := int((g.hi - g.lo) / sim.Millisecond)
+	return g.lo + sim.Time(g.rng.Intn(span))*sim.Millisecond
+}
+
+// window picks an ordered millisecond-granular window inside the run.
+func (g *generator) window() (from, to sim.Time) {
+	a, b := g.at(), g.at()
+	if a > b {
+		a, b = b, a
+	}
+	if a == b {
+		b += sim.Millisecond
+	}
+	return a, b
+}
+
+// victim picks any node except 0, the designated survivor.
+func (g *generator) victim() int { return 1 + g.rng.Intn(g.n-1) }
+
+// crashes draws up to count crash events against distinct victims; most
+// get a paired recovery, the rest stay down. Node 0 never crashes, so
+// failover always has a target.
+func (g *generator) crashes(count int, enabled bool) {
+	used := make(map[int]bool)
+	for i := 0; i < count; i++ {
+		node := g.victim()
+		from, to := g.window()
+		recovers := g.rng.Float64() < 0.75
+		if !enabled || used[node] {
+			continue
+		}
+		used[node] = true
+		g.s.Crashes = append(g.s.Crashes, fault.NodeEvent{At: from, Node: node})
+		if recovers {
+			g.s.Recovers = append(g.s.Recovers, fault.NodeEvent{At: to, Node: node})
+		}
+	}
+}
+
+// sel draws a link selector over any kind (all, client, node, pair).
+func (g *generator) sel() fault.LinkSel {
+	switch g.rng.Intn(4) {
+	case 0:
+		return fault.SelAll()
+	case 1:
+		return fault.SelClient()
+	case 2:
+		return fault.SelNode(g.rng.Intn(g.n))
+	default:
+		a := g.rng.Intn(g.n)
+		b := (a + 1 + g.rng.Intn(g.n-1)) % g.n
+		return fault.SelPair(a, b)
+	}
+}
+
+// drops draws whole-run probabilistic drop rules. Probabilities scale
+// with intensity but stay <= 0.3 so traffic degrades rather than stops.
+func (g *generator) drops(count int, intensity float64, enabled bool) {
+	for i := 0; i < count; i++ {
+		sel := g.sel()
+		p := 0.08 * intensity * g.rng.Float64()
+		if p > 0.3 {
+			p = 0.3
+		}
+		if !enabled {
+			continue
+		}
+		g.s.Drops = append(g.s.Drops, fault.DropRule{Sel: sel, P: p})
+	}
+}
+
+// lags draws windowed latency spikes, <= 50ms extra per message.
+func (g *generator) lags(count int, intensity float64, enabled bool) {
+	for i := 0; i < count; i++ {
+		sel := g.sel()
+		from, to := g.window()
+		extra := sim.Time(float64(1+g.rng.Intn(20)) * intensity * float64(sim.Millisecond))
+		if extra < sim.Millisecond {
+			extra = sim.Millisecond
+		}
+		if extra > 50*sim.Millisecond {
+			extra = 50 * sim.Millisecond
+		}
+		if !enabled {
+			continue
+		}
+		g.s.Lags = append(g.s.Lags, fault.LagRule{Sel: sel, From: from, To: to, Extra: extra})
+	}
+}
+
+// slows draws windowed service-time scaling, factor in [1.5, 8].
+func (g *generator) slows(count int, intensity float64, enabled bool) {
+	for i := 0; i < count; i++ {
+		node := g.rng.Intn(g.n)
+		from, to := g.window()
+		factor := 1.5 + 2.5*intensity*g.rng.Float64()
+		if factor > 8 {
+			factor = 8
+		}
+		if !enabled {
+			continue
+		}
+		g.s.Slows = append(g.s.Slows, fault.SlowWindow{From: from, To: to, Node: node, Factor: factor})
+	}
+}
+
+// partitions draws windowed two-group splits over a shuffled subset of
+// the nodes. Both groups are non-empty and disjoint; nodes left out of
+// the shuffle prefix stay connected to everyone. Needs >= 3 nodes so a
+// split leaves structure worth testing (with 2 it still works but
+// isolates half the cluster).
+func (g *generator) partitions(count int, enabled bool) {
+	for i := 0; i < count; i++ {
+		perm := g.rng.Perm(g.n)
+		size := 2 + g.rng.Intn(g.n-1) // nodes involved: 2..n
+		cut := 1 + g.rng.Intn(size-1) // split point: both sides non-empty
+		from, to := g.window()
+		if !enabled {
+			continue
+		}
+		g.s.Partitions = append(g.s.Partitions, fault.Partition{
+			From: from, To: to,
+			A: append([]int(nil), perm[:cut]...),
+			B: append([]int(nil), perm[cut:size]...),
+		})
+	}
+}

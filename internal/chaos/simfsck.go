@@ -1,0 +1,359 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+
+	"dynmds/internal/cache"
+	"dynmds/internal/cluster"
+	"dynmds/internal/dirstore"
+	"dynmds/internal/namespace"
+	"dynmds/internal/net"
+	"dynmds/internal/partition"
+)
+
+// Baseline captures pre-run facts Fsck needs to scope its checks.
+// Capture it after cluster.New and before Run.
+type Baseline struct {
+	// MaxInodeID is the namespace's ID watermark before the run; any
+	// live inode above it was created by the workload, so the dirstore
+	// must know about it (pre-existing inodes were generated, not
+	// written through an MDS).
+	MaxInodeID namespace.InodeID
+}
+
+// Capture records the baseline for a freshly built cluster.
+func Capture(cl *cluster.Cluster) Baseline {
+	return Baseline{MaxInodeID: cl.Tree().MaxID()}
+}
+
+// Fsck is the cluster-wide consistency checker: it validates a
+// finished, **drained** run (cluster.Drain — clients stopped, bounded
+// message chains completed) against every invariant that must survive
+// arbitrary fault schedules. It returns all violations joined into one
+// error, or nil. The catalogue:
+//
+//   - structural: namespace tree, per-node cache, and subtree-table
+//     invariants (authority is a partition: assign/mirror agreement,
+//     each root owned by exactly one in-range node);
+//   - authority: every reachable inode resolves to an in-range
+//     authority; a node that crashed and was then confirmed down (and
+//     never recovered) holds no delegated roots — failover reassigned
+//     them and nothing may hand them back to a dead node;
+//   - replica coherence: on every live node, each Replica-class cache
+//     entry is recorded in the inode's replica set; no replica or
+//     unflushed-writer bit names a node outside the cluster; after the
+//     drain, unflushed-writer bits on reachable inodes belong only to
+//     failed nodes (live replicas flush within the drain window);
+//   - dirstore <-> namespace: every record whose inode still exists
+//     agrees with it on kind (IDs are never reused); every reachable
+//     inode created during the run is findable by (parent, name) in
+//     some node's directory objects (dir-granular strategies);
+//   - fabric conservation: per class sent == delivered + dropped, no
+//     in-flight messages or leaked envelopes after the drain;
+//   - op accounting: issued == completed + timedout per client, no
+//     in-flight client requests, and requests crossed the client edge
+//     exactly once per issue or retry;
+//   - journal: each node's log working set is duplicate-free and within
+//     the log's capacity, as are the recovery warm counts.
+func Fsck(cl *cluster.Cluster, base Baseline) error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("simfsck: "+format, args...))
+	}
+
+	checkStructures(cl, fail)
+	checkNamespace(cl, base, fail)
+	checkAuthority(cl, fail)
+	checkReplicaEntries(cl, fail)
+	checkDirstore(cl, base, fail)
+	checkFabric(cl, fail)
+	checkOps(cl, fail)
+	checkJournal(cl, fail)
+
+	return errors.Join(errs...)
+}
+
+// checkStructures runs the per-structure invariant checkers.
+func checkStructures(cl *cluster.Cluster, fail func(string, ...any)) {
+	if err := cl.Tree().CheckInvariants(); err != nil {
+		fail("namespace: %v", err)
+	}
+	for i, n := range cl.Nodes {
+		if err := n.Cache().CheckInvariants(); err != nil {
+			fail("cache mds%d: %v", i, err)
+		}
+	}
+	if t := subtreeTable(cl); t != nil {
+		if err := t.CheckConsistency(); err != nil {
+			fail("%v", err)
+		}
+	}
+}
+
+// subtreeTable returns the delegation table for subtree strategies, nil
+// for hash-based ones.
+func subtreeTable(cl *cluster.Cluster) *partition.SubtreeTable {
+	if cl.Dyn != nil {
+		return cl.Dyn.Table
+	}
+	if s, ok := cl.Strategy.(*partition.StaticSubtree); ok {
+		return s.Table
+	}
+	return nil
+}
+
+// checkNamespace walks every reachable inode once, validating the
+// per-inode tag invariants: authority in range, replica and
+// unflushed-writer bitmasks confined to real nodes, and — after the
+// drain — unflushed-writer bits only on failed nodes (a live replica's
+// flusher ticks at least twice within the drain window; inodes
+// destroyed while dirty are unreachable and exempt by design).
+func checkNamespace(cl *cluster.Cluster, base Baseline, fail func(string, ...any)) {
+	n := len(cl.Nodes)
+	var outOfRange uint64
+	if n < 64 {
+		outOfRange = ^uint64(0) << uint(n)
+	}
+	bad := 0
+	cl.Tree().Walk(func(ino *namespace.Inode) bool {
+		if bad >= 5 { // cap the error spam; one walk still covers all checks
+			return false
+		}
+		if a := cl.Strategy.Authority(ino); a < 0 || a >= n {
+			fail("authority: %s resolves to out-of-range mds %d", ino.Path(), a)
+			bad++
+		}
+		tags, ok := ino.Aux.(*partition.Tags)
+		if !ok || tags == nil {
+			return true
+		}
+		if bits := tags.ReplicaSet & outOfRange; bits != 0 {
+			fail("replica set of %s names nodes outside the cluster (mask %#x, %d nodes)",
+				ino.Path(), bits, n)
+			bad++
+		}
+		if bits := tags.UnflushedWriters & outOfRange; bits != 0 {
+			fail("unflushed-writer set of %s names nodes outside the cluster (mask %#x, %d nodes)",
+				ino.Path(), bits, n)
+			bad++
+		}
+		for i := 0; i < n && i < 64; i++ {
+			if tags.UnflushedWriters&(1<<uint(i)) != 0 && !cl.Nodes[i].Failed() {
+				fail("unflushed write on %s held by live mds%d after drain", ino.Path(), i)
+				bad++
+				break
+			}
+		}
+		return true
+	})
+}
+
+// checkAuthority verifies failover completed: a node that is both
+// failed and suspicion-confirmed down — with the confirmation at or
+// after its last crash, and no recovery since — must own no delegated
+// roots, provided at least one node is fully live to receive them.
+// (An undetected crash may legitimately still own roots: detection is
+// traffic-driven. A node marked down before its crash may have been
+// re-delegated to while it was still alive, so only post-crash
+// confirmations are conclusive.)
+func checkAuthority(cl *cluster.Cluster, fail func(string, ...any)) {
+	t := subtreeTable(cl)
+	if t == nil || cl.Dyn == nil {
+		return // only the dynamic strategy reassigns on failure
+	}
+	survivor := false
+	for i, node := range cl.Nodes {
+		if !node.Failed() && !cl.NodeDown(i) {
+			survivor = true
+			break
+		}
+	}
+	if !survivor {
+		return // nowhere to fail over to; the invariant is vacuous
+	}
+	last := func(events []cluster.FaultEvent, node int) (at int64, ok bool) {
+		for _, ev := range events {
+			if ev.Node == node {
+				at, ok = int64(ev.At), true
+			}
+		}
+		return at, ok
+	}
+	for i, node := range cl.Nodes {
+		if !node.Failed() || !cl.NodeDown(i) {
+			continue
+		}
+		crashAt, crashed := last(cl.Failures, i)
+		if !crashed {
+			continue
+		}
+		if recAt, rec := last(cl.Recoveries, i); rec && recAt >= crashAt {
+			continue
+		}
+		downAt, down := last(cl.Downs, i)
+		if !down || downAt < crashAt {
+			continue
+		}
+		if roots := t.RootsOf(i); len(roots) > 0 {
+			fail("failover: dead mds%d (crashed, confirmed down) still owns %d delegated roots, first %s",
+				i, len(roots), roots[0].Path())
+		}
+	}
+}
+
+// checkReplicaEntries verifies cache/replica-set agreement on live
+// nodes: every Replica-class entry must be recorded in its inode's
+// replica set (the insert paths set the bit; only the node's own
+// eviction clears it). The converse — bit implies cached — does not
+// hold and is not checked: bulk removals drop entries without
+// notifications by design.
+func checkReplicaEntries(cl *cluster.Cluster, fail func(string, ...any)) {
+	for i, node := range cl.Nodes {
+		if node.Failed() {
+			continue
+		}
+		bad := 0
+		node.Cache().ForEach(func(e *cache.Entry) {
+			if e.Class != cache.Replica || bad >= 3 {
+				return
+			}
+			tags, ok := e.Ino.Aux.(*partition.Tags)
+			if !ok || !tags.HasReplica(i) {
+				fail("replica entry for %s cached on live mds%d but absent from its replica set",
+					e.Ino.Path(), i)
+				bad++
+			}
+		})
+	}
+}
+
+// checkDirstore cross-checks the long-term tier against the namespace.
+func checkDirstore(cl *cluster.Cluster, base Baseline, fail func(string, ...any)) {
+	tree := cl.Tree()
+	// (a) Records never contradict a live inode's kind: inode IDs are
+	// never reused and a file cannot become a directory, so even a
+	// record left stale by an authority migration must agree on kind.
+	for i, node := range cl.Nodes {
+		dirs := node.Store().Dirs
+		if dirs == nil {
+			continue
+		}
+		bad := 0
+		dirs.ForEach(func(dir namespace.InodeID, t *dirstore.Tree) {
+			if err := t.CheckInvariants(); err != nil {
+				fail("dirstore mds%d dir %d: %v", i, dir, err)
+				bad++
+			}
+			t.Range(func(rec dirstore.Record) bool {
+				ino, ok := tree.ByID(rec.Ino)
+				if ok && ino.Kind != rec.Kind {
+					fail("dirstore mds%d: record %q in dir %d has kind %v, inode %d is %v",
+						i, rec.Name, dir, rec.Kind, rec.Ino, ino.Kind)
+					bad++
+				}
+				return bad < 3
+			})
+		})
+	}
+	// (b) Every reachable inode created during the run is findable by
+	// its current (parent, name) on some node: the applying MDS wrote
+	// the record in the same event as the namespace mutation, crashes
+	// do not erase disk, and renames re-record under the new parent.
+	if !cl.Strategy.DirGranular() {
+		return
+	}
+	for _, node := range cl.Nodes {
+		if node.Store().Dirs == nil {
+			return // directory objects disabled in this configuration
+		}
+	}
+	missing := 0
+	tree.Walk(func(ino *namespace.Inode) bool {
+		if missing >= 5 {
+			return false
+		}
+		if ino.ID <= base.MaxInodeID || ino.Parent() == nil {
+			return true
+		}
+		found := false
+		for _, node := range cl.Nodes {
+			if t, ok := node.Store().Dirs.Object(ino.Parent().ID); ok {
+				if rec, ok := t.Get(ino.Name()); ok && rec.Ino == ino.ID {
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			fail("dirstore: run-created inode %s (id %d) has no record under (dir %d, %q) on any node",
+				ino.Path(), ino.ID, ino.Parent().ID, ino.Name())
+			missing++
+		}
+		return true
+	})
+}
+
+// checkFabric verifies message conservation after the drain.
+func checkFabric(cl *cluster.Cluster, fail func(string, ...any)) {
+	if n := cl.Fab.InFlight(); n != 0 {
+		fail("fabric: %d messages still in flight after drain", n)
+	}
+	if n := cl.Fab.LiveEnvelopes(); n != 0 {
+		fail("fabric: %d envelopes leaked", n)
+	}
+	for c := 0; c < net.NumClasses; c++ {
+		cs := cl.Fab.Class(net.Class(c))
+		if cs.Sent != cs.Delivered+cs.Dropped {
+			fail("fabric %s: sent %d != delivered %d + dropped %d",
+				net.Class(c), cs.Sent, cs.Delivered, cs.Dropped)
+		}
+	}
+}
+
+// checkOps verifies client-side op accounting.
+func checkOps(cl *cluster.Cluster, fail func(string, ...any)) {
+	if err := cl.DrainCheck(); err != nil {
+		fail("%v", err)
+	}
+	var issued, retries uint64
+	for _, c := range cl.Clients {
+		issued += c.Stats.Issued
+		retries += c.Stats.Retries
+	}
+	if req := cl.Fab.Class(net.Request); req.Sent != issued+retries {
+		fail("ops: %d requests crossed the client edge, clients issued %d + retried %d",
+			req.Sent, issued, retries)
+	}
+}
+
+// checkJournal verifies each node's bounded log is well-formed and the
+// recovery warm counts are plausible. (Recover() pre-warms from the
+// log's distinct working set; entries for destroyed inodes are skipped
+// by design, so warmed <= capacity is the strongest post-hoc bound.)
+func checkJournal(cl *cluster.Cluster, fail func(string, ...any)) {
+	capacity := cl.Cfg.MDS.Storage.LogCapacity
+	if capacity < 1 {
+		capacity = 1 // storage.New clamps the same way
+	}
+	for i, node := range cl.Nodes {
+		ws := node.Store().WorkingSet()
+		if len(ws) > capacity {
+			fail("journal mds%d: working set %d exceeds log capacity %d", i, len(ws), capacity)
+		}
+		seen := make(map[namespace.InodeID]bool, len(ws))
+		for _, id := range ws {
+			if seen[id] {
+				fail("journal mds%d: duplicate id %d in working set", i, id)
+				break
+			}
+			seen[id] = true
+		}
+	}
+	for _, ev := range cl.Recoveries {
+		if ev.Warmed < 0 || ev.Warmed > capacity {
+			fail("journal: recovery of mds%d warmed %d records, log capacity %d",
+				ev.Node, ev.Warmed, capacity)
+		}
+	}
+}

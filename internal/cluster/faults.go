@@ -2,7 +2,9 @@ package cluster
 
 import (
 	"fmt"
+	"strings"
 
+	"dynmds/internal/net"
 	"dynmds/internal/sim"
 )
 
@@ -138,6 +140,53 @@ func (c *Cluster) markDown(peer int) {
 	if c.Dyn != nil {
 		c.reassignRoots(peer) //nolint:errcheck // delegation over a live table
 	}
+}
+
+// Drain stops every client and runs the engine two simulated seconds
+// past the configured duration, so every bounded message chain
+// completes or times out (the longest — a retried, forwarded request
+// with a disk fetch — is well under a second) and only the perpetual
+// tickers (flushers, balancer) remain. Conservation checks and the
+// chaos consistency checker (internal/chaos) are only meaningful on a
+// drained cluster; call after Run.
+func (c *Cluster) Drain() {
+	for _, cl := range c.Clients {
+		cl.Stop()
+	}
+	c.Eng.RunUntil(c.Cfg.Duration + 2*sim.Second)
+}
+
+// FaultSummary renders the human-readable fault block for a finished
+// run: the resilience counters, per-class drop counts, and the injected
+// crash / confirmed-down / recovery timeline. Empty string on
+// fault-free runs. mdsim prints this after a custom -faults run.
+func (r *Result) FaultSummary() string {
+	if r.FaultSchedule == "" {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "faults (%s): %d retries, %d timed out, %d fetch timeouts, %d fwd timeouts, %d dead letters, %d suspicions\n",
+		r.FaultSchedule, r.Retries, r.TimedOut, r.FetchTimeouts,
+		r.FwdTimeouts, r.DeadLetters, r.Suspicions)
+	if r.Net.Dropped > 0 {
+		b.WriteString("  dropped by class:")
+		for c := 0; c < net.NumClasses; c++ {
+			if d := r.Net.PerClass[c].Dropped; d > 0 {
+				fmt.Fprintf(&b, " %s=%d", net.Class(c), d)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, ev := range r.Failures {
+		fmt.Fprintf(&b, "  crash   t=%.3fs mds%d\n", ev.At.Seconds(), ev.Node)
+	}
+	for _, ev := range r.Downs {
+		fmt.Fprintf(&b, "  down    t=%.3fs mds%d (suspicion confirmed)\n", ev.At.Seconds(), ev.Node)
+	}
+	for _, ev := range r.Recoveries {
+		fmt.Fprintf(&b, "  recover t=%.3fs mds%d (%d records warmed)\n", ev.At.Seconds(), ev.Node, ev.Warmed)
+	}
+	return b.String()
 }
 
 // DrainCheck verifies that after a drain (clients stopped, engine run

@@ -132,6 +132,38 @@ type Schedule struct {
 	src string
 }
 
+// NumRules counts the schedule's individual rules. The chaos shrinker
+// uses this as its size metric: a shrunk repro must never be larger than
+// the schedule it came from.
+func (s *Schedule) NumRules() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.Crashes) + len(s.Recovers) + len(s.Drops) +
+		len(s.Lags) + len(s.Slows) + len(s.Partitions)
+}
+
+// Clone returns a deep copy that shares no slices with s, so shrinker
+// candidates can be mutated freely.
+func (s *Schedule) Clone() *Schedule {
+	c := &Schedule{
+		Crashes:  append([]NodeEvent(nil), s.Crashes...),
+		Recovers: append([]NodeEvent(nil), s.Recovers...),
+		Drops:    append([]DropRule(nil), s.Drops...),
+		Lags:     append([]LagRule(nil), s.Lags...),
+		Slows:    append([]SlowWindow(nil), s.Slows...),
+		src:      s.src,
+	}
+	for _, p := range s.Partitions {
+		c.Partitions = append(c.Partitions, Partition{
+			From: p.From, To: p.To,
+			A: append([]int(nil), p.A...),
+			B: append([]int(nil), p.B...),
+		})
+	}
+	return c
+}
+
 // Empty reports whether the schedule contains no events at all.
 func (s *Schedule) Empty() bool {
 	return s == nil || (len(s.Crashes) == 0 && len(s.Recovers) == 0 &&
@@ -141,6 +173,79 @@ func (s *Schedule) Empty() bool {
 
 // Source returns the DSL string the schedule was parsed from.
 func (s *Schedule) Source() string { return s.src }
+
+// SelAll selects every link.
+func SelAll() LinkSel { return LinkSel{kind: selAll} }
+
+// SelClient selects any link touching the client edge.
+func SelClient() LinkSel { return LinkSel{kind: selClient} }
+
+// SelNode selects any link touching MDS n.
+func SelNode(n int) LinkSel { return LinkSel{kind: selNode, a: n} }
+
+// SelPair selects both directions between MDS a and MDS b.
+func SelPair(a, b int) LinkSel { return LinkSel{kind: selPair, a: a, b: b} }
+
+// String renders the schedule in canonical DSL form: events in struct
+// order (crashes, recovers, drops, lags, slows, partitions), each time
+// in the largest unit that represents it exactly, floats in shortest
+// round-trip form, partition groups as '.'-joined single indices. The
+// output parses back — via ParseSchedule — into a structurally
+// identical schedule (the round-trip property is tested), so
+// programmatically built or shrunk schedules can be replayed verbatim
+// with `mdsim -faults`.
+func (s *Schedule) String() string {
+	if s.Empty() {
+		return ""
+	}
+	var parts []string
+	for _, e := range s.Crashes {
+		parts = append(parts, fmt.Sprintf("crash@%s:mds%d", fmtTime(e.At), e.Node))
+	}
+	for _, e := range s.Recovers {
+		parts = append(parts, fmt.Sprintf("recover@%s:mds%d", fmtTime(e.At), e.Node))
+	}
+	for _, d := range s.Drops {
+		parts = append(parts, fmt.Sprintf("drop@%s:%s", fmtFloat(d.P), d.Sel))
+	}
+	for _, l := range s.Lags {
+		parts = append(parts, fmt.Sprintf("lag@%s-%s:%s+%s",
+			fmtTime(l.From), fmtTime(l.To), l.Sel, fmtTime(l.Extra)))
+	}
+	for _, w := range s.Slows {
+		parts = append(parts, fmt.Sprintf("slow@%s-%s:mds%dx%s",
+			fmtTime(w.From), fmtTime(w.To), w.Node, fmtFloat(w.Factor)))
+	}
+	for _, p := range s.Partitions {
+		parts = append(parts, fmt.Sprintf("partition@%s-%s:{%s|%s}",
+			fmtTime(p.From), fmtTime(p.To), fmtGroup(p.A), fmtGroup(p.B)))
+	}
+	return strings.Join(parts, ",")
+}
+
+// fmtTime renders a virtual time in the largest s/ms/us unit that is
+// exact, mirroring parseTime.
+func fmtTime(t sim.Time) string {
+	switch {
+	case t%sim.Second == 0:
+		return strconv.FormatInt(int64(t/sim.Second), 10) + "s"
+	case t%sim.Millisecond == 0:
+		return strconv.FormatInt(int64(t/sim.Millisecond), 10) + "ms"
+	default:
+		return strconv.FormatInt(int64(t), 10) + "us"
+	}
+}
+
+// fmtFloat renders the shortest decimal that parses back to exactly v.
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func fmtGroup(g []int) string {
+	items := make([]string, len(g))
+	for i, n := range g {
+		items[i] = strconv.Itoa(n)
+	}
+	return strings.Join(items, ".")
+}
 
 // ParseSchedule parses the fault DSL described in the package comment.
 // An empty (or all-whitespace) string yields an empty schedule.

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -205,6 +206,144 @@ func TestPlaneZeroProbabilityDrawsNothing(t *testing.T) {
 	want := sim.NewStream(7, "fault").Float64()
 	if got := p.rng.Float64(); got != want {
 		t.Errorf("plane consumed randomness for p=0 rules: next draw %v, want %v", got, want)
+	}
+}
+
+// randomSchedule builds an arbitrary valid schedule for the round-trip
+// property test, covering every rule class, every selector kind, and
+// every time granularity (s/ms/us).
+func randomSchedule(rng *sim.RNG, numMDS int) *Schedule {
+	rt := func() sim.Time {
+		// Mix granularities so all three unit printers are exercised.
+		switch rng.Intn(3) {
+		case 0:
+			return sim.Time(1+rng.Intn(30)) * sim.Second
+		case 1:
+			return sim.Time(1+rng.Intn(30000)) * sim.Millisecond
+		default:
+			return sim.Time(1 + rng.Intn(30000000))
+		}
+	}
+	win := func() (sim.Time, sim.Time) {
+		f := rt()
+		return f, f + rt()
+	}
+	sel := func() LinkSel {
+		switch rng.Intn(4) {
+		case 0:
+			return SelAll()
+		case 1:
+			return SelClient()
+		case 2:
+			return SelNode(rng.Intn(numMDS))
+		default:
+			a := rng.Intn(numMDS)
+			b := (a + 1 + rng.Intn(numMDS-1)) % numMDS
+			return SelPair(a, b)
+		}
+	}
+	s := &Schedule{}
+	for i := rng.Intn(3); i > 0; i-- {
+		s.Crashes = append(s.Crashes, NodeEvent{At: rt(), Node: rng.Intn(numMDS)})
+	}
+	for i := rng.Intn(3); i > 0; i-- {
+		s.Recovers = append(s.Recovers, NodeEvent{At: rt(), Node: rng.Intn(numMDS)})
+	}
+	for i := rng.Intn(3); i > 0; i-- {
+		s.Drops = append(s.Drops, DropRule{Sel: sel(), P: rng.Float64()})
+	}
+	for i := rng.Intn(3); i > 0; i-- {
+		f, to := win()
+		s.Lags = append(s.Lags, LagRule{Sel: sel(), From: f, To: to, Extra: rt()})
+	}
+	for i := rng.Intn(3); i > 0; i-- {
+		f, to := win()
+		s.Slows = append(s.Slows, SlowWindow{From: f, To: to, Node: rng.Intn(numMDS), Factor: 1 + 7*rng.Float64()})
+	}
+	for i := rng.Intn(2); i > 0; i-- {
+		f, to := win()
+		half := 1 + rng.Intn(numMDS-1)
+		perm := rng.Perm(numMDS)
+		s.Partitions = append(s.Partitions, Partition{
+			From: f, To: to,
+			A: append([]int(nil), perm[:half]...),
+			B: append([]int(nil), perm[half:]...),
+		})
+	}
+	return s
+}
+
+// TestStringRoundTripProperty is the satellite-1 guarantee: for any
+// schedule — parsed from the DSL or built programmatically (as the
+// chaos generator and shrinker do) — String() emits canonical DSL that
+// ParseSchedule turns back into a structurally identical schedule. That
+// makes every shrunk repro loadable via `mdsim -faults` verbatim.
+func TestStringRoundTripProperty(t *testing.T) {
+	const numMDS = 6
+	rng := sim.NewStream(20260806, "fault-roundtrip")
+	for i := 0; i < 500; i++ {
+		s := randomSchedule(rng, numMDS)
+		text := s.String()
+		back, err := ParseSchedule(text)
+		if err != nil {
+			t.Fatalf("iter %d: reparse of %q: %v", i, text, err)
+		}
+		back.src = s.src // Source is carrier metadata, not structure.
+		if !reflect.DeepEqual(s, back) {
+			t.Fatalf("iter %d: round trip changed the schedule\n text: %q\n  was: %+v\n  got: %+v",
+				i, text, s, back)
+		}
+		if again := back.String(); again != text {
+			t.Fatalf("iter %d: String not a fixpoint: %q then %q", i, text, again)
+		}
+		if err := back.Validate(numMDS); err != nil {
+			t.Fatalf("iter %d: reparsed schedule invalid: %v", i, err)
+		}
+	}
+}
+
+// TestStringRoundTripParsed: DSL text → parse → print → parse must be
+// structurally stable too, including windowed crash shorthand (which
+// canonicalises into separate crash/recover events) and sub-second
+// times.
+func TestStringRoundTripParsed(t *testing.T) {
+	srcs := []string{
+		"crash@30s-45s:mds3",
+		"crash@500ms:mds0,recover@250us:mds0",
+		"drop@0.015:link2-5,drop@1e-05:all,lag@1500ms-2s:client+750us",
+		"slow@5s-15s:mds2x2.5,partition@60s-90s:{0.2|1.3}",
+		"",
+	}
+	for _, src := range srcs {
+		s, err := ParseSchedule(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := s.String()
+		back, err := ParseSchedule(text)
+		if err != nil {
+			t.Fatalf("%q: reparse of %q: %v", src, text, err)
+		}
+		back.src = s.src
+		if !reflect.DeepEqual(s, back) {
+			t.Errorf("%q: round trip via %q changed schedule", src, text)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s, err := ParseSchedule("crash@30s:mds1,partition@10s-20s:{0|1.2}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	c.Crashes[0].Node = 2
+	c.Partitions[0].A[0] = 9
+	if s.Crashes[0].Node != 1 || s.Partitions[0].A[0] != 0 {
+		t.Error("Clone shares memory with the original")
+	}
+	if s.NumRules() != 2 || c.NumRules() != 2 {
+		t.Errorf("NumRules = %d / %d, want 2", s.NumRules(), c.NumRules())
 	}
 }
 

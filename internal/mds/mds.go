@@ -1347,6 +1347,15 @@ func (m *MDS) ImportSubtree(root *namespace.Inode, entries []*cache.Entry) {
 				if _, err := m.cache.InsertPath(e.Ino, e.Class, false); err != nil {
 					m.cache.InsertDetached(e.Ino, e.Class, false)
 				}
+				// A migrated replica now lives here: record this node in
+				// the inode's replica set. The exporter's bit stays until
+				// its own eviction, matching the bulk-removal rule. (Found
+				// by chaos fuzzing: crash-driven re-delegations migrated
+				// Replica entries whose replica sets named only the old
+				// holders.)
+				if e.Class == cache.Replica {
+					partition.TagsOf(e.Ino).SetReplica(m.id)
+				}
 			}
 		}
 	})
@@ -1370,6 +1379,23 @@ func (m *MDS) EvictSubtree(root *namespace.Inode) {
 // waiter list and hang forever.
 func (m *MDS) Fail() {
 	m.failed = true
+	// A crash loses volatile memory: the whole cache goes (silently —
+	// a dead node sends no evict notices) and so do the absorbed write
+	// maxima. Shed the per-inode bits naming this node as they go, or a
+	// later recovery would resurrect replica-set and unflushed-writer
+	// entries for copies that no longer exist. (Found by chaos fuzzing:
+	// a crash-recovery schedule left the recovered node serving stale
+	// Replica entries absent from their inodes' replica sets.)
+	m.cache.Clear(func(e *cache.Entry) {
+		partition.TagsOf(e.Ino).ClearReplica(m.id)
+	})
+	tree := m.cluster.Tree()
+	for id := range m.sizePending {
+		if ino, ok := tree.ByID(id); ok {
+			m.clearUnflushed(ino)
+		}
+	}
+	m.sizePending = make(map[namespace.InodeID]int64)
 	m.pending = make(map[namespace.InodeID][]pendingCall)
 	m.pendingDir = make(map[namespace.InodeID][]pendingCall)
 	if m.pendingFwd != nil {

@@ -67,6 +67,13 @@ func (t *Tree) ByID(id InodeID) (*Inode, bool) {
 // Len returns the total number of live inodes.
 func (t *Tree) Len() int { return t.NumFiles + t.NumDirs }
 
+// MaxID returns the highest inode ID allocated so far. IDs are never
+// reused, so capturing this before a run gives a watermark: any live
+// inode with a larger ID was created during the run. The consistency
+// checker (internal/chaos) uses it to scope its dirstore cross-check to
+// run-created entries.
+func (t *Tree) MaxID() InodeID { return t.nextID }
+
 // Mkdir creates a directory named name under parent.
 func (t *Tree) Mkdir(parent *Inode, name string) (*Inode, error) {
 	return t.add(parent, name, Dir)

@@ -374,3 +374,45 @@ func TestSubtreeTableAccessors(t *testing.T) {
 		t.Fatal("root assigned without delegation")
 	}
 }
+
+// TestSubtreeTableCheckConsistency: a healthy table passes; each way
+// the assign/mirror pair can diverge is caught.
+func TestSubtreeTableCheckConsistency(t *testing.T) {
+	fresh := func() (*SubtreeTable, *namespace.Inode, *namespace.Inode) {
+		tr, usr, local := smallTree(t)
+		tab := NewSubtreeTable(3)
+		_ = tab.Delegate(tr.Root, 0)
+		_ = tab.Delegate(usr, 1)
+		_ = tab.Delegate(local, 2)
+		return tab, usr, local
+	}
+
+	tab, _, _ := fresh()
+	if err := tab.CheckConsistency(); err != nil {
+		t.Fatalf("healthy table flagged: %v", err)
+	}
+
+	tab, usr, _ := fresh()
+	tab.assign[usr] = 7 // out of range behind the API's back
+	if err := tab.CheckConsistency(); err == nil {
+		t.Fatal("out-of-range assignment not caught")
+	}
+
+	tab, usr, _ = fresh()
+	delete(tab.byMDS[1], usr) // assigned but not mirrored
+	if err := tab.CheckConsistency(); err == nil {
+		t.Fatal("missing mirror entry not caught")
+	}
+
+	tab, usr, _ = fresh()
+	tab.byMDS[2][usr] = true // mirrored under two nodes at once
+	if err := tab.CheckConsistency(); err == nil {
+		t.Fatal("double-mirrored root not caught")
+	}
+
+	tab, _, local := fresh()
+	delete(tab.assign, local) // mirror entry with no assignment
+	if err := tab.CheckConsistency(); err == nil {
+		t.Fatal("orphaned mirror entry not caught")
+	}
+}

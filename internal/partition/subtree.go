@@ -133,6 +133,39 @@ func (t *SubtreeTable) RootsOf(mds int) []*namespace.Inode {
 // partition's complexity, which the balancer tries to keep low.
 func (t *SubtreeTable) NumDelegations() int { return len(t.assign) }
 
+// CheckConsistency verifies the table's structural invariants: every
+// assignment names an in-range node and a directory root, and the
+// per-node mirror (byMDS) agrees exactly with the assignment map — so
+// authority really is a partition, with every delegated root owned by
+// exactly one node. The chaos checker runs this after every fuzzed run.
+func (t *SubtreeTable) CheckConsistency() error {
+	mirrored := 0
+	for root, mds := range t.assign {
+		if mds < 0 || mds >= t.n {
+			return fmt.Errorf("partition: root %s assigned to out-of-range mds %d", root, mds)
+		}
+		if !root.IsDir() {
+			return fmt.Errorf("partition: delegated root %s is not a directory", root)
+		}
+		if !t.byMDS[mds][root] {
+			return fmt.Errorf("partition: root %s assigned to mds %d but missing from its mirror", root, mds)
+		}
+	}
+	for mds, roots := range t.byMDS {
+		for root := range roots {
+			mirrored++
+			if got, ok := t.assign[root]; !ok || got != mds {
+				return fmt.Errorf("partition: mirror lists root %s under mds %d, assign says %d (present=%v)",
+					root, mds, got, ok)
+			}
+		}
+	}
+	if mirrored != len(t.assign) {
+		return fmt.Errorf("partition: %d mirror entries for %d assignments", mirrored, len(t.assign))
+	}
+	return nil
+}
+
 // InitialPartition seeds the table the way the paper's simulations do
 // (§5.1): "hashing directories near the root of the hierarchy" — every
 // directory at depth <= maxDepth is assigned by a hash of its path,

@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"sort"
+
 	"dynmds/internal/dirstore"
 	"dynmds/internal/namespace"
 )
@@ -73,4 +75,19 @@ func (d *DirObjects) Snapshot(dir namespace.InodeID) *dirstore.Tree {
 func (d *DirObjects) Object(dir namespace.InodeID) (*dirstore.Tree, bool) {
 	t, ok := d.trees[dir]
 	return t, ok
+}
+
+// ForEach visits every materialised directory object in ascending
+// directory-ID order, so iteration is deterministic. The chaos
+// consistency checker uses it to cross-check dirstore records against
+// the namespace.
+func (d *DirObjects) ForEach(fn func(dir namespace.InodeID, t *dirstore.Tree)) {
+	ids := make([]namespace.InodeID, 0, len(d.trees))
+	for id := range d.trees {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		fn(id, d.trees[id])
+	}
 }

@@ -20,6 +20,12 @@ go run ./cmd/mdsim -fig 2 -quick -net-model queued
 # reduced scale.
 go run -race ./cmd/mdsim -fig avail -quick
 
+# Chaos fuzz budget under the race detector: 50 fixed-seed random
+# fault schedules, each against all five strategies, every finished
+# run checked by simfsck. Any invariant violation exits non-zero (and
+# prints a shrunk minimal repro with its replay line).
+go run -race ./cmd/mdsim -chaos-runs 50 -chaos-seed 1
+
 # Bad knobs must fail fast with a usage error, not start a simulation.
 if go run ./cmd/mdsim -net-model bogus -fig 2 -quick 2>/dev/null; then
     echo "ci: unknown -net-model was accepted" >&2
@@ -30,6 +36,8 @@ if go run ./cmd/mdsim -faults 'explode@1s:mds0' 2>/dev/null; then
     exit 1
 fi
 
-# Perf report (quick scale in CI; regenerate the committed BENCH_4.json
-# with a full-scale run: `go run ./cmd/mdsim -bench-json BENCH_4.json`).
-go run ./cmd/mdsim -bench-json BENCH_4.quick.json -quick
+# Perf report (quick scale in CI; regenerate the committed BENCH_5.json
+# with a full-scale run: `go run ./cmd/mdsim -bench-json BENCH_5.json`).
+# Includes the chaos budget's pass/shrink stats; a chaos violation
+# fails the bench.
+go run ./cmd/mdsim -bench-json BENCH_5.quick.json -quick
