@@ -57,6 +57,7 @@ func run() int {
 	chaosIntensity := flag.Float64("chaos-intensity", 1, "chaos generator intensity (scales fault counts and magnitudes)")
 	linkBW := flag.Float64("link-bw", 0, "queued-model link bandwidth in bytes per simulated second (0 = default)")
 	workers := flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "per-run shard count for the conservative parallel engine (0 = serial); workers x shards is capped at GOMAXPROCS")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -76,9 +77,19 @@ func run() int {
 			return 2
 		}
 	}
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "mdsim: -shards must be >= 0, got %d\n", *shards)
+		flag.Usage()
+		return 2
+	}
+	if *shards > runtime.GOMAXPROCS(0) {
+		fmt.Fprintf(os.Stderr, "mdsim: warning: -shards %d exceeds %d cores; expect no speedup\n",
+			*shards, runtime.GOMAXPROCS(0))
+	}
 
 	harness.SetSnapshotSharing(*share)
 	harness.SetSweepWorkers(*workers)
+	harness.SetShards(*shards)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -116,7 +127,7 @@ func run() int {
 	}
 
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, *seed, *quick, *share, *netModel); err != nil {
+		if err := runBenchJSON(*benchJSON, *seed, *quick, *share, *netModel, *shards); err != nil {
 			fmt.Fprintln(os.Stderr, "mdsim:", err)
 			return 1
 		}
@@ -129,6 +140,7 @@ func run() int {
 			Schedules: *chaosRuns,
 			Intensity: *chaosIntensity,
 			NetModel:  *netModel,
+			Shards:    *shards,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mdsim:", err)
@@ -160,6 +172,7 @@ func run() int {
 	cfg.NetModel = *netModel
 	cfg.LinkBandwidth = *linkBW
 	cfg.Faults = *faults
+	cfg.Shards = *shards
 	cfg.Duration = sim.FromSeconds(*dur)
 	cfg.Warmup = sim.FromSeconds(*warm)
 
@@ -213,6 +226,18 @@ type benchReport struct {
 	SimOpsPerSec float64 `json:"simops_per_sec_per_mds"`
 	HitRate      float64 `json:"hitrate"`
 
+	// Sharded-engine measurement of the same config (-shards K): zero
+	// values mean no sharded measurement was requested. Cores records
+	// GOMAXPROCS so a sub-linear (or absent) speedup on a small machine
+	// is interpretable; Speedup is serial wall over sharded wall.
+	Shards          int     `json:"shards"`
+	Cores           int     `json:"cores"`
+	ShardedNsPerOp  int64   `json:"sharded_ns_per_op,omitempty"`
+	ShardedWindows  uint64  `json:"sharded_windows,omitempty"`
+	ShardedSpeedup  float64 `json:"sharded_speedup,omitempty"`
+	ShardedHitRate  float64 `json:"sharded_hitrate,omitempty"`
+	ShardedOpsDrift float64 `json:"sharded_ops_drift,omitempty"` // |sharded-serial|/serial measured ops
+
 	ShareSnapshots bool          `json:"share_snapshots"`
 	Quick          bool          `json:"quick"`
 	NetModel       string        `json:"net_model"`
@@ -260,7 +285,7 @@ type sweepReport struct {
 // warmup and three times measured, then the full Figure 2 and Figure 4
 // sweeps, and writes wall time, allocation, event-throughput, and
 // setup-vs-run aggregates as JSON.
-func runBenchJSON(path string, seed int64, quick, share bool, netModel string) error {
+func runBenchJSON(path string, seed int64, quick, share bool, netModel string, shards int) error {
 	cfg := cluster.Default()
 	cfg.Seed = seed
 	cfg.Strategy = cluster.StratDynamic
@@ -273,10 +298,10 @@ func runBenchJSON(path string, seed int64, quick, share bool, netModel string) e
 	cfg.Duration = 10 * sim.Second
 	cfg.Warmup = 4 * sim.Second
 
-	run := func() (time.Duration, uint64, uint64, *cluster.Result, error) {
+	run := func() (time.Duration, uint64, uint64, *cluster.Result, *cluster.Cluster, error) {
 		cl, err := cluster.New(cfg)
 		if err != nil {
-			return 0, 0, 0, nil, err
+			return 0, 0, 0, nil, nil, err
 		}
 		runtime.GC()
 		var before, after runtime.MemStats
@@ -285,10 +310,10 @@ func runBenchJSON(path string, seed int64, quick, share bool, netModel string) e
 		res := cl.Run()
 		wall := time.Since(start)
 		runtime.ReadMemStats(&after)
-		return wall, after.Mallocs - before.Mallocs, cl.Eng.Executed, res, nil
+		return wall, after.Mallocs - before.Mallocs, cl.ExecutedEvents(), res, cl, nil
 	}
 
-	if _, _, _, _, err := run(); err != nil { // warmup
+	if _, _, _, _, _, err := run(); err != nil { // warmup
 		return err
 	}
 	const runs = 3
@@ -299,7 +324,7 @@ func runBenchJSON(path string, seed int64, quick, share bool, netModel string) e
 		lastRes  *cluster.Result
 	)
 	for i := 0; i < runs; i++ {
-		wall, allocs, events, res, err := run()
+		wall, allocs, events, res, _, err := run()
 		if err != nil {
 			return err
 		}
@@ -308,6 +333,30 @@ func runBenchJSON(path string, seed int64, quick, share bool, netModel string) e
 		eventSum += events
 		lastRes = res
 		fmt.Printf("run %d: %v, %d allocs, %d events\n", i+1, wall.Round(time.Millisecond), allocs, events)
+	}
+
+	// Sharded measurement of the same config, when requested: serial
+	// wall over sharded wall is the headline speedup.
+	var shardedWall time.Duration
+	var shardedRes *cluster.Result
+	var shardedWindows uint64
+	if shards > 1 {
+		cfg.Shards = shards
+		if _, _, _, _, _, err := run(); err != nil { // warmup
+			return err
+		}
+		for i := 0; i < runs; i++ {
+			wall, _, events, res, cl, err := run()
+			if err != nil {
+				return err
+			}
+			shardedWall += wall
+			shardedRes = res
+			shardedWindows = cl.Windows()
+			fmt.Printf("sharded run %d (K=%d): %v, %d events, %d windows\n",
+				i+1, shards, wall.Round(time.Millisecond), events, cl.Windows())
+		}
+		cfg.Shards = 0
 	}
 
 	rep := benchReport{
@@ -320,6 +369,8 @@ func runBenchJSON(path string, seed int64, quick, share bool, netModel string) e
 		AllocsPerEv:    float64(allocSum) / float64(eventSum),
 		SimOpsPerSec:   lastRes.AvgThroughput,
 		HitRate:        lastRes.HitRate,
+		Shards:         shards,
+		Cores:          runtime.GOMAXPROCS(0),
 		ShareSnapshots: share,
 		Quick:          quick,
 		NetModel:       lastRes.Net.Model,
@@ -328,6 +379,18 @@ func runBenchJSON(path string, seed int64, quick, share bool, netModel string) e
 			Bytes:         lastRes.Net.Bytes,
 			MaxQueueDepth: lastRes.Net.MaxQueueDepth,
 		},
+	}
+	if shardedRes != nil {
+		rep.ShardedNsPerOp = shardedWall.Nanoseconds() / runs
+		rep.ShardedWindows = shardedWindows
+		rep.ShardedSpeedup = float64(wallSum) / float64(shardedWall)
+		rep.ShardedHitRate = shardedRes.HitRate
+		serialOps := float64(lastRes.MeasuredOps)
+		if serialOps > 0 {
+			rep.ShardedOpsDrift = (float64(shardedRes.MeasuredOps) - serialOps) / serialOps
+		}
+		fmt.Printf("sharded K=%d on %d cores: %.2fx vs serial (ops drift %+.2f%%)\n",
+			shards, rep.Cores, rep.ShardedSpeedup, rep.ShardedOpsDrift*100)
 	}
 	for c := 0; c < simnet.NumClasses; c++ {
 		cs := lastRes.Net.PerClass[c]

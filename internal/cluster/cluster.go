@@ -131,6 +131,18 @@ type Config struct {
 	WrapGenerator    func(clientID int, g workload.Generator) workload.Generator
 	ReplaceGenerator func(clientID int) workload.Generator
 
+	// Shards, when > 1, runs the simulation on the conservative parallel
+	// (Chandy–Misra style) sharded executor: MDS endpoints and clients
+	// are partitioned across that many per-shard event heaps advancing
+	// in lockstep lookahead windows derived from the fabric's minimum
+	// link latency. Results are bit-reproducible for a fixed shard
+	// count; 0 or 1 uses the serial engine. Incompatible with a shared
+	// OSD pool. When a fault schedule is active the same windowed
+	// execution runs single-threaded (the fault plane's RNG and the
+	// suspicion protocol's mid-window reassignment are shared state),
+	// still deterministic.
+	Shards int
+
 	Duration     sim.Time
 	Warmup       sim.Time
 	SeriesBucket sim.Time
@@ -210,6 +222,31 @@ type Cluster struct {
 	warmHits, warmMisses                   uint64
 	warmTaken                              bool
 
+	// Sharded (conservative parallel) execution state. group is nil when
+	// the effective shard count is <= 1 and everything above runs on the
+	// serial engine exactly as before.
+	group        *sim.ShardGroup
+	shardEngines []*sim.Engine
+	shardOf      []int // MDS id -> shard
+	numShards    int   // effective count (0 = serial)
+	// table is the strategy's subtree table when it has one; frozen
+	// during windows so Authority walks are read-only, re-memoized at
+	// barriers whenever the assignment epoch moves.
+	table      *partition.SubtreeTable
+	tableEpoch uint64
+	// Per-shard metric lanes: each is written by exactly one shard
+	// during windows and merged into the public aggregates (in shard
+	// order, guarded by lanesMerged) when results are collected.
+	// Arrival/latency lanes are indexed by the client's shard, forward
+	// lanes by the forwarding node's shard. replyReturns parks replies
+	// consumed on a client shard until the barrier hands them back to
+	// the serving node's pool.
+	arrivalLanes []*metrics.Series
+	latencyLanes []*metrics.Histogram
+	forwardLanes []*metrics.Series
+	replyReturns [][]*msg.Reply
+	lanesMerged  bool
+
 	// setupWall is the wall-clock cost of New (generation or thaw plus
 	// cluster assembly). The harness may add shared-snapshot generation
 	// time for the run that paid it.
@@ -257,6 +294,20 @@ func New(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	shards := cfg.Shards
+	if shards > cfg.NumMDS {
+		shards = cfg.NumMDS
+	}
+	if shards > 1 {
+		if cfg.OSDs > 0 {
+			return nil, fmt.Errorf("cluster: sharded execution is incompatible with a shared OSD pool")
+		}
+		if model.Lookahead() <= 0 {
+			return nil, fmt.Errorf("cluster: sharded execution needs a positive minimum link latency for lookahead")
+		}
+	} else {
+		shards = 0
+	}
 	c := &Cluster{
 		Cfg:       cfg,
 		Eng:       eng,
@@ -265,6 +316,36 @@ func New(cfg Config) (*Cluster, error) {
 		Forwards:  metrics.NewSeries(cfg.SeriesBucket),
 		Arrivals:  metrics.NewSeries(cfg.SeriesBucket),
 		Latencies: metrics.NewHistogram(0.0005, 12), // 0.5 ms .. ~2 s
+		numShards: shards,
+	}
+	if shards > 1 {
+		c.shardEngines = make([]*sim.Engine, shards)
+		c.arrivalLanes = make([]*metrics.Series, shards)
+		c.latencyLanes = make([]*metrics.Histogram, shards)
+		c.forwardLanes = make([]*metrics.Series, shards)
+		for i := range c.shardEngines {
+			c.shardEngines[i] = sim.NewEngine()
+			c.arrivalLanes[i] = metrics.NewSeries(cfg.SeriesBucket)
+			c.latencyLanes[i] = metrics.NewHistogram(0.0005, 12)
+			c.forwardLanes[i] = metrics.NewSeries(cfg.SeriesBucket)
+		}
+		c.replyReturns = make([][]*msg.Reply, shards)
+		// Contiguous blocks of MDS nodes per shard: authority locality
+		// in the subtree partition keeps most hops intra-shard.
+		c.shardOf = make([]int, cfg.NumMDS)
+		base, rem := cfg.NumMDS/shards, cfg.NumMDS%shards
+		node := 0
+		for s := 0; s < shards; s++ {
+			cnt := base
+			if s < rem {
+				cnt++
+			}
+			for j := 0; j < cnt; j++ {
+				c.shardOf[node] = s
+				node++
+			}
+		}
+		c.Fab.Shard(shards, c.shardOf, c.shardEngines)
 	}
 	if !sched.Empty() {
 		c.sched = sched
@@ -305,13 +386,21 @@ func New(cfg Config) (*Cluster, error) {
 			nodeCfg.Storage.Pool = c.Pool
 			nodeCfg.Storage.PoolOwner = i
 		}
-		node := mds.New(i, eng, nodeCfg, c.Strategy, c.Traffic, c)
+		nodeEng := eng
+		if c.numShards > 1 {
+			nodeEng = c.shardEngines[c.shardOf[i]]
+		}
+		node := mds.New(i, nodeEng, nodeCfg, c.Strategy, c.Traffic, c)
 		series := metrics.NewSeries(cfg.SeriesBucket)
 		c.RepliesPerNode = append(c.RepliesPerNode, series)
 		node.OnReply = func(id int, req *msg.Request, now sim.Time) {
 			c.RepliesPerNode[id].Observe(now, 1)
 		}
 		node.OnForward = func(id int, req *msg.Request, now sim.Time) {
+			if c.numShards > 1 {
+				c.forwardLanes[c.shardOf[id]].Observe(now, 1)
+				return
+			}
 			c.Forwards.Observe(now, 1)
 		}
 		c.Nodes = append(c.Nodes, node)
@@ -330,8 +419,59 @@ func New(cfg Config) (*Cluster, error) {
 	if err := c.buildClients(); err != nil {
 		return nil, err
 	}
+
+	if c.numShards > 1 {
+		// Materialize every inode's tag block and freeze authority
+		// resolution while still single-threaded: windows read tags and
+		// walk authority concurrently, so neither may allocate or
+		// memoize mid-window. The memo pass re-runs at barriers when a
+		// delegation bumps the table epoch.
+		snap.Tree.Walk(func(n *namespace.Inode) bool {
+			_ = partition.TagsOf(n)
+			return true
+		})
+		switch s := c.Strategy.(type) {
+		case *core.DynamicSubtree:
+			c.table = s.Table
+		case *partition.StaticSubtree:
+			c.table = s.Table
+		}
+		if c.table != nil {
+			c.table.SetFrozen(true)
+			c.table.Memoize(snap.Tree.Root)
+			c.tableEpoch = c.table.Epoch()
+		}
+		// Fault schedules share the plane's RNG and mutate the table
+		// mid-window (suspicion -> reassignment), so run the same
+		// windowed execution on one goroutine in that mode.
+		c.group = sim.NewShardGroup(c.shardEngines, eng, c.Fab.Lookahead(), sched.Empty(), c.barrier)
+	}
 	c.setupWall = time.Since(setupStart)
 	return c, nil
+}
+
+// barrier is the sharded executor's window boundary: merge cross-shard
+// mail, apply deferred shared-state mutations, dispatch global work
+// (balancer rounds, fault events, warmup snapshot) due by now, merge
+// any mail that work produced, refresh frozen authority memos if the
+// partition moved, and hand consumed replies back to their pools.
+func (c *Cluster) barrier(now sim.Time) {
+	c.Fab.DrainMail()
+	c.group.ApplyDeferred()
+	c.Eng.RunUntil(now)
+	c.Fab.DrainMail()
+	if c.table != nil && c.table.Epoch() != c.tableEpoch {
+		c.tableEpoch = c.table.Epoch()
+		c.table.Memoize(c.Snap.Tree.Root)
+	}
+	for s := range c.replyReturns {
+		buf := c.replyReturns[s]
+		for i, rep := range buf {
+			c.Nodes[rep.ServedBy].TakeReply(rep)
+			buf[i] = nil
+		}
+		c.replyReturns[s] = buf[:0]
+	}
 }
 
 // buildNetModel constructs the fabric latency model from the config;
@@ -451,7 +591,11 @@ func (c *Cluster) buildClients() error {
 			gen = cfg.WrapGenerator(i, gen)
 		}
 		rng := sim.NewStream(cfg.Seed, fmt.Sprintf("client-%d", i))
-		cl := client.New(i, c.Eng, cfg.Client, rng, c, c.Strategy, gen)
+		cliEng := c.Eng
+		if c.numShards > 1 {
+			cliEng = c.shardEngines[i%c.numShards]
+		}
+		cl := client.New(i, cliEng, cfg.Client, rng, c, c.Strategy, gen)
 		if c.CompletedOps != nil {
 			cl.OnComplete = c.observeComplete
 		}
@@ -473,8 +617,18 @@ func (c *Cluster) Tree() *namespace.Tree { return c.Snap.Tree }
 // node and the client edge.
 func (c *Cluster) Fabric() *net.Fabric { return c.Fab }
 
-// Deliver implements mds.Cluster: route the reply to its client.
+// Deliver implements mds.Cluster: route the reply to its client. When
+// sharded this runs on the client's shard; the consumed reply is parked
+// in that shard's return buffer until the barrier recycles it into the
+// serving node's pool (the two may live on different shards).
 func (c *Cluster) Deliver(rep *msg.Reply) {
+	if c.numShards > 1 {
+		shard := rep.Req.Client % c.numShards
+		c.latencyLanes[shard].Observe(rep.Latency().Seconds())
+		c.Clients[rep.Req.Client].OnReply(rep)
+		c.replyReturns[shard] = append(c.replyReturns[shard], rep)
+		return
+	}
 	c.Latencies.Observe(rep.Latency().Seconds())
 	c.Clients[rep.Req.Client].OnReply(rep)
 }
@@ -484,9 +638,29 @@ func (c *Cluster) Deliver(rep *msg.Reply) {
 // (and their hint slices) may be pooled.
 func (c *Cluster) DeliverConsumesReply() bool { return true }
 
+// ClientShard tells the MDS which shard runs a client's event loop
+// (clients are striped round-robin across shards).
+func (c *Cluster) ClientShard(client int) int {
+	if c.numShards > 1 {
+		return client % c.numShards
+	}
+	return 0
+}
+
+// RoutesReplies tells the MDS that consumed replies return to its pool
+// at barriers (via TakeReply) rather than inline from Deliver.
+func (c *Cluster) RoutesReplies() bool { return c.numShards > 1 }
+
 // Send implements client.Network: the client→MDS hop enters the fabric
-// at the client edge.
+// at the client edge — specifically the sending client's shard's slice
+// of it, so concurrent shards never share an edge-row counter.
 func (c *Cluster) Send(i int, req *msg.Request) {
+	if c.numShards > 1 {
+		shard := req.Client % c.numShards
+		c.arrivalLanes[shard].Observe(c.shardEngines[shard].Now(), 1)
+		c.Fab.SendFromEdge(shard, net.Request, i, net.Bytes(net.Request), nodeReceive, c.Nodes[i], req)
+		return
+	}
 	c.Arrivals.Observe(c.Eng.Now(), 1)
 	c.Fab.Send(net.Request, c.Fab.ClientEdge(), i, net.Bytes(net.Request), nodeReceive, c.Nodes[i], req)
 }
@@ -525,9 +699,33 @@ func (c *Cluster) Run() *Result {
 		c.Eng.At(c.Cfg.Warmup, c.snapshotWarmup)
 	}
 	c.scheduleFaults()
-	c.Eng.RunUntil(c.Cfg.Duration)
+	if c.group != nil {
+		c.group.Run(c.Cfg.Duration)
+	} else {
+		c.Eng.RunUntil(c.Cfg.Duration)
+	}
 	c.runWall = time.Since(runStart)
 	return c.Collect()
+}
+
+// ExecutedEvents returns events dispatched across every engine in the
+// run — the serial engine alone, or the global engine plus all shards.
+func (c *Cluster) ExecutedEvents() uint64 {
+	if c.group != nil {
+		return c.group.ExecutedEvents()
+	}
+	return c.Eng.Executed
+}
+
+// NumShards returns the effective shard count (0 when serial).
+func (c *Cluster) NumShards() int { return c.numShards }
+
+// Windows returns the number of lookahead windows executed (0 serial).
+func (c *Cluster) Windows() uint64 {
+	if c.group == nil {
+		return 0
+	}
+	return c.group.Windows
 }
 
 // Result aggregates a finished run.
@@ -593,6 +791,18 @@ type Result struct {
 
 // Collect assembles the Result (callable after Run).
 func (c *Cluster) Collect() *Result {
+	if c.numShards > 1 && !c.lanesMerged {
+		c.lanesMerged = true
+		for _, s := range c.arrivalLanes {
+			c.Arrivals.Merge(s)
+		}
+		for _, s := range c.forwardLanes {
+			c.Forwards.Merge(s)
+		}
+		for _, h := range c.latencyLanes {
+			c.Latencies.Merge(h)
+		}
+	}
 	cfg := c.Cfg
 	window := cfg.Duration - cfg.Warmup
 	if !c.warmTaken {

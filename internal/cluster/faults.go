@@ -153,6 +153,10 @@ func (c *Cluster) Drain() {
 	for _, cl := range c.Clients {
 		cl.Stop()
 	}
+	if c.group != nil {
+		c.group.Run(c.Cfg.Duration + 2*sim.Second)
+		return
+	}
 	c.Eng.RunUntil(c.Cfg.Duration + 2*sim.Second)
 }
 

@@ -23,7 +23,7 @@ type Node interface {
 	// ImportSubtree installs migrated cache state: the double-commit
 	// transfer hands the importer "all active state and cached
 	// metadata" so it need not re-read it from disk (§4.3).
-	ImportSubtree(root *namespace.Inode, entries []*cache.Entry)
+	ImportSubtree(root *namespace.Inode, entries []Migrated)
 	// EvictSubtree discards the exporter's cached state for the
 	// migrated subtree.
 	EvictSubtree(root *namespace.Inode)
@@ -75,6 +75,15 @@ func DefaultBalancerConfig() BalancerConfig {
 		MinSubtreePop:         1,
 		DecisionDelay:         sim.Millisecond,
 	}
+}
+
+// Migrated is a by-value snapshot of one cache entry handed across a
+// migration. The exporter recycles its *cache.Entry objects into its
+// own pool right after EvictSubtree, so importers must never retain
+// pointers into the exporter's cache — only the inode and class travel.
+type Migrated struct {
+	Ino   *namespace.Inode
+	Class cache.Class
 }
 
 // Migration records one authority transfer, for introspection and tests.
@@ -426,7 +435,11 @@ func entryPop(now sim.Time, e *cache.Entry) float64 {
 // table is updated, the importer receives the exporter's cached state,
 // and the exporter discards it.
 func (b *Balancer) transfer(now sim.Time, root *namespace.Inode, src, dst int, redelegation bool) {
-	entries := b.nodes[src].Cache().EntriesUnder(root)
+	live := b.nodes[src].Cache().EntriesUnder(root)
+	entries := make([]Migrated, len(live))
+	for i, e := range live {
+		entries[i] = Migrated{Ino: e.Ino, Class: e.Class}
+	}
 	if err := b.dyn.Table.Delegate(root, dst); err != nil {
 		return
 	}

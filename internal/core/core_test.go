@@ -166,7 +166,7 @@ type fakeNode struct {
 func (f *fakeNode) ID() int                   { return f.id }
 func (f *fakeNode) Load(now sim.Time) float64 { return f.load }
 func (f *fakeNode) Cache() *cache.Cache       { return f.c }
-func (f *fakeNode) ImportSubtree(root *namespace.Inode, entries []*cache.Entry) {
+func (f *fakeNode) ImportSubtree(root *namespace.Inode, entries []Migrated) {
 	f.imports++
 	for _, e := range entries {
 		if _, err := f.c.InsertPath(e.Ino, e.Class, false); err != nil {
@@ -294,7 +294,11 @@ func TestBalancerPrefersRedelegatingImports(t *testing.T) {
 		src = (src + 1) % n
 		_ = d.Table.Delegate(homes[0], src)
 	}
-	entries := fakes[src].c.EntriesUnder(homes[0])
+	live := fakes[src].c.EntriesUnder(homes[0])
+	entries := make([]Migrated, len(live))
+	for i, e := range live {
+		entries[i] = Migrated{Ino: e.Ino, Class: e.Class}
+	}
 	_ = d.Table.Delegate(homes[0], 1)
 	fakes[1].ImportSubtree(homes[0], entries)
 	b.imports[homes[0]] = src

@@ -89,6 +89,57 @@ func (tc *TrafficControl) Decide(now sim.Time, ino *namespace.Inode) Decision {
 	return Keep
 }
 
+// Peek computes the policy decision without mutating anything: the
+// popularity counter is read with DecayCounter.Peek and the replication
+// flag is left untouched. Sharded windows use Peek so concurrent shards
+// never write shared inode state mid-window; the matching flag flip and
+// statistics land through Commit at the next barrier. When the counter
+// was bumped at the same instant (the serial path defers nothing, so
+// the Add has already run), Peek returns exactly what Decide would.
+func (tc *TrafficControl) Peek(now sim.Time, ino *namespace.Inode) Decision {
+	if tc == nil || !tc.Enabled {
+		return Keep
+	}
+	tags := partition.TagsOf(ino)
+	if tags.Pop == nil {
+		return Keep
+	}
+	v := tags.Pop.Peek(now)
+	switch {
+	case !tags.ReplicatedAll && v >= tc.ReplicateThreshold:
+		return Replicate
+	case tags.ReplicatedAll && v < tc.UnreplicateThreshold:
+		return Consolidate
+	}
+	return Keep
+}
+
+// Commit applies a previously peeked decision: it flips the inode's
+// replication flag and counts the transition. The flag is re-checked so
+// duplicate commits for the same inode within one window collapse into
+// one transition. Returns whether the flip happened.
+func (tc *TrafficControl) Commit(d Decision, ino *namespace.Inode) bool {
+	if tc == nil || !tc.Enabled || d == Keep {
+		return false
+	}
+	tags := partition.TagsOf(ino)
+	switch d {
+	case Replicate:
+		if tags.ReplicatedAll {
+			return false
+		}
+		tags.ReplicatedAll = true
+		tc.Replications++
+	case Consolidate:
+		if !tags.ReplicatedAll {
+			return false
+		}
+		tags.ReplicatedAll = false
+		tc.Consolidations++
+	}
+	return true
+}
+
 // Replicated reports whether replies should advertise the item as
 // available cluster-wide.
 func (tc *TrafficControl) Replicated(ino *namespace.Inode) bool {

@@ -36,6 +36,11 @@ type ChaosOptions struct {
 	// 0 means 4.
 	ShrinkBudget int
 	MaxShrinks   int
+
+	// Shards > 1 runs every cell on the sharded executor (fault
+	// schedules force its single-goroutine windowed mode, so verdicts
+	// stay deterministic); 0 or 1 uses the serial engine.
+	Shards int
 }
 
 func (o *ChaosOptions) defaults() {
@@ -129,6 +134,7 @@ func chaosConfig(opt ChaosOptions, strategy, faults string) cluster.Config {
 	cfg.Warmup = sim.Second
 	cfg.NetModel = opt.NetModel
 	cfg.Faults = faults
+	cfg.Shards = opt.Shards
 	return cfg
 }
 
@@ -140,6 +146,9 @@ func replayCommand(cfg cluster.Config) string {
 		cfg.MDS.CacheCapacity, cfg.Duration.Seconds(), cfg.Warmup.Seconds(), cfg.Seed)
 	if cfg.NetModel != "" {
 		fmt.Fprintf(&b, " -net-model %s", cfg.NetModel)
+	}
+	if cfg.Shards > 1 {
+		fmt.Fprintf(&b, " -shards %d", cfg.Shards)
 	}
 	if cfg.Faults != "" {
 		fmt.Fprintf(&b, " -faults '%s'", cfg.Faults)

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -30,6 +31,12 @@ type RunSpec struct {
 // other run thaws a private copy-on-write overlay over the shared base.
 func RunOne(spec RunSpec) (*cluster.Result, error) {
 	cfg := spec.Cfg
+	// Apply the process-wide shard request to runs that can use it: the
+	// shared OSD pool is incompatible with sharding, and a spec that
+	// already chose a count keeps it.
+	if k := Shards(); k > 1 && cfg.Shards == 0 && cfg.OSDs == 0 {
+		cfg.Shards = k
+	}
 	var genWall time.Duration
 	if SnapshotSharing() && cfg.Snapshot == nil {
 		key := cfg.FS
@@ -93,12 +100,45 @@ var sweepWorkers atomic.Int32
 // default (GOMAXPROCS).
 func SetSweepWorkers(n int) { sweepWorkers.Store(int32(n)) }
 
-// SweepWorkers returns the current sweep pool size.
+// sweepShards, when > 1, asks RunOne to execute every compatible run on
+// the sharded (conservative parallel) engine with that many shards.
+var sweepShards atomic.Int32
+
+// SetShards sets the per-run shard count applied by RunOne (mdsim
+// -shards). n <= 1 restores serial execution.
+func SetShards(n int) { sweepShards.Store(int32(n)) }
+
+// Shards returns the requested per-run shard count (0 or 1 = serial).
+func Shards() int { return int(sweepShards.Load()) }
+
+// clampLogOnce gates the oversubscription warning to one line per
+// process, however many sweeps run.
+var clampLogOnce sync.Once
+
+// SweepWorkers returns the current sweep pool size. When sharded runs
+// are active each run occupies Shards() cores, so the pool is capped at
+// workers × shards <= GOMAXPROCS — the shard count wins and the worker
+// pool shrinks (to a floor of one worker), logged once.
 func SweepWorkers() int {
-	if n := int(sweepWorkers.Load()); n > 0 {
-		return n
+	w := int(sweepWorkers.Load())
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
 	}
-	return runtime.GOMAXPROCS(0)
+	if k := Shards(); k > 1 {
+		budget := runtime.GOMAXPROCS(0) / k
+		if budget < 1 {
+			budget = 1
+		}
+		if w > budget {
+			clampLogOnce.Do(func() {
+				fmt.Fprintf(os.Stderr,
+					"harness: clamping sweep workers %d -> %d so workers x %d shards fit %d cores\n",
+					w, budget, k, runtime.GOMAXPROCS(0))
+			})
+			w = budget
+		}
+	}
+	return w
 }
 
 // Sweep runs all specs on a worker pool of SweepWorkers goroutines

@@ -208,6 +208,19 @@ type fetch struct {
 // implement it.
 type replyConsumer interface{ DeliverConsumesReply() bool }
 
+// clientLocator is optionally implemented by the Cluster when execution
+// is sharded: it maps a client to the shard whose engine runs it, so
+// replies are routed into the right client-edge lane. Unsharded clusters
+// need not implement it (shard 0 then means "the one engine").
+type clientLocator interface{ ClientShard(client int) int }
+
+// replyRouter is optionally implemented by the Cluster. When it reports
+// true, Deliver runs on the client's shard and parks consumed replies in
+// a per-shard return buffer; the barrier hands them back to the serving
+// node through TakeReply. mdsDeliver must then not recycle inline — that
+// would append to another shard's pool mid-window.
+type replyRouter interface{ RoutesReplies() bool }
+
 // MDS is one metadata server.
 type MDS struct {
 	id      int
@@ -218,6 +231,11 @@ type MDS struct {
 	// fab is the cluster's message fabric; every network hop this node
 	// initiates goes through it (never eng.AfterCall directly).
 	fab *net.Fabric
+	// cloc resolves a client's shard for reply routing (nil unsharded);
+	// routedReplies disables inline reply recycling in favour of the
+	// barrier's TakeReply hand-back.
+	cloc          clientLocator
+	routedReplies bool
 
 	cpu   *sim.Server
 	cache *cache.Cache
@@ -324,15 +342,24 @@ func New(id int, eng *sim.Engine, cfg Config, strat partition.Strategy, tc *core
 	if rc, ok := cl.(replyConsumer); ok && rc.DeliverConsumesReply() {
 		m.poolReplies = true
 	}
+	if loc, ok := cl.(clientLocator); ok {
+		m.cloc = loc
+	}
+	if rr, ok := cl.(replyRouter); ok && rr.RoutesReplies() {
+		m.routedReplies = true
+	}
 	// When a replica (or remote prefix) is evicted, notify its
 	// authority so it can drop the holder from the replica set and is
-	// "free to remove its own copy from memory" (§4.2).
+	// "free to remove its own copy from memory" (§4.2). The replica-set
+	// bit is shared inode state, so the clear is deferred to the barrier;
+	// a window that evicts and re-evicts can send a duplicate notice,
+	// which the authority absorbs as a counter bump.
 	m.cache.OnEvict = func(e *cache.Entry) {
 		tags := partition.TagsOf(e.Ino)
 		if !tags.HasReplica(m.id) {
 			return
 		}
-		tags.ClearReplica(m.id)
+		m.eng.Defer(clearReplicaTag, e.Ino, m)
 		auth := m.strat.Authority(e.Ino)
 		if auth == m.id {
 			return
@@ -349,6 +376,58 @@ func evictNoticeArrive(a, _ any) { a.(*MDS).Stats.EvictNoticesRecvd++ }
 // call0 adapts a bare func() to a fabric delivery continuation, for the
 // rare cold paths (write flushes, stat callbacks) that keep closures.
 func call0(a, _ any) { a.(func())() }
+
+// Deferred shared-state mutations. All writes to per-inode tags, the
+// namespace tree, and cluster-shared policy counters route through
+// Engine.Defer with one of these typed appliers: in serial execution
+// Defer calls them on the spot (bit-identical to the pre-sharding code),
+// in sharded execution they run in the deterministic barrier merge.
+
+// setReplicaTag marks b's node in inode a's replica set.
+func setReplicaTag(a, b any) {
+	partition.TagsOf(a.(*namespace.Inode)).SetReplica(b.(*MDS).id)
+}
+
+// clearReplicaTag removes b's node from inode a's replica set.
+func clearReplicaTag(a, b any) {
+	partition.TagsOf(a.(*namespace.Inode)).ClearReplica(b.(*MDS).id)
+}
+
+// bumpPop bumps inode b's popularity counter at node a.
+func bumpPop(a, b any) {
+	m := a.(*MDS)
+	partition.Popularity(b.(*namespace.Inode), m.cfg.PopHalfLife).Add(m.eng.Now(), 1)
+}
+
+// bumpFwdPop bumps inode b's forwarded-request counter at node a,
+// creating it lazily (a shared-state allocation, hence deferred).
+func bumpFwdPop(a, b any) {
+	m := a.(*MDS)
+	tags := partition.TagsOf(b.(*namespace.Inode))
+	if tags.FwdPop == nil {
+		tags.FwdPop = metrics.NewDecayCounter(m.cfg.PopHalfLife)
+	}
+	tags.FwdPop.Add(m.eng.Now(), 1)
+}
+
+// notePreemptive counts one preemptive replication on the shared policy.
+func notePreemptive(a, _ any) { a.(*MDS).tc.Preemptive++ }
+
+// tcCommitReplicate / tcCommitConsolidate apply a peeked traffic-control
+// decision to inode b's shared replication flag and counters.
+func tcCommitReplicate(a, b any) {
+	a.(*MDS).tc.Commit(core.Replicate, b.(*namespace.Inode))
+}
+
+func tcCommitConsolidate(a, b any) {
+	a.(*MDS).tc.Commit(core.Consolidate, b.(*namespace.Inode))
+}
+
+// lhApplyTag refreshes inode b's stale dual-entry ACL (Lazy Hybrid).
+func lhApplyTag(a, b any) { a.(*MDS).lh.Apply(b.(*namespace.Inode)) }
+
+// mdsApplyUpdate applies request b's namespace mutation at node a.
+func mdsApplyUpdate(a, b any) { a.(*MDS).applyUpdate(b.(*msg.Request)) }
 
 // fwdRec is one outstanding forward awaiting its ack: the destination
 // (for suspicion/exoneration) and a sequence number that invalidates
@@ -552,14 +631,17 @@ func (m *MDS) maybePreemptiveReplicate(req *msg.Request) {
 	}
 	target := req.Target
 	tags := partition.TagsOf(target)
+	m.eng.Defer(bumpFwdPop, m, target)
+	// In serial execution the Defer above already ran, so the counter
+	// exists and Peek sees the fresh bump exactly as Value did. Sharded,
+	// a counter the barrier has not yet created reads as "not flooded".
 	if tags.FwdPop == nil {
-		tags.FwdPop = metrics.NewDecayCounter(m.cfg.PopHalfLife)
-	}
-	tags.FwdPop.Add(m.eng.Now(), 1)
-	if tags.FwdPop.Value(m.eng.Now()) < m.tc.PreemptiveThreshold || m.cache.Contains(target.ID) {
 		return
 	}
-	m.tc.Preemptive++
+	if tags.FwdPop.Peek(m.eng.Now()) < m.tc.PreemptiveThreshold || m.cache.Contains(target.ID) {
+		return
+	}
+	m.eng.Defer(notePreemptive, m, nil)
 	// Pull the record from its authority and start advertising it as
 	// widely replicated; the authority's policy may consolidate later.
 	m.fetchRecord(target, cache.Replica, preemptiveInstalled, m, target)
@@ -567,9 +649,16 @@ func (m *MDS) maybePreemptiveReplicate(req *msg.Request) {
 
 func preemptiveInstalled(a, b any) {
 	m := a.(*MDS)
+	m.eng.Defer(preemptiveTagApply, m, b)
+}
+
+// preemptiveTagApply records the pulled replica in shared inode state.
+func preemptiveTagApply(a, b any) {
+	m := a.(*MDS)
 	target := b.(*namespace.Inode)
-	partition.TagsOf(target).SetReplica(m.id)
-	partition.TagsOf(target).ReplicatedAll = true
+	tags := partition.TagsOf(target)
+	tags.SetReplica(m.id)
+	tags.ReplicatedAll = true
 }
 
 // serve handles a request this node is authoritative for.
@@ -734,7 +823,7 @@ func (m *MDS) installPrefix(ino *namespace.Inode) {
 		// fall back to a detached record.
 		m.cache.InsertDetached(ino, cache.Prefix, false)
 	}
-	partition.TagsOf(ino).SetReplica(m.id)
+	m.eng.Defer(setReplicaTag, ino, m)
 }
 
 // handleFetch serves a peer's request for one inode record. fn(a, b)
@@ -878,7 +967,7 @@ func dirLoaded(x, _ any) {
 				break // parent chain evicted mid-load; stop prefetching
 			}
 			if sibClass == cache.Replica {
-				partition.TagsOf(sib).SetReplica(m.id)
+				m.eng.Defer(setReplicaTag, sib, m)
 			}
 		}
 	}
@@ -899,7 +988,9 @@ func (m *MDS) finishServe(req *msg.Request) {
 	// Lazy Hybrid: a stale dual-entry ACL must be refreshed before the
 	// op can proceed — one (lazy) propagation trip plus a log commit.
 	if m.lh != nil && m.lh.Stale(target) {
-		m.lh.Apply(target)
+		// The dual-entry refresh writes shared ACL state; Apply is
+		// idempotent, so window-concurrent trips converge at the barrier.
+		m.eng.Defer(lhApplyTag, m, target)
 		m.Stats.LHApplied++
 		// One lazy propagation round trip (priced at 2×Fwd by the
 		// model), carried on the node's loopback link, then a commit.
@@ -973,7 +1064,7 @@ func dirContentsLoaded(x, y any) {
 			break
 		}
 		if cl == cache.Replica {
-			partition.TagsOf(c).SetReplica(m.id)
+			m.eng.Defer(setReplicaTag, c, m)
 		}
 	}
 	waiters := m.pendingDir[dir.ID]
@@ -995,7 +1086,11 @@ func (m *MDS) completeOp(req *msg.Request) {
 			return
 		}
 		req.Applied = true
-		m.applyUpdate(req)
+		// The namespace mutation lands at the barrier when sharded; the
+		// client cannot observe the gap, because its reply travels at
+		// least one lookahead of latency and so always arrives after the
+		// barrier that applies the mutation.
+		m.eng.Defer(mdsApplyUpdate, m, req)
 		if req.Op != msg.Write {
 			// Size updates are batched through the log by the
 			// flusher; structural updates propagate immediately.
@@ -1080,20 +1175,26 @@ func (m *MDS) finishReply(req *msg.Request) {
 		}
 	}
 	m.bumpPopularity(target)
+	// Peek reads the popularity counter and replication flag without
+	// writing them; the flag flip and transition counters commit at the
+	// barrier. Serially the deferred bump above has already run, so
+	// Peek+Commit here is exactly the old Decide.
 	if m.tc != nil {
-		switch m.tc.Decide(m.eng.Now(), target) {
+		switch m.tc.Peek(m.eng.Now(), target) {
 		case core.Replicate:
 			m.pushReplicas(target)
+			m.eng.Defer(tcCommitReplicate, m, target)
 		case core.Consolidate:
 			// Replicas stop being advertised and simply age out of
 			// peer caches.
+			m.eng.Defer(tcCommitConsolidate, m, target)
 		}
 	}
 	m.reply(req)
 }
 
 func (m *MDS) bumpPopularity(ino *namespace.Inode) {
-	partition.Popularity(ino, m.cfg.PopHalfLife).Add(m.eng.Now(), 1)
+	m.eng.Defer(bumpPop, m, ino)
 }
 
 // commit appends the update to the bounded log (§4.6).
@@ -1115,11 +1216,17 @@ func (m *MDS) applyUpdate(req *msg.Request) {
 	switch req.Op {
 	case msg.Create:
 		if n, err := tree.Create(req.Target, req.NewName); err == nil {
+			// Materialize the new inode's tag block while single
+			// threaded (applyUpdate runs at the barrier when sharded):
+			// the first window-time authority walk over it must not be
+			// the allocation.
+			_ = partition.TagsOf(n)
 			m.cacheNew(n)
 			m.dirObjectInsert(req.Target, n)
 		}
 	case msg.Mkdir:
 		if n, err := tree.Mkdir(req.Target, req.NewName); err == nil {
+			_ = partition.TagsOf(n)
 			m.cacheNew(n)
 			m.dirObjectInsert(req.Target, n)
 		}
@@ -1234,7 +1341,7 @@ func installReplicaApply(a, b any) {
 	if _, err := m.cache.InsertPath(target, cache.Replica, false); err != nil {
 		m.cache.InsertDetached(target, cache.Replica, false)
 	}
-	partition.TagsOf(target).SetReplica(m.id)
+	m.eng.Defer(setReplicaTag, target, m)
 }
 
 // reply completes the request: hints tell the client where the target
@@ -1253,8 +1360,15 @@ func (m *MDS) reply(req *msg.Request) {
 		rep.Hints = m.appendHints(rep.Hints[:0], req.Target)
 	}
 	// The fabric prices the hop (hints add bytes under the queued
-	// model) and reports when the reply lands at the client edge.
-	rep.Completed = m.fab.Send(net.Reply, m.id, m.fab.ClientEdge(),
+	// model) and reports when the reply lands at the client edge. The
+	// edge aggregates clients from every shard, so the destination shard
+	// comes from the cluster's client→shard map (0 when unsharded, where
+	// SendToEdge degenerates to Send).
+	shard := 0
+	if m.cloc != nil {
+		shard = m.cloc.ClientShard(req.Client)
+	}
+	rep.Completed = m.fab.SendToEdge(shard, net.Reply, m.id,
 		net.ReplyBytes(len(rep.Hints)), mdsDeliver, m, rep)
 }
 
@@ -1275,11 +1389,21 @@ func mdsDeliver(a, b any) {
 	m := a.(*MDS)
 	rep := b.(*msg.Reply)
 	m.cluster.Deliver(rep)
-	if m.poolReplies {
+	if m.poolReplies && !m.routedReplies {
 		rep.Req = nil
 		rep.Hints = rep.Hints[:0]
 		m.replyPool = append(m.replyPool, rep)
 	}
+}
+
+// TakeReply returns a consumed reply to this node's pool. When replies
+// are routed (sharded execution), Deliver runs on the client's shard and
+// parks the struct in that shard's return buffer; the barrier — single
+// threaded, clocks synced — hands each reply back here.
+func (m *MDS) TakeReply(rep *msg.Reply) {
+	rep.Req = nil
+	rep.Hints = rep.Hints[:0]
+	m.replyPool = append(m.replyPool, rep)
 }
 
 // appendHints appends the distribution of the target and its prefix
@@ -1321,8 +1445,10 @@ func (m *MDS) noteMiss() {
 
 // ImportSubtree implements core.Node: install migrated cache state and
 // charge the CPU for the transfer, briefly freezing request processing
-// (the double-commit hand-off).
-func (m *MDS) ImportSubtree(root *namespace.Inode, entries []*cache.Entry) {
+// (the double-commit hand-off). The entries are by-value snapshots taken
+// by the balancer at decision time (a barrier), so the deferred install
+// below never reads the exporter's live cache across shards.
+func (m *MDS) ImportSubtree(root *namespace.Inode, entries []core.Migrated) {
 	m.Stats.Imported += uint64(len(entries))
 	cost := m.svc(sim.Time(len(entries)+1) * m.cfg.ImportPerRecord)
 	m.cpu.Submit(cost, func() {
@@ -1333,7 +1459,7 @@ func (m *MDS) ImportSubtree(root *namespace.Inode, entries []*cache.Entry) {
 			m.cache.InsertDetached(root, cache.Auth, false)
 		}
 		// Insert parents before children so path insertion succeeds.
-		byDepth := make(map[int][]*cache.Entry)
+		byDepth := make(map[int][]core.Migrated)
 		maxD := 0
 		for _, e := range entries {
 			d := e.Ino.Depth()
@@ -1354,7 +1480,7 @@ func (m *MDS) ImportSubtree(root *namespace.Inode, entries []*cache.Entry) {
 				// Replica entries whose replica sets named only the old
 				// holders.)
 				if e.Class == cache.Replica {
-					partition.TagsOf(e.Ino).SetReplica(m.id)
+					m.eng.Defer(setReplicaTag, e.Ino, m)
 				}
 			}
 		}

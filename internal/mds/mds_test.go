@@ -344,7 +344,11 @@ func TestImportExportSubtree(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	entries := src.Cache().EntriesUnder(h)
+	live := src.Cache().EntriesUnder(h)
+	entries := make([]core.Migrated, len(live))
+	for i, e := range live {
+		entries[i] = core.Migrated{Ino: e.Ino, Class: e.Class}
+	}
 	dst.ImportSubtree(h, entries)
 	src.EvictSubtree(h)
 	eng.Run()

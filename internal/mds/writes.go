@@ -1,6 +1,8 @@
 package mds
 
 import (
+	"sort"
+
 	"dynmds/internal/msg"
 	"dynmds/internal/namespace"
 	"dynmds/internal/net"
@@ -28,13 +30,24 @@ func (m *MDS) absorbWrite(req *msg.Request) {
 	if cur, ok := m.sizePending[target.ID]; !ok || req.Size > cur {
 		m.sizePending[target.ID] = req.Size
 	}
-	tags := partition.TagsOf(target)
-	if m.id < 64 {
-		tags.UnflushedWriters |= 1 << uint(m.id)
-	}
+	m.eng.Defer(markUnflushed, m, target)
 	m.Stats.WritesAbsorbed++
 	m.bumpPopularity(target)
 	m.reply(req)
+}
+
+// markUnflushed flags this node in inode b's shared unflushed-writers
+// mask (deferred: the mask is read by the authority's stat path).
+func markUnflushed(a, b any) {
+	m := a.(*MDS)
+	if m.id < 64 {
+		partition.TagsOf(b.(*namespace.Inode)).UnflushedWriters |= 1 << uint(m.id)
+	}
+}
+
+// clearUnflushedTag is the deferred form of clearUnflushed.
+func clearUnflushedTag(a, b any) {
+	a.(*MDS).clearUnflushed(b.(*namespace.Inode))
 }
 
 // applyWrite applies a Write at the authority: retain the maximum.
@@ -44,41 +57,54 @@ func (m *MDS) applyWrite(req *msg.Request) {
 	}
 }
 
-// flushWrites periodically sends local size maxima to authorities.
+// flushWrites periodically sends local size maxima to authorities. The
+// pending map is drained in sorted inode order: map iteration order
+// would otherwise leak into message ordering and break reproducibility
+// (serial runs were shielded only by the effects being order-free).
 func (m *MDS) flushWrites(now sim.Time) {
 	if m.failed || len(m.sizePending) == 0 {
 		return
 	}
 	tree := m.cluster.Tree()
-	for id, size := range m.sizePending {
+	ids := make([]namespace.InodeID, 0, len(m.sizePending))
+	for id := range m.sizePending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		size := m.sizePending[id]
 		ino, ok := tree.ByID(id)
 		if !ok {
 			continue // unlinked since
 		}
-		auth := m.strat.Authority(ino)
 		m.Stats.WriteFlushes++
-		if auth == m.id {
+		if auth := m.strat.Authority(ino); auth != m.id {
+			peer := m.cluster.Node(auth)
+			m.fab.Send(net.WriteFlush, m.id, auth, net.Bytes(net.WriteFlush), call0, func() {
+				if peer.failed {
+					return
+				}
+				peer.cpu.Submit(peer.svc(peer.cfg.PeerService), func() {
+					// The size write is shared state (the authority's
+					// shard may not own the inode's other readers).
+					peer.eng.Defer(call0, func() {
+						if size > ino.Size {
+							ino.Size = size
+						}
+					}, nil)
+				})
+			}, nil)
+			m.eng.Defer(clearUnflushedTag, m, ino)
+			continue
+		}
+		m.eng.Defer(call0, func() {
 			if size > ino.Size {
 				ino.Size = size
 			}
 			m.clearUnflushed(ino)
-			continue
-		}
-		peer := m.cluster.Node(auth)
-		size, ino := size, ino // capture per-iteration copies
-		m.fab.Send(net.WriteFlush, m.id, auth, net.Bytes(net.WriteFlush), call0, func() {
-			if peer.failed {
-				return
-			}
-			peer.cpu.Submit(peer.svc(peer.cfg.PeerService), func() {
-				if size > ino.Size {
-					ino.Size = size
-				}
-			})
 		}, nil)
-		m.clearUnflushed(ino)
 	}
-	m.sizePending = make(map[namespace.InodeID]int64)
+	clear(m.sizePending)
 }
 
 func (m *MDS) clearUnflushed(ino *namespace.Inode) {
@@ -115,14 +141,19 @@ func (m *MDS) statCallbackSlow(req *msg.Request, mask uint64) {
 		peer := m.cluster.Node(i)
 		m.fab.Send(net.StatCallback, m.id, i, net.Bytes(net.StatCallback), call0, func() {
 			peer.cpu.Submit(peer.svc(peer.cfg.PeerService), func() {
-				// Peer reports its local max and clears it.
-				if size, ok := peer.sizePending[target.ID]; ok {
-					if size > target.Size {
-						target.Size = size
+				// Peer reports its local max and clears it. The target's
+				// size and writer mask are shared, so the writes commit
+				// at the barrier; the reply itself carries no size, so
+				// answering before the commit is indistinguishable.
+				peer.eng.Defer(call0, func() {
+					if size, ok := peer.sizePending[target.ID]; ok {
+						if size > target.Size {
+							target.Size = size
+						}
+						delete(peer.sizePending, target.ID)
 					}
-					delete(peer.sizePending, target.ID)
-				}
-				peer.clearUnflushed(target)
+					peer.clearUnflushed(target)
+				}, nil)
 				m.fab.Send(net.StatCallback, peer.id, m.id, net.Bytes(net.StatCallback), call0, func() {
 					outstanding--
 					if outstanding == 0 && !m.failed {

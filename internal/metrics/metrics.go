@@ -51,6 +51,19 @@ func (c *DecayCounter) Value(now sim.Time) float64 {
 	return c.value
 }
 
+// Peek returns the decayed value at now without updating the counter's
+// state: the read-only form used while the counter may be shared across
+// concurrent readers (sharded execution reads popularity during windows
+// and defers the writes to barriers). Peek(t) == Value(t) always; only
+// the stored (value, last) pair differs afterwards.
+func (c *DecayCounter) Peek(now sim.Time) float64 {
+	if now <= c.last {
+		return c.value
+	}
+	dt := float64(now - c.last)
+	return c.value * math.Exp2(-dt/float64(c.HalfLife))
+}
+
 // Reset zeroes the counter.
 func (c *DecayCounter) Reset(now sim.Time) {
 	c.value = 0
@@ -122,6 +135,22 @@ func (s *Series) Rate(i int) float64 {
 
 // BucketStart returns the virtual time at which bucket i begins.
 func (s *Series) BucketStart(i int) sim.Time { return sim.Time(i) * s.Bucket }
+
+// Merge folds src's buckets into s (bucketwise sum of sums and counts).
+// Both series must share a bucket width. Sharded runs keep one series
+// lane per shard and merge them at collection time.
+func (s *Series) Merge(src *Series) {
+	if src.Bucket != s.Bucket {
+		panic("metrics: merging series with different bucket widths")
+	}
+	if len(src.sums) > 0 {
+		s.grow(len(src.sums) - 1)
+	}
+	for i := range src.sums {
+		s.sums[i] += src.sums[i]
+		s.counts[i] += src.counts[i]
+	}
+}
 
 // Welford accumulates mean/variance/min/max online.
 type Welford struct {

@@ -99,6 +99,19 @@ func (h *Histogram) Observe(v float64) {
 // Total returns the observation count.
 func (h *Histogram) Total() uint64 { return h.total }
 
+// Merge folds src's counts into h. Both histograms must share bucket
+// bounds (same first bound and bucket count).
+func (h *Histogram) Merge(src *Histogram) {
+	if len(src.counts) != len(h.counts) ||
+		(len(h.bounds) > 0 && src.bounds[0] != h.bounds[0]) {
+		panic("metrics: merging histograms with different shapes")
+	}
+	for i := range src.counts {
+		h.counts[i] += src.counts[i]
+	}
+	h.total += src.total
+}
+
 // Quantile returns an upper bound for quantile q in [0,1] (the bound of
 // the bucket containing it), or 0 when empty.
 func (h *Histogram) Quantile(q float64) float64 {

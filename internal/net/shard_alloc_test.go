@@ -1,0 +1,50 @@
+package net
+
+import (
+	"testing"
+
+	"dynmds/internal/sim"
+)
+
+type mailCounter struct{ n int }
+
+func mailBump(a, _ any) { a.(*mailCounter).n++ }
+
+// TestCrossShardMailAllocFree pins the cross-shard hot path: once the
+// mailbox slices, envelope pools, and destination heaps have grown to
+// their high-water marks, a send → DrainMail merge → delivery cycle
+// allocates nothing. The sender queues a by-value entry, the barrier
+// attaches a pooled destination-shard envelope, and the dispatch
+// recycles it — the PR-1 zero-alloc property survives sharding.
+func TestCrossShardMailAllocFree(t *testing.T) {
+	e0, e1 := sim.NewEngine(), sim.NewEngine()
+	fab := NewFabric(sim.NewEngine(), 2, Fixed{Net: sim.Millisecond, Fwd: sim.Millisecond})
+	fab.Shard(2, []int{0, 1}, []*sim.Engine{e0, e1})
+	c := &mailCounter{}
+
+	cycle := func(n int) {
+		for i := 0; i < n; i++ {
+			fab.Send(Forward, 0, 1, Bytes(Forward), mailBump, c, nil)
+			fab.Send(Forward, 1, 0, Bytes(Forward), mailBump, c, nil)
+		}
+		fab.DrainMail()
+		horizon := e0.Now() + 2*sim.Millisecond
+		e0.RunUntil(horizon)
+		e1.RunUntil(horizon)
+	}
+	cycle(256) // warmup: grow mailboxes, pools, and heaps
+
+	allocs := testing.AllocsPerRun(500, func() { cycle(16) })
+	if allocs > 0 {
+		t.Fatalf("cross-shard mail cycle allocated %.2f times per 32 messages, want 0", allocs)
+	}
+	if c.n == 0 {
+		t.Fatal("cross-shard deliveries never ran")
+	}
+	if n := fab.PendingMail(); n != 0 {
+		t.Fatalf("pending mail after drain = %d", n)
+	}
+	if fab.InFlight() != 0 || fab.LiveEnvelopes() != 0 {
+		t.Fatalf("in flight = %d, live = %d after drain", fab.InFlight(), fab.LiveEnvelopes())
+	}
+}

@@ -40,6 +40,27 @@ type Engine struct {
 	stopped bool
 	// Executed counts events dispatched since construction.
 	Executed uint64
+
+	// Deferred-mutation buffer for sharded (conservative parallel)
+	// execution. While deferring is set, Defer records the call instead
+	// of running it; the shard barrier applies all shards' buffers in a
+	// deterministic merge order. In serial execution deferring is false
+	// and Defer degenerates to an immediate call, so the serial engine's
+	// behaviour is bit-identical with or without Defer at the call sites.
+	deferring bool
+	gops      []gop
+	gopSeq    uint64
+}
+
+// gop ("global op") is one deferred shared-state mutation recorded during
+// a lookahead window: the virtual time it was requested at, a per-engine
+// sequence number, and the call to make. Buffers are reused across
+// windows, so steady-state deferral allocates nothing.
+type gop struct {
+	at   Time
+	seq  uint64
+	fn   EventFunc
+	a, b any
 }
 
 // NewEngine returns an empty engine with the clock at zero.
@@ -115,6 +136,57 @@ func (e *Engine) RunUntil(end Time) {
 		e.now = end
 	}
 }
+
+// RunWindow dispatches events with timestamps strictly before end, then
+// (unless Stop was called) advances the clock to end. The half-open
+// window is the sharded executor's unit of progress: events scheduled
+// exactly at the barrier instant — merged cross-shard deliveries, global
+// barrier work — belong to the next window.
+func (e *Engine) RunWindow(end Time) {
+	e.stopped = false
+	for !e.stopped && len(e.q) > 0 && e.q[0].at < end {
+		fn, a, b := e.pop()
+		e.Executed++
+		fn(a, b)
+	}
+	if !e.stopped && e.now < end {
+		e.now = end
+	}
+}
+
+// NextEventTime returns the timestamp of the earliest pending event.
+// ok is false when the queue is empty.
+func (e *Engine) NextEventTime() (t Time, ok bool) {
+	if len(e.q) == 0 {
+		return 0, false
+	}
+	return e.q[0].at, true
+}
+
+// SetDeferring switches the engine between immediate and deferred
+// application of Defer calls. The sharded executor enables it for the
+// shard engines; serial engines leave it off.
+func (e *Engine) SetDeferring(on bool) { e.deferring = on }
+
+// Deferring reports whether Defer currently buffers instead of calling.
+func (e *Engine) Deferring() bool { return e.deferring }
+
+// Defer runs fn(a, b) immediately in serial execution, or records it for
+// deterministic application at the next shard barrier in sharded
+// execution. Model code routes every mutation of cross-shard shared
+// state (the namespace tree, per-inode tags, strategy tables) through
+// Defer so that lookahead windows only ever read shared state.
+func (e *Engine) Defer(fn EventFunc, a, b any) {
+	if !e.deferring {
+		fn(a, b)
+		return
+	}
+	e.gopSeq++
+	e.gops = append(e.gops, gop{at: e.now, seq: e.gopSeq, fn: fn, a: a, b: b})
+}
+
+// PendingDeferred reports the number of buffered deferred calls.
+func (e *Engine) PendingDeferred() int { return len(e.gops) }
 
 // less orders events by (at, seq).
 func less(x, y *event) bool {

@@ -26,6 +26,14 @@ go run -race ./cmd/mdsim -fig avail -quick
 # prints a shrunk minimal repro with its replay line).
 go run -race ./cmd/mdsim -chaos-runs 50 -chaos-seed 1
 
+# Sharded-engine smoke under the race detector: the conservative
+# parallel executor at K=4 on the Figure 2 quick config, then a
+# 10-schedule chaos batch at K=2 (fault schedules run the windowed
+# executor single-threaded, so this checks the deferred/barrier path
+# against simfsck rather than goroutine interleaving).
+go run -race ./cmd/mdsim -strategy DynamicSubtree -mds 4 -clients 30 -users 100 -dur 10 -warmup 4 -shards 4
+go run -race ./cmd/mdsim -chaos-runs 10 -chaos-seed 1 -shards 2
+
 # Bad knobs must fail fast with a usage error, not start a simulation.
 if go run ./cmd/mdsim -net-model bogus -fig 2 -quick 2>/dev/null; then
     echo "ci: unknown -net-model was accepted" >&2
@@ -35,9 +43,36 @@ if go run ./cmd/mdsim -faults 'explode@1s:mds0' 2>/dev/null; then
     echo "ci: unknown -faults schedule was accepted" >&2
     exit 1
 fi
+if go run ./cmd/mdsim -shards -3 2>/dev/null; then
+    echo "ci: negative -shards was accepted" >&2
+    exit 1
+fi
 
-# Perf report (quick scale in CI; regenerate the committed BENCH_5.json
-# with a full-scale run: `go run ./cmd/mdsim -bench-json BENCH_5.json`).
-# Includes the chaos budget's pass/shrink stats; a chaos violation
+# Perf report (quick scale in CI; regenerate the committed BENCH_6.json
+# with a full-scale run: `go run ./cmd/mdsim -bench-json BENCH_6.json
+# -shards 8`). Includes the serial-vs-sharded measurement of the bench
+# config and the chaos budget's pass/shrink stats; a chaos violation
 # fails the bench.
-go run ./cmd/mdsim -bench-json BENCH_5.quick.json -quick
+go run ./cmd/mdsim -bench-json BENCH_6.quick.json -quick -shards 4
+
+# Scaling gate: with >= 4 real cores, the sharded engine at K=4 must
+# beat serial by >= 1.8x on the bench config. On smaller machines the
+# target is unobservable (shards time-slice one core), so the gate is
+# skipped with a log line; the bench above still records the honest
+# shards/cores/speedup numbers.
+CORES=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+if [ "$CORES" -ge 4 ]; then
+    SPEEDUP=$(sed -n 's/.*"sharded_speedup": \([0-9.]*\).*/\1/p' BENCH_6.quick.json)
+    if [ -z "$SPEEDUP" ]; then
+        echo "ci: no sharded_speedup in BENCH_6.quick.json" >&2
+        exit 1
+    fi
+    if awk "BEGIN{exit !($SPEEDUP >= 1.8)}"; then
+        echo "ci: sharded K=4 speedup ${SPEEDUP}x on $CORES cores (gate: >= 1.8x)"
+    else
+        echo "ci: sharded K=4 speedup ${SPEEDUP}x < 1.8x on $CORES cores" >&2
+        exit 1
+    fi
+else
+    echo "ci: $CORES core(s) detected; skipping the K=4 >= 1.8x scaling gate (needs >= 4)"
+fi
