@@ -23,11 +23,13 @@ import (
 	"time"
 
 	"dynmds/internal/chaos"
+	"dynmds/internal/client"
 	"dynmds/internal/cluster"
 	"dynmds/internal/fault"
 	"dynmds/internal/harness"
 	simnet "dynmds/internal/net"
 	"dynmds/internal/sim"
+	"dynmds/internal/workload"
 )
 
 func main() {
@@ -36,7 +38,7 @@ func main() {
 
 func run() int {
 	var (
-		fig      = flag.String("fig", "", "experiment: 2..7, 'sci', 'failover', 'avail', or 'all'")
+		fig      = flag.String("fig", "", "experiment: 2..7, 'sci', 'failover', 'avail', 'clients', or 'all'")
 		quick    = flag.Bool("quick", false, "reduced-scale experiments")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		strategy = flag.String("strategy", cluster.StratDynamic, "strategy for a custom run")
@@ -60,6 +62,14 @@ func run() int {
 	shards := flag.Int("shards", 0, "per-run shard count for the conservative parallel engine (0 = serial); workers x shards is capped at GOMAXPROCS")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	openLoop := flag.Int("open-loop", 0, "run the open-loop flyweight traffic plane with this many total clients (0 = closed loop)")
+	openRate := flag.Float64("open-rate", 10, "open loop: per-client mean arrival rate, ops/sec")
+	openTenants := flag.Int("open-tenants", 0, "open loop: tenant count (0 = clients/1024, min 16)")
+	tenantSkew := flag.Float64("tenant-skew", 1.0, "open loop: Zipf exponent for tenant sizes")
+	fileSkew := flag.Float64("file-skew", 1.0, "open loop: Zipf exponent for working-set popularity")
+	diurnal := flag.Float64("diurnal", 0, "open loop: diurnal rate-modulation amplitude (0..1)")
+	burstProb := flag.Float64("burst-prob", 0, "open loop: per-tenant-epoch burst probability")
+	bench7 := flag.String("bench7-json", "", "run the open-loop client-count/skew sweep and write a JSON report to this file")
 	flag.Parse()
 
 	// Validate the knobs that select named models up front, so a typo
@@ -134,6 +144,14 @@ func run() int {
 		return 0
 	}
 
+	if *bench7 != "" {
+		if err := runBench7(*bench7, *seed, *quick, *shards); err != nil {
+			fmt.Fprintln(os.Stderr, "mdsim:", err)
+			return 1
+		}
+		return 0
+	}
+
 	if *chaosRuns > 0 {
 		rep, err := harness.Chaos(harness.ChaosOptions{
 			Seed:      *chaosSeed,
@@ -175,12 +193,26 @@ func run() int {
 	cfg.Shards = *shards
 	cfg.Duration = sim.FromSeconds(*dur)
 	cfg.Warmup = sim.FromSeconds(*warm)
+	if *openLoop > 0 {
+		cfg.OpenLoop = &client.PopulationConfig{
+			Clients: *openLoop,
+			Rate:    *openRate,
+			Tenant: workload.TenantConfig{
+				Tenants:    *openTenants,
+				TenantSkew: *tenantSkew,
+				FileSkew:   *fileSkew,
+			},
+			DiurnalAmp: *diurnal,
+			BurstProb:  *burstProb,
+		}
+	}
 
 	// Custom runs build the cluster directly (not via harness.RunOne):
 	// a -faults run is drained and checked by simfsck afterwards, which
 	// needs the live cluster, and a single run gains nothing from the
 	// shared snapshot cache.
 	start := time.Now()
+	heapBase := heapBytes(*openLoop > 0)
 	cl, err := cluster.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mdsim:", err)
@@ -189,6 +221,16 @@ func run() int {
 	base := chaos.Capture(cl)
 	res := cl.Run()
 	fmt.Println(res)
+	if res.OpenLoop {
+		heapPerClient := float64(heapBytes(true)-heapBase) / float64(res.Clients)
+		fmt.Printf("open loop: %d clients, issued %d, completed %d\n",
+			res.Clients, res.Issued, res.Completed)
+		fmt.Printf("latency: p50 %.3fms p99 %.3fms p999 %.3fms mean %.3fms\n",
+			res.LatencyP50*1000, res.LatencyP99*1000, res.LatencyP999*1000, res.MeanLatency*1000)
+		fmt.Printf("memory: plane %.1f B/client structural, %.1f B/client heap delta (fs+cluster+plane)\n",
+			float64(res.PopFootprint)/float64(res.Clients), heapPerClient)
+		runtime.KeepAlive(cl)
+	}
 	fmt.Printf("fabric (%s model): %d messages, %d bytes, max link queue %d\n",
 		res.Net.Model, res.Net.Messages, res.Net.Bytes, res.Net.MaxQueueDepth)
 	fmt.Print(res.Net.Table())
@@ -466,6 +508,146 @@ func runBenchJSON(path string, seed int64, quick, share bool, netModel string, s
 	}
 	fmt.Printf("wrote %s: %d ns/op, %d allocs/op, %.1f ns/event, %.3f allocs/event, peak RSS %d kB\n",
 		path, rep.NsPerOp, rep.AllocsPerOp, rep.NsPerEvent, rep.AllocsPerEv, rep.PeakRSSKB)
+	return nil
+}
+
+// heapBytes returns live heap bytes after a forced GC (0 when not
+// wanted, so closed-loop custom runs skip the GC pauses entirely).
+func heapBytes(want bool) int64 {
+	if !want {
+		return 0
+	}
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return int64(m.HeapAlloc)
+}
+
+// bench7Row is one open-loop measurement: a population size (or tenant
+// skew) against wall time, event throughput, latency quantiles, and the
+// two memory views (structural plane bytes and whole-process heap
+// delta, both per client).
+type bench7Row struct {
+	Clients      int     `json:"clients"`
+	TenantSkew   float64 `json:"tenant_skew"`
+	FileSkew     float64 `json:"file_skew"`
+	RatePerCli   float64 `json:"rate_ops_per_client"`
+	Shards       int     `json:"shards"`
+	Issued       uint64  `json:"issued"`
+	Completed    uint64  `json:"completed"`
+	P50Us        int64   `json:"p50_us"`
+	P99Us        int64   `json:"p99_us"`
+	P999Us       int64   `json:"p999_us"`
+	WallNs       int64   `json:"wall_ns"`
+	SetupWallNs  int64   `json:"setup_wall_ns"`
+	Events       uint64  `json:"events"`
+	NsPerEvent   float64 `json:"ns_per_event"`
+	PlaneBPerCli float64 `json:"plane_bytes_per_client"`
+	HeapBPerCli  float64 `json:"heap_bytes_per_client"`
+}
+
+type bench7Report struct {
+	Quick     bool        `json:"quick"`
+	Cores     int         `json:"cores"`
+	OpBudget  float64     `json:"op_budget"` // arrivals per run, ~rate·clients·duration
+	Rows      []bench7Row `json:"rows"`
+	PeakRSSKB int64       `json:"peak_rss_kb"`
+}
+
+// runBench7 sweeps the open-loop traffic plane across population sizes
+// (10k to 10M full scale) and tenant skews, holding the total arrival
+// budget roughly constant so every row costs comparable wall time and
+// the per-client memory slope is the signal.
+func runBench7(path string, seed int64, quick bool, shards int) error {
+	// The arrival budget stays well under the 8-node cluster's service
+	// capacity (roughly 8k ops/s with this mix): the open loop does not
+	// back-pressure, so an over-capacity budget measures queue backlog,
+	// not the traffic plane.
+	counts := []int{10_000, 100_000, 1_000_000, 10_000_000}
+	budget := 30e3
+	durS := 5.0
+	if quick {
+		counts = []int{10_000, 100_000, 1_000_000}
+		budget = 20e3
+		durS = 3.0
+	}
+	skews := []float64{0, 0.6, 1.2}
+
+	rep := bench7Report{Quick: quick, Cores: runtime.GOMAXPROCS(0), OpBudget: budget}
+	measure := func(clients int, tskew, fskew float64) error {
+		cfg := cluster.Default()
+		cfg.Seed = seed
+		cfg.NumMDS = 8
+		cfg.FS.Users = 40 // small fs: the heap delta is dominated by the plane
+		cfg.Duration = sim.FromSeconds(durS)
+		cfg.Warmup = sim.FromSeconds(1)
+		cfg.Shards = shards
+		rate := budget / (float64(clients) * durS)
+		if rate > 50 {
+			rate = 50
+		}
+		cfg.OpenLoop = &client.PopulationConfig{
+			Clients: clients,
+			Rate:    rate,
+			Tenant:  workload.TenantConfig{TenantSkew: tskew, FileSkew: fskew},
+		}
+		heapBase := heapBytes(true)
+		setupStart := time.Now()
+		cl, err := cluster.New(cfg)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		res := cl.Run()
+		wall := time.Since(start)
+		heapNow := heapBytes(true)
+		events := cl.ExecutedEvents()
+		row := bench7Row{
+			Clients:      clients,
+			TenantSkew:   tskew,
+			FileSkew:     fskew,
+			RatePerCli:   rate,
+			Shards:       cl.NumShards(),
+			Issued:       res.Issued,
+			Completed:    res.Completed,
+			P50Us:        int64(res.LatencyP50 * 1e6),
+			P99Us:        int64(res.LatencyP99 * 1e6),
+			P999Us:       int64(res.LatencyP999 * 1e6),
+			WallNs:       wall.Nanoseconds(),
+			SetupWallNs:  time.Since(setupStart).Nanoseconds() - wall.Nanoseconds(),
+			Events:       events,
+			NsPerEvent:   float64(wall.Nanoseconds()) / float64(events),
+			PlaneBPerCli: float64(res.PopFootprint) / float64(clients),
+			HeapBPerCli:  float64(heapNow-heapBase) / float64(clients),
+		}
+		runtime.KeepAlive(cl)
+		rep.Rows = append(rep.Rows, row)
+		fmt.Printf("clients=%-9d skew=%.1f: %v wall, %d issued, p50 %dµs p99 %dµs p999 %dµs, %.1f B/client plane, %.1f B/client heap\n",
+			clients, tskew, wall.Round(time.Millisecond), row.Issued,
+			row.P50Us, row.P99Us, row.P999Us, row.PlaneBPerCli, row.HeapBPerCli)
+		return nil
+	}
+
+	for _, n := range counts {
+		if err := measure(n, 1.0, 1.0); err != nil {
+			return err
+		}
+	}
+	for _, s := range skews {
+		if err := measure(100_000, s, 1.0); err != nil {
+			return err
+		}
+	}
+	rep.PeakRSSKB = peakRSSKB()
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d rows, peak RSS %d kB\n", path, len(rep.Rows), rep.PeakRSSKB)
 	return nil
 }
 

@@ -1,16 +1,24 @@
-// Package client models the client population. Each client runs a
-// closed loop: issue one metadata operation, wait for the reply, think,
-// repeat. The interesting behaviour is request direction (§4.4): for
-// hash-based strategies clients compute the authority directly; for
-// subtree strategies they are initially ignorant and direct each request
-// by the deepest known prefix of the target's path, learning the
-// partition from the distribution hints carried on replies.
+// Package client models the client population. Two planes exist:
+//
+//   - Client is the closed-loop per-object model: issue one metadata
+//     operation, wait for the reply, think, repeat. The interesting
+//     behaviour is request direction (§4.4): for hash-based strategies
+//     clients compute the authority directly; for subtree strategies
+//     they are initially ignorant and direct each request by the
+//     deepest known prefix of the target's path, learning the
+//     partition from the distribution hints carried on replies.
+//
+//   - Population is the open-loop flyweight plane for millions of
+//     clients: dense per-client records in slab arrays, arrivals
+//     scheduled through a hierarchical timer wheel, tenants with
+//     Zipf-distributed sizes (see population.go).
+//
+// Both planes share the HintTable location cache (hints.go).
 package client
 
 import (
 	"dynmds/internal/metrics"
 	"dynmds/internal/msg"
-	"dynmds/internal/namespace"
 	"dynmds/internal/partition"
 	"dynmds/internal/sim"
 	"dynmds/internal/workload"
@@ -29,7 +37,8 @@ type Config struct {
 	// ThinkMean is the mean think time between a reply and the next
 	// request (exponentially distributed). Zero = saturating client.
 	ThinkMean sim.Time
-	// KnownCap bounds the location-knowledge cache (FIFO eviction).
+	// KnownCap bounds the location-knowledge cache (per-client ways in
+	// the shared hint table, rounded up to a power of two).
 	KnownCap int
 	// RetryTimeout, when positive, re-sends a request that has not
 	// been answered within the timeout. Retries resteer: the stale
@@ -68,17 +77,24 @@ type Client struct {
 	strat partition.Strategy
 	gen   workload.Generator
 
-	known *knownCache
+	// hints is the location-knowledge cache; by default a private
+	// single-client table, replaced by the cluster's population-wide
+	// slab via ShareHints. hintID is this client's region index.
+	hints  *HintTable
+	hintID int
 
 	nextID   uint64
 	stopped  bool
 	inflight *msg.Request
 	attempts int // resends of the current in-flight request
 	lastMDS  int // node the in-flight request was last sent to
-	// reqPool recycles completed requests. Reuse is only safe without
-	// retries: a retried request can be answered twice, and a recycled
-	// struct would make the stale duplicate pointer-equal to the new
-	// in-flight request, defeating the duplicate check in OnReply.
+	// reqPool recycles completed requests. Replies are matched by
+	// (client, id, gen) values rather than pointer identity, so reuse
+	// is safe even in retry configurations: a recycled struct's next
+	// incarnation carries a bumped Gen, and a late duplicate reply to
+	// the old incarnation no longer matches. The one case that still
+	// allocates is a request that was actually retransmitted — a stale
+	// in-flight copy may reference the struct, so it is not recycled.
 	reqPool *msg.Request
 
 	// OnComplete, when set, observes each accepted completion (duplicate
@@ -102,9 +118,14 @@ func New(id int, eng *sim.Engine, cfg Config, rng *sim.RNG, net Network, strat p
 		net:   net,
 		strat: strat,
 		gen:   gen,
-		known: newKnownCache(cfg.KnownCap),
+		hints: NewHintTable(1, cfg.KnownCap),
 	}
 }
+
+// ShareHints points the client at a population-wide hint table (its
+// region indexed by client id) instead of its private one. Call before
+// Start.
+func (c *Client) ShareHints(t *HintTable) { c.hints, c.hintID = t, c.id }
 
 // SetGenerator replaces the client's workload generator. Call before
 // Start (trace replay swaps generators in after cluster construction).
@@ -123,13 +144,15 @@ func clientIssue(a, _ any) { a.(*Client).issue() }
 // Stop ends the loop after the in-flight operation completes.
 func (c *Client) Stop() { c.stopped = true }
 
-// getRequest returns a recycled request when pooling is safe (no
-// retries), else a fresh one.
+// getRequest returns a recycled request (with its generation counter
+// bumped) or a fresh one.
 func (c *Client) getRequest() *msg.Request {
-	if c.cfg.RetryTimeout <= 0 && c.reqPool != nil {
+	if c.reqPool != nil {
 		req := c.reqPool
 		c.reqPool = nil
+		gen := req.Gen + 1
 		*req = msg.Request{}
+		req.Gen = gen
 		return req
 	}
 	return &msg.Request{}
@@ -194,8 +217,11 @@ func (c *Client) armRetry(req *msg.Request) {
 	if c.cfg.RetryTimeout <= 0 {
 		return
 	}
+	gen := req.Gen
 	c.eng.After(c.backoff(), func() {
-		if c.inflight != req {
+		if c.inflight != req || req.Gen != gen {
+			// Answered (and possibly already recycled into a new
+			// incarnation with a bumped Gen) — nothing to retry.
 			return
 		}
 		if c.stopped {
@@ -214,7 +240,7 @@ func (c *Client) armRetry(req *msg.Request) {
 		c.attempts++
 		c.Stats.Retries++
 		if req.Target != nil {
-			c.known.del(req.Target.ID)
+			c.hints.Del(c.hintID, req.Target.ID)
 		}
 		to := c.rng.Pick(c.net.NumMDS())
 		if n := c.net.NumMDS(); n > 1 && to == c.lastMDS {
@@ -238,26 +264,27 @@ func (c *Client) direct(req *msg.Request) int {
 		return c.strat.Authority(req.Target)
 	}
 	for n := req.Target; n != nil; n = n.Parent() {
-		if h, ok := c.known.get(n.ID); ok {
-			if h.Replicated {
+		if auth, repl, ok := c.hints.Get(c.hintID, n.ID); ok {
+			if repl {
 				return c.rng.Pick(c.net.NumMDS())
 			}
-			return h.Authority
+			return auth
 		}
 	}
 	return c.rng.Pick(c.net.NumMDS())
 }
 
 // OnReply completes the in-flight operation: absorb distribution hints,
-// record latency, think, and issue the next request. Duplicate replies
-// (a retried request answered twice) are dropped.
+// record latency, think, and issue the next request. Replies are
+// matched by (client, id, gen) values — never pointer identity — so
+// duplicates (a retried request answered twice, or a late answer to an
+// abandoned request) are dropped even after the request struct itself
+// has been recycled.
 func (c *Client) OnReply(rep *msg.Reply) {
-	if rep.Req != c.inflight {
-		// Stale: a duplicate from a retry race, or a late answer to a
-		// request already abandoned as timed out.
+	req := c.inflight
+	if req == nil || rep.Client != c.id || rep.ID != req.ID || rep.Gen != req.Gen {
 		return
 	}
-	rep.Req.Acked = true
 	c.inflight = nil
 	c.Stats.Completed++
 	c.Stats.Latency.Add(rep.Latency().Seconds())
@@ -265,13 +292,16 @@ func (c *Client) OnReply(rep *msg.Reply) {
 		c.OnComplete(c.eng.Now())
 	}
 	for _, h := range rep.Hints {
-		c.known.put(h)
+		c.hints.Put(c.hintID, h)
 	}
 	c.gen.Observe(rep)
-	if c.cfg.RetryTimeout <= 0 {
-		// Without retries each request gets exactly one reply, so the
-		// struct is dead once the reply is consumed: recycle it.
-		c.reqPool = rep.Req
+	if c.attempts == 0 {
+		// Exactly one copy of this request was ever sent and its one
+		// delivery chain just completed, so no stale reference can
+		// remain anywhere in the cluster: recycle. Retransmitted
+		// requests (attempts > 0) may still have an in-flight copy
+		// traversing the fabric and are left to the garbage collector.
+		c.reqPool = req
 	}
 	if c.stopped {
 		return
@@ -284,47 +314,4 @@ func (c *Client) OnReply(rep *msg.Reply) {
 func (c *Client) Inflight() bool { return c.inflight != nil }
 
 // KnownLocations reports the current size of the location cache.
-func (c *Client) KnownLocations() int { return c.known.len() }
-
-// knownCache is a FIFO-bounded map of location hints. FIFO (rather than
-// LRU) keeps it allocation-free on hit paths and is plenty for a
-// simulated client.
-type knownCache struct {
-	capacity int
-	m        map[namespace.InodeID]msg.Hint
-	fifo     []namespace.InodeID
-	head     int
-}
-
-func newKnownCache(capacity int) *knownCache {
-	return &knownCache{
-		capacity: capacity,
-		m:        make(map[namespace.InodeID]msg.Hint, capacity),
-		fifo:     make([]namespace.InodeID, capacity),
-	}
-}
-
-func (k *knownCache) len() int { return len(k.m) }
-
-func (k *knownCache) get(id namespace.InodeID) (msg.Hint, bool) {
-	h, ok := k.m[id]
-	return h, ok
-}
-
-// del invalidates one hint (retry resteering). The stale FIFO slot is
-// harmless: eviction's delete of an already-gone id is a no-op.
-func (k *knownCache) del(id namespace.InodeID) { delete(k.m, id) }
-
-func (k *knownCache) put(h msg.Hint) {
-	if _, exists := k.m[h.Ino]; exists {
-		k.m[h.Ino] = h // refresh in place; FIFO position unchanged
-		return
-	}
-	if len(k.m) >= k.capacity {
-		old := k.fifo[k.head]
-		delete(k.m, old)
-	}
-	k.fifo[k.head] = h.Ino
-	k.head = (k.head + 1) % k.capacity
-	k.m[h.Ino] = h
-}
+func (c *Client) KnownLocations() int { return c.hints.Len(c.hintID) }

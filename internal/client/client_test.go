@@ -33,6 +33,15 @@ type fixedGen struct{ op workload.Op }
 func (g fixedGen) Next(now sim.Time, r *sim.RNG) (workload.Op, bool) { return g.op, true }
 func (g fixedGen) Observe(rep *msg.Reply)                            {}
 
+// replyTo builds a reply the way the MDS does: identity and issue time
+// copied by value from the request.
+func replyTo(req *msg.Request, completed sim.Time) *msg.Reply {
+	return &msg.Reply{
+		Req: req, Client: req.Client, ID: req.ID, Gen: req.Gen,
+		Issued: req.Issued, Completed: completed,
+	}
+}
+
 func testTree(t *testing.T) (*namespace.Tree, *namespace.Inode) {
 	t.Helper()
 	tr := namespace.NewTree()
@@ -89,23 +98,22 @@ func TestDeepestKnownPrefixDirection(t *testing.T) {
 
 	// With no knowledge, direction is random; with a hint on the
 	// parent dir, direction follows the hint.
-	c.known.put(msg.Hint{Ino: f.Parent().ID, Authority: 6})
+	c.hints.Put(0, msg.Hint{Ino: f.Parent().ID, Authority: 6})
 	c.Start(0)
 	eng.RunUntil(sim.Millisecond)
 	if net.sends[0].mds != 6 {
 		t.Fatalf("directed to %d, want hinted 6", net.sends[0].mds)
 	}
 	// A deeper hint on the target itself wins.
-	c.OnReply(&msg.Reply{
-		Req:   net.sends[0].req,
-		Hints: []msg.Hint{{Ino: f.ID, Authority: 3}},
-	})
+	rep := replyTo(net.sends[0].req, eng.Now())
+	rep.Hints = []msg.Hint{{Ino: f.ID, Authority: 3}}
+	c.OnReply(rep)
 	eng.Run()
 	if net.sends[1].mds != 3 {
 		t.Fatalf("directed to %d, want deeper hint 3", net.sends[1].mds)
 	}
 	// Replicated hints spread direction across the cluster.
-	c.known.put(msg.Hint{Ino: f.ID, Authority: 3, Replicated: true})
+	c.hints.Put(0, msg.Hint{Ino: f.ID, Authority: 3, Replicated: true})
 	seen := map[int]bool{}
 	for i := 0; i < 50; i++ {
 		req := &msg.Request{Target: f, Op: msg.Stat}
@@ -131,7 +139,7 @@ func TestClosedLoopAndLatency(t *testing.T) {
 		t.Fatalf("issued = %d", c.Stats.Issued)
 	}
 	req := net.sends[0].req
-	c.OnReply(&msg.Reply{Req: req, Completed: req.Issued + 500*sim.Microsecond})
+	c.OnReply(replyTo(req, req.Issued+500*sim.Microsecond))
 	eng.RunUntil(20 * sim.Millisecond)
 	if c.Stats.Completed != 1 {
 		t.Fatalf("completed = %d", c.Stats.Completed)
@@ -144,34 +152,12 @@ func TestClosedLoopAndLatency(t *testing.T) {
 	}
 	c.Stop()
 	issued := c.Stats.Issued
-	c.OnReply(&msg.Reply{Req: req, Completed: eng.Now()})
+	// A stale duplicate of the first operation (id 1, gen 0) must not
+	// match whatever is in flight now.
+	c.OnReply(&msg.Reply{Client: 0, ID: 1, Completed: eng.Now()})
 	eng.Run()
 	if c.Stats.Issued != issued {
 		t.Fatal("stopped client issued more requests")
-	}
-}
-
-func TestKnownCacheFIFOEviction(t *testing.T) {
-	k := newKnownCache(3)
-	for i := 1; i <= 5; i++ {
-		k.put(msg.Hint{Ino: namespace.InodeID(i), Authority: i})
-	}
-	if k.len() != 3 {
-		t.Fatalf("len = %d", k.len())
-	}
-	if _, ok := k.get(1); ok {
-		t.Fatal("oldest entry survived")
-	}
-	if _, ok := k.get(5); !ok {
-		t.Fatal("newest entry missing")
-	}
-	// Refresh updates in place without growing.
-	k.put(msg.Hint{Ino: 5, Authority: 9})
-	if h, _ := k.get(5); h.Authority != 9 {
-		t.Fatal("refresh did not update")
-	}
-	if k.len() != 3 {
-		t.Fatal("refresh grew cache")
 	}
 }
 
@@ -184,10 +170,7 @@ func TestClientKnownLocationsBound(t *testing.T) {
 		partition.NewStaticSubtree(2, tr, 2),
 		fixedGen{workload.Op{Op: msg.Stat, Target: f}})
 	for i := 0; i < 100; i++ {
-		c.OnReply(&msg.Reply{
-			Req:   &msg.Request{Target: f},
-			Hints: []msg.Hint{{Ino: namespace.InodeID(1000 + i), Authority: 0}},
-		})
+		c.hints.Put(0, msg.Hint{Ino: namespace.InodeID(1000 + i), Authority: 0})
 	}
 	if c.KnownLocations() > 4 {
 		t.Fatalf("known locations = %d, cap 4", c.KnownLocations())
@@ -220,9 +203,9 @@ func TestRetryOnTimeout(t *testing.T) {
 	}
 	// A reply stops the retrying and duplicates are dropped.
 	req := net.sends[0].req
-	c.OnReply(&msg.Reply{Req: req, Completed: eng.Now()})
+	c.OnReply(replyTo(req, eng.Now()))
 	completed := c.Stats.Completed
-	c.OnReply(&msg.Reply{Req: req, Completed: eng.Now()})
+	c.OnReply(replyTo(req, eng.Now()))
 	if c.Stats.Completed != completed {
 		t.Fatal("duplicate reply double-counted")
 	}
@@ -267,7 +250,7 @@ func TestRetryResteersAwayFromLastNode(t *testing.T) {
 		fixedGen{workload.Op{Op: msg.Stat, Target: f}})
 	// Seed a hint so the first send is steered; the retry must
 	// invalidate it and go elsewhere.
-	c.known.put(msg.Hint{Ino: f.ID, Authority: 2})
+	c.hints.Put(0, msg.Hint{Ino: f.ID, Authority: 2})
 	c.Start(0)
 	eng.RunUntil(200 * sim.Millisecond)
 	if len(net.sends) < 3 {
@@ -276,7 +259,7 @@ func TestRetryResteersAwayFromLastNode(t *testing.T) {
 	if net.sends[0].mds != 2 {
 		t.Fatalf("first send to %d, want hinted 2", net.sends[0].mds)
 	}
-	if _, ok := c.known.get(f.ID); ok {
+	if _, _, ok := c.hints.Get(0, f.ID); ok {
 		t.Error("stale hint survived retry resteering")
 	}
 	for i := 1; i < len(net.sends); i++ {
@@ -322,7 +305,7 @@ func TestRetryMaxRetriesTimesOut(t *testing.T) {
 	}
 	// A late reply to an abandoned request must be ignored.
 	completed := c.Stats.Completed
-	c.OnReply(&msg.Reply{Req: net.sends[0].req, Completed: eng.Now()})
+	c.OnReply(replyTo(net.sends[0].req, eng.Now()))
 	if c.Stats.Completed != completed {
 		t.Fatal("late reply to abandoned request was accepted")
 	}
@@ -360,8 +343,8 @@ func TestOnCompleteHook(t *testing.T) {
 	c.Start(0)
 	eng.RunUntil(sim.Millisecond)
 	req := net.sends[0].req
-	c.OnReply(&msg.Reply{Req: req, Completed: eng.Now()})
-	c.OnReply(&msg.Reply{Req: req, Completed: eng.Now()})
+	c.OnReply(replyTo(req, eng.Now()))
+	c.OnReply(replyTo(req, eng.Now()))
 	if calls != 1 {
 		t.Fatalf("OnComplete calls = %d (duplicate must not count)", calls)
 	}

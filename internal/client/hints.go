@@ -1,0 +1,136 @@
+package client
+
+import (
+	"math/bits"
+
+	"dynmds/internal/msg"
+	"dynmds/internal/namespace"
+)
+
+// HintTable is the location-knowledge cache for a whole client
+// population: one shared slab of 8-byte slots, W ways per client, open
+// addressing with a bounded probe window inside the client's region.
+// Compared to the per-client map+FIFO it replaces, it has no per-entry
+// allocation, no map header per client, and a deterministic eviction
+// rule (overwrite the key's home slot when the probe window is full) —
+// the FIFO ring's stale-slot interaction between del and eviction is
+// structurally impossible because deletion clears the exact slot.
+//
+// Each slot packs key|value: key is uint32(ino)+1 (0 marks an empty
+// slot; generated trees stay far below 2^32 inodes, enforced on Put),
+// the value is the authority id with the replicated bit on top.
+type HintTable struct {
+	ways  uint32 // slots per client, power of two
+	probe uint32 // probe window, min(ways, 4)
+	slots []uint64
+}
+
+const hintReplicated = 1 << 31
+
+// NewHintTable allocates a table for the given number of clients with
+// ways slots each (rounded up to a power of two, minimum 2).
+func NewHintTable(clients, ways int) *HintTable {
+	if clients < 1 {
+		clients = 1
+	}
+	if ways < 2 {
+		ways = 2
+	}
+	w := uint32(1) << uint(bits.Len32(uint32(ways-1)))
+	if w > 1<<20 {
+		w = 1 << 20
+	}
+	p := uint32(4)
+	if w < p {
+		p = w
+	}
+	return &HintTable{ways: w, probe: p, slots: make([]uint64, clients*int(w))}
+}
+
+// Ways returns the per-client slot count.
+func (t *HintTable) Ways() int { return int(t.ways) }
+
+// FootprintBytes returns the slab size in bytes.
+func (t *HintTable) FootprintBytes() int64 { return int64(len(t.slots)) * 8 }
+
+// home returns the key's preferred slot offset within a client region.
+func (t *HintTable) home(key uint32) uint32 {
+	return uint32((uint64(key)*0x9E3779B97F4A7C15)>>40) & (t.ways - 1)
+}
+
+// Get looks up the hint for ino in client's region.
+func (t *HintTable) Get(client int, ino namespace.InodeID) (authority int, replicated, ok bool) {
+	key := uint32(ino) + 1
+	base := uint32(client) * t.ways
+	start := t.home(key)
+	for j := uint32(0); j < t.probe; j++ {
+		s := t.slots[base+(start+j)&(t.ways-1)]
+		if uint32(s) == key {
+			v := uint32(s >> 32)
+			return int(v &^ hintReplicated), v&hintReplicated != 0, true
+		}
+	}
+	return 0, false, false
+}
+
+// Put records a hint in client's region: refresh in place on a key
+// match, fill the first empty slot in the probe window, or — window
+// full — overwrite the key's home slot (deterministic eviction).
+func (t *HintTable) Put(client int, h msg.Hint) {
+	if uint64(h.Ino) >= 1<<32-1 {
+		panic("client: inode id exceeds hint-table key range")
+	}
+	key := uint32(h.Ino) + 1
+	v := uint32(h.Authority)
+	if h.Replicated {
+		v |= hintReplicated
+	}
+	packed := uint64(v)<<32 | uint64(key)
+	base := uint32(client) * t.ways
+	start := t.home(key)
+	empty := uint32(0xFFFFFFFF)
+	for j := uint32(0); j < t.probe; j++ {
+		idx := base + (start+j)&(t.ways-1)
+		s := t.slots[idx]
+		if uint32(s) == key {
+			t.slots[idx] = packed
+			return
+		}
+		if s == 0 && empty == 0xFFFFFFFF {
+			empty = idx
+		}
+	}
+	if empty != 0xFFFFFFFF {
+		t.slots[empty] = packed
+		return
+	}
+	t.slots[base+start] = packed
+}
+
+// Del invalidates the hint for ino, if present: the exact slot is
+// cleared, so no stale residue can ever interact with later evictions.
+func (t *HintTable) Del(client int, ino namespace.InodeID) {
+	key := uint32(ino) + 1
+	base := uint32(client) * t.ways
+	start := t.home(key)
+	for j := uint32(0); j < t.probe; j++ {
+		idx := base + (start+j)&(t.ways-1)
+		if uint32(t.slots[idx]) == key {
+			t.slots[idx] = 0
+			return
+		}
+	}
+}
+
+// Len counts occupied slots in client's region (tests and figures; not
+// a hot path).
+func (t *HintTable) Len(client int) int {
+	base := uint32(client) * t.ways
+	n := 0
+	for j := uint32(0); j < t.ways; j++ {
+		if t.slots[base+j] != 0 {
+			n++
+		}
+	}
+	return n
+}

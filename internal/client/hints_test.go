@@ -1,0 +1,118 @@
+package client
+
+import (
+	"testing"
+
+	"dynmds/internal/msg"
+	"dynmds/internal/namespace"
+)
+
+func TestHintTableRoundTrip(t *testing.T) {
+	tab := NewHintTable(1, 8)
+	tab.Put(0, msg.Hint{Ino: 42, Authority: 3})
+	auth, repl, ok := tab.Get(0, 42)
+	if !ok || auth != 3 || repl {
+		t.Fatalf("Get(42) = %d,%v,%v", auth, repl, ok)
+	}
+	tab.Put(0, msg.Hint{Ino: 43, Authority: 7, Replicated: true})
+	auth, repl, ok = tab.Get(0, 43)
+	if !ok || auth != 7 || !repl {
+		t.Fatalf("Get(43) = %d,%v,%v", auth, repl, ok)
+	}
+	if _, _, ok := tab.Get(0, 99); ok {
+		t.Fatal("hit on absent key")
+	}
+}
+
+func TestHintTableRefreshInPlace(t *testing.T) {
+	tab := NewHintTable(1, 8)
+	tab.Put(0, msg.Hint{Ino: 5, Authority: 1})
+	tab.Put(0, msg.Hint{Ino: 5, Authority: 9})
+	if auth, _, _ := tab.Get(0, 5); auth != 9 {
+		t.Fatalf("refresh did not update: authority = %d", auth)
+	}
+	if tab.Len(0) != 1 {
+		t.Fatalf("refresh grew region: len = %d", tab.Len(0))
+	}
+}
+
+func TestHintTableBound(t *testing.T) {
+	tab := NewHintTable(1, 4)
+	if tab.Ways() != 4 {
+		t.Fatalf("ways = %d", tab.Ways())
+	}
+	for i := 0; i < 1000; i++ {
+		tab.Put(0, msg.Hint{Ino: namespace.InodeID(i), Authority: i % 8})
+	}
+	if tab.Len(0) > 4 {
+		t.Fatalf("region overflowed: len = %d", tab.Len(0))
+	}
+	// Non-power-of-two ways round up.
+	if w := NewHintTable(1, 5).Ways(); w != 8 {
+		t.Fatalf("ways(5) = %d, want 8", w)
+	}
+}
+
+func TestHintTableDelClearsExactSlot(t *testing.T) {
+	tab := NewHintTable(1, 8)
+	tab.Put(0, msg.Hint{Ino: 10, Authority: 1})
+	tab.Put(0, msg.Hint{Ino: 11, Authority: 2})
+	tab.Del(0, 10)
+	if _, _, ok := tab.Get(0, 10); ok {
+		t.Fatal("deleted key still present")
+	}
+	if _, _, ok := tab.Get(0, 11); !ok {
+		t.Fatal("delete clobbered an unrelated key")
+	}
+	// The FIFO-ring bug this table replaces: after a delete, a re-put of
+	// the same key followed by heavy churn must never leave two live
+	// entries or resurrect stale state.
+	tab.Put(0, msg.Hint{Ino: 10, Authority: 5})
+	for i := 100; i < 200; i++ {
+		tab.Put(0, msg.Hint{Ino: namespace.InodeID(i), Authority: 0})
+	}
+	if auth, _, ok := tab.Get(0, 10); ok && auth != 5 {
+		t.Fatalf("stale value resurrected: authority = %d", auth)
+	}
+	if tab.Len(0) > tab.Ways() {
+		t.Fatalf("region overflowed after churn: len = %d", tab.Len(0))
+	}
+}
+
+func TestHintTablePerClientIsolation(t *testing.T) {
+	tab := NewHintTable(4, 4)
+	for c := 0; c < 4; c++ {
+		tab.Put(c, msg.Hint{Ino: 7, Authority: c})
+	}
+	for c := 0; c < 4; c++ {
+		auth, _, ok := tab.Get(c, 7)
+		if !ok || auth != c {
+			t.Fatalf("client %d: Get = %d,%v", c, auth, ok)
+		}
+	}
+	tab.Del(2, 7)
+	if _, _, ok := tab.Get(2, 7); ok {
+		t.Fatal("delete did not clear client 2's entry")
+	}
+	for _, c := range []int{0, 1, 3} {
+		if _, _, ok := tab.Get(c, 7); !ok {
+			t.Fatalf("delete leaked into client %d", c)
+		}
+	}
+}
+
+func TestHintTableGetAllocFree(t *testing.T) {
+	tab := NewHintTable(2, 8)
+	tab.Put(0, msg.Hint{Ino: 1, Authority: 1})
+	sink := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		a, _, _ := tab.Get(0, 1)
+		sink += a
+		tab.Put(1, msg.Hint{Ino: 2, Authority: 2})
+		tab.Del(1, 2)
+	})
+	if allocs != 0 {
+		t.Fatalf("Get/Put/Del allocate: %v allocs/op", allocs)
+	}
+	_ = sink
+}

@@ -1,0 +1,405 @@
+package client
+
+import (
+	"math"
+
+	"dynmds/internal/metrics"
+	"dynmds/internal/msg"
+	"dynmds/internal/partition"
+	"dynmds/internal/sim"
+	"dynmds/internal/workload"
+)
+
+// PopulationConfig parameterises the open-loop traffic plane.
+type PopulationConfig struct {
+	// Clients is the population size.
+	Clients int
+	// Rate is the per-client mean arrival rate in ops/sec (Poisson base
+	// rate, before diurnal/burst modulation). Zero means 10.
+	Rate float64
+	// Ways is the per-client way count in the shared hint table
+	// (default 2: 16 bytes of location knowledge per client).
+	Ways int
+	// Tick is the timer-wheel granularity (default 1 ms). All arrival
+	// timestamps quantise to the wheel grid.
+	Tick sim.Time
+	// Tenant shapes the tenant split and working sets.
+	Tenant workload.TenantConfig
+
+	// DiurnalAmp modulates the base rate sinusoidally per tenant:
+	// λ(t) = Rate·(1 + DiurnalAmp·sin(2π(t/DiurnalPeriod + φ_tenant))).
+	// Zero disables; DiurnalPeriod defaults to 60 s.
+	DiurnalAmp    float64
+	DiurnalPeriod sim.Time
+	// BurstProb is the chance per (tenant, epoch) of a burst that
+	// multiplies the tenant's rate by BurstFactor (default 4) for one
+	// BurstEpoch (default 10 s). Deterministic in (tenant, epoch).
+	BurstProb   float64
+	BurstFactor float64
+	BurstEpoch  sim.Time
+
+	// Op mix weights; zero-valued mixes default to Stat 80, Readdir 10,
+	// Chmod 8, Create 2. (No Open/Close: the open-loop plane never
+	// issues an op whose accounting depends on a paired follow-up.)
+	MixStat, MixReaddir, MixChmod, MixCreate float64
+}
+
+func (c PopulationConfig) withDefaults() PopulationConfig {
+	if c.Rate <= 0 {
+		c.Rate = 10
+	}
+	if c.Ways <= 0 {
+		c.Ways = 2
+	}
+	if c.Tick <= 0 {
+		c.Tick = sim.Millisecond
+	}
+	if c.DiurnalPeriod <= 0 {
+		c.DiurnalPeriod = 60 * sim.Second
+	}
+	if c.BurstEpoch <= 0 {
+		c.BurstEpoch = 10 * sim.Second
+	}
+	if c.BurstFactor <= 0 {
+		c.BurstFactor = 4
+	}
+	if c.MixStat+c.MixReaddir+c.MixChmod+c.MixCreate <= 0 {
+		c.MixStat, c.MixReaddir, c.MixChmod, c.MixCreate = 80, 10, 8, 2
+	}
+	return c
+}
+
+// Population is the open-loop flyweight traffic plane: millions of
+// clients as dense records in slab arrays, no per-client objects, maps,
+// or goroutines. Arrivals are open-loop — a client's next request is
+// scheduled by a Poisson draw regardless of whether earlier requests
+// have been answered — and flow through a hierarchical timer wheel per
+// shard, so pending arrivals never enter the engine's event heap.
+//
+// The hot paths (wheel fire → draw op → direct → send, and reply →
+// record → recycle) are allocation-free in steady state; only Create
+// ops allocate (the new entry's name and inode, inherent to the op).
+type Population struct {
+	cfg     PopulationConfig
+	net     Network
+	strat   partition.Strategy
+	tenants *workload.Tenants
+	hints   *HintTable
+	shards  []*popShard
+	mixTot  float64
+}
+
+// popShard is one shard's slice of the population: clients are striped
+// round-robin (global id g lives on shard g%K at local index g/K), and
+// each shard owns a timer wheel, RNG/tenant slabs, request pool, and
+// metric lanes touched only from its own engine.
+type popShard struct {
+	pop   *Population
+	eng   *sim.Engine
+	shard int
+	k     int // stripe count
+	wheel *sim.Wheel
+
+	rng    []uint64 // per-local-client splitmix64 state
+	tenant []uint32 // per-local-client tenant id
+
+	pool    []*msg.Request // free list; grows to max outstanding, then steady
+	seq     uint64         // shard-monotonic request ids
+	nameSeq int
+
+	issued    uint64
+	completed uint64
+	lat       *metrics.LatHist
+	welford   metrics.Welford
+}
+
+// NewPopulation builds the traffic plane over numShards engines
+// (pass the serial engine as a 1-element slice when unsharded).
+// Deterministic for (cfg, seed, len(engines)).
+func NewPopulation(cfg PopulationConfig, engines []*sim.Engine, netw Network, strat partition.Strategy, tenants *workload.Tenants, seed int64) *Population {
+	cfg = cfg.withDefaults()
+	if cfg.Clients < 1 {
+		panic("client: population with no clients")
+	}
+	k := len(engines)
+	if k < 1 {
+		panic("client: population with no engines")
+	}
+	p := &Population{
+		cfg:     cfg,
+		net:     netw,
+		strat:   strat,
+		tenants: tenants,
+		hints:   NewHintTable(cfg.Clients, cfg.Ways),
+		mixTot:  cfg.MixStat + cfg.MixReaddir + cfg.MixChmod + cfg.MixCreate,
+	}
+	p.shards = make([]*popShard, k)
+	for s := 0; s < k; s++ {
+		n := (cfg.Clients - s + k - 1) / k // ceil((clients-s)/k): locals of stripe s
+		ps := &popShard{
+			pop:   p,
+			eng:   engines[s],
+			shard: s,
+			k:     k,
+			rng:   make([]uint64, n),
+			tenant: make([]uint32, n),
+			lat:   metrics.NewLatHist(),
+		}
+		for li := 0; li < n; li++ {
+			g := li*k + s
+			ps.rng[li] = mix64(uint64(seed) ^ mix64(uint64(g)+0x9E3779B97F4A7C15))
+			ps.tenant[li] = uint32(tenants.ClientTenant(g))
+		}
+		ps.wheel = sim.NewWheel(engines[s], cfg.Tick, n, ps.arrive)
+		p.shards[s] = ps
+	}
+	return p
+}
+
+// mix64 is the splitmix64 output permutation: the per-client RNG is one
+// uint64 of state advanced by a golden-ratio increment.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// next draws the local client's next uniform word.
+func (s *popShard) next(li int32) uint64 {
+	s.rng[li] += 0x9E3779B97F4A7C15
+	return mix64(s.rng[li])
+}
+
+// uniform converts a word to [0,1).
+func uniform(u uint64) float64 { return float64(u>>11) / (1 << 53) }
+
+// Start arms every client's first arrival and starts the wheels. Each
+// client's first draw comes from its own stream, so the herd
+// de-synchronises by construction.
+func (p *Population) Start() {
+	for _, s := range p.shards {
+		s.wheel.Start()
+		for li := int32(0); li < int32(len(s.rng)); li++ {
+			s.rearm(li)
+		}
+	}
+}
+
+// Clients returns the population size.
+func (p *Population) Clients() int { return p.cfg.Clients }
+
+// Hints exposes the shared location-hint table.
+func (p *Population) Hints() *HintTable { return p.hints }
+
+// rate returns the client's momentary arrival rate λ(t) in ops/sec.
+func (s *popShard) rate(li int32, now sim.Time) float64 {
+	cfg := &s.pop.cfg
+	tn := uint64(s.tenant[li])
+	r := cfg.Rate
+	if cfg.DiurnalAmp > 0 {
+		phase := uniform(mix64(tn + 0x5851F42D4C957F2D))
+		x := now.Seconds()/cfg.DiurnalPeriod.Seconds() + phase
+		r *= 1 + cfg.DiurnalAmp*math.Sin(2*math.Pi*x)
+	}
+	if cfg.BurstProb > 0 {
+		epoch := uint64(now / cfg.BurstEpoch)
+		h := mix64(tn*0x9E3779B97F4A7C15 ^ (epoch+1)*0xD1B54A32D192ED03)
+		if uniform(h) < cfg.BurstProb {
+			r *= cfg.BurstFactor
+		}
+	}
+	if r < 1e-6 {
+		r = 1e-6
+	}
+	return r
+}
+
+// rearm schedules the client's next arrival: an exponential inter-
+// arrival at the rate frozen at draw time, through the wheel.
+func (s *popShard) rearm(li int32) {
+	u := uniform(s.next(li))
+	if u <= 0 {
+		u = 1e-18
+	}
+	d := sim.FromSeconds(-math.Log(u) / s.rate(li, s.eng.Now()))
+	if d > sim.Hour {
+		d = sim.Hour
+	}
+	s.wheel.Schedule(li, d)
+}
+
+// getRequest reuses a drained request or allocates one. Open-loop
+// clients never retransmit, so exactly one copy of each request exists
+// and recycling on reply is unconditionally safe.
+func (s *popShard) getRequest() *msg.Request {
+	if n := len(s.pool); n > 0 {
+		req := s.pool[n-1]
+		s.pool[n-1] = nil
+		s.pool = s.pool[:n-1]
+		gen := req.Gen + 1
+		*req = msg.Request{}
+		req.Gen = gen
+		return req
+	}
+	return &msg.Request{}
+}
+
+// arrive is the wheel's fire callback: draw the op, direct it, send it,
+// and arm the next arrival. Allocation-free except for Create.
+func (s *popShard) arrive(li int32) {
+	p := s.pop
+	g := int(li)*s.k + s.shard
+	tn := int(s.tenant[li])
+
+	req := s.getRequest()
+	s.seq++
+	req.ID = s.seq
+	req.Client = g
+	req.Issued = s.eng.Now()
+	req.Via = -1
+
+	x := uniform(s.next(li)) * p.mixTot
+	cfg := &p.cfg
+	switch {
+	case x < cfg.MixStat:
+		req.Op = msg.Stat
+		req.Target = p.tenants.File(tn, s.next(li), s.next(li))
+	case x < cfg.MixStat+cfg.MixReaddir:
+		req.Op = msg.Readdir
+		req.Target = p.tenants.Dir(tn, s.next(li), s.next(li))
+	case x < cfg.MixStat+cfg.MixReaddir+cfg.MixChmod:
+		req.Op = msg.Chmod
+		req.Target = p.tenants.File(tn, s.next(li), s.next(li))
+	default:
+		req.Op = msg.Create
+		req.Target = p.tenants.Dir(tn, s.next(li), s.next(li))
+		s.nameSeq++
+		req.NewName = popName(s.shard, s.nameSeq)
+	}
+
+	mds := p.direct(g, req, s.next(li))
+	req.FirstMDS = mds
+	s.issued++
+	p.net.Send(mds, req)
+	s.rearm(li)
+}
+
+// popName formats p<shard>_<seq> without fmt; the retained string is
+// the new entry's name (inherent allocation of the Create op).
+func popName(shard, seq int) string {
+	var buf [24]byte
+	b := buf[:0]
+	b = append(b, 'p')
+	b = appendInt(b, shard)
+	b = append(b, '_')
+	b = appendInt(b, seq)
+	return string(b)
+}
+
+func appendInt(b []byte, v int) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var tmp [12]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// direct steers a request exactly like the closed-loop client (§4.4):
+// computed authority for hashed strategies, deepest known prefix from
+// the shared hint table otherwise, random fallback.
+func (p *Population) direct(g int, req *msg.Request, u uint64) int {
+	if p.strat.ClientComputable() {
+		if req.Op == msg.Create || req.Op == msg.Mkdir {
+			return p.strat.AuthorityForName(req.Target, req.NewName)
+		}
+		return p.strat.Authority(req.Target)
+	}
+	for n := req.Target; n != nil; n = n.Parent() {
+		if auth, repl, ok := p.hints.Get(g, n.ID); ok {
+			if repl {
+				return int(u % uint64(p.net.NumMDS()))
+			}
+			return auth
+		}
+	}
+	return int(u % uint64(p.net.NumMDS()))
+}
+
+// OnReply completes one arrival: record latency, absorb hints, recycle
+// the request. Runs on the client's shard. Allocation-free (pool growth
+// amortises to zero once the outstanding high-water mark is reached).
+func (p *Population) OnReply(rep *msg.Reply) {
+	s := p.shards[rep.Client%len(p.shards)]
+	s.completed++
+	lat := rep.Latency()
+	s.lat.Observe(lat)
+	s.welford.Add(lat.Seconds())
+	for _, h := range rep.Hints {
+		p.hints.Put(rep.Client, h)
+	}
+	if req := rep.Req; req != nil {
+		s.pool = append(s.pool, req)
+	}
+}
+
+// Issued and Completed sum the per-shard counters.
+func (p *Population) Issued() uint64 {
+	var n uint64
+	for _, s := range p.shards {
+		n += s.issued
+	}
+	return n
+}
+
+// Completed returns accepted replies across all shards.
+func (p *Population) Completed() uint64 {
+	var n uint64
+	for _, s := range p.shards {
+		n += s.completed
+	}
+	return n
+}
+
+// Latency merges the per-shard latency histograms into dst.
+func (p *Population) Latency(dst *metrics.LatHist) {
+	for _, s := range p.shards {
+		dst.Merge(s.lat)
+	}
+}
+
+// MeanLatency returns the mean response time in seconds.
+func (p *Population) MeanLatency() float64 {
+	var w metrics.Welford
+	for _, s := range p.shards {
+		w.Merge(&s.welford)
+	}
+	return w.Mean()
+}
+
+// WheelStats sums ticks and fired timers across shards (diagnostics).
+func (p *Population) WheelStats() (ticks, fired uint64) {
+	for _, s := range p.shards {
+		ticks += s.wheel.Ticks
+		fired += s.wheel.Fired
+	}
+	return
+}
+
+// FootprintBytes returns the structural per-population memory: RNG and
+// tenant slabs, wheel intrusive lists, the shared hint table, and the
+// tenant model. Request pools and engine state are excluded (they scale
+// with outstanding requests, not with the population size).
+func (p *Population) FootprintBytes() int64 {
+	var b int64
+	for _, s := range p.shards {
+		b += int64(len(s.rng))*8 + int64(len(s.tenant))*4
+		b += s.wheel.FootprintBytes()
+	}
+	return b + p.hints.FootprintBytes() + p.tenants.FootprintBytes()
+}

@@ -131,6 +131,16 @@ type Config struct {
 	WrapGenerator    func(clientID int, g workload.Generator) workload.Generator
 	ReplaceGenerator func(clientID int) workload.Generator
 
+	// OpenLoop, when non-nil, replaces the closed-loop per-object client
+	// population with the open-loop flyweight traffic plane: dense
+	// per-client records, tenants with Zipf-distributed sizes, Poisson
+	// arrivals (with diurnal/burst modulation) scheduled through a
+	// hierarchical timer wheel per shard. OpenLoop.Clients defaults to
+	// NumMDS·ClientsPerMDS. Incompatible with fault schedules, generator
+	// replacement/wrapping, and non-general workload kinds (the open
+	// loop has no retry path and no scenario hooks).
+	OpenLoop *client.PopulationConfig
+
 	// Shards, when > 1, runs the simulation on the conservative parallel
 	// (Chandy–Misra style) sharded executor: MDS endpoints and clients
 	// are partitioned across that many per-shard event heaps advancing
@@ -184,6 +194,8 @@ type Cluster struct {
 	Balancer *core.Balancer
 	Nodes    []*mds.MDS
 	Clients  []*client.Client
+	// Pop is the open-loop traffic plane (nil for closed-loop runs).
+	Pop *client.Population
 
 	// Per-node reply series, cluster-wide forward and client-arrival
 	// series, replica-serve series (all bucketed by SeriesBucket).
@@ -194,6 +206,9 @@ type Cluster struct {
 	// Latencies histograms client response times (doubling buckets
 	// from 0.5 ms up; overflow above ~2 s).
 	Latencies *metrics.Histogram
+	// LatH is the log2-bucket latency histogram behind p50/p99/p999
+	// (16 sub-buckets per octave, microsecond domain).
+	LatH *metrics.LatHist
 
 	// Pool is the shared OSD pool, when configured.
 	Pool *osd.Pool
@@ -243,6 +258,7 @@ type Cluster struct {
 	// the serving node's pool.
 	arrivalLanes []*metrics.Series
 	latencyLanes []*metrics.Histogram
+	latHistLanes []*metrics.LatHist
 	forwardLanes []*metrics.Series
 	replyReturns [][]*msg.Reply
 	lanesMerged  bool
@@ -316,17 +332,31 @@ func New(cfg Config) (*Cluster, error) {
 		Forwards:  metrics.NewSeries(cfg.SeriesBucket),
 		Arrivals:  metrics.NewSeries(cfg.SeriesBucket),
 		Latencies: metrics.NewHistogram(0.0005, 12), // 0.5 ms .. ~2 s
+		LatH:      metrics.NewLatHist(),
 		numShards: shards,
+	}
+	if cfg.OpenLoop != nil {
+		if !sched.Empty() {
+			return nil, fmt.Errorf("cluster: open-loop traffic plane is incompatible with fault injection")
+		}
+		if cfg.ReplaceGenerator != nil || cfg.WrapGenerator != nil {
+			return nil, fmt.Errorf("cluster: open-loop traffic plane is incompatible with generator replacement/wrapping")
+		}
+		if k := cfg.Workload.Kind; k != "" && k != WorkGeneral {
+			return nil, fmt.Errorf("cluster: open-loop traffic plane supports only the general workload, not %q", k)
+		}
 	}
 	if shards > 1 {
 		c.shardEngines = make([]*sim.Engine, shards)
 		c.arrivalLanes = make([]*metrics.Series, shards)
 		c.latencyLanes = make([]*metrics.Histogram, shards)
+		c.latHistLanes = make([]*metrics.LatHist, shards)
 		c.forwardLanes = make([]*metrics.Series, shards)
 		for i := range c.shardEngines {
 			c.shardEngines[i] = sim.NewEngine()
 			c.arrivalLanes[i] = metrics.NewSeries(cfg.SeriesBucket)
 			c.latencyLanes[i] = metrics.NewHistogram(0.0005, 12)
+			c.latHistLanes[i] = metrics.NewLatHist()
 			c.forwardLanes[i] = metrics.NewSeries(cfg.SeriesBucket)
 		}
 		c.replyReturns = make([][]*msg.Reply, shards)
@@ -517,6 +547,9 @@ func (c *Cluster) buildStrategy(cfg Config, snap *fsgen.Snapshot) error {
 func (c *Cluster) buildClients() error {
 	cfg := c.Cfg
 	numClients := cfg.NumMDS * cfg.ClientsPerMDS
+	if cfg.OpenLoop != nil {
+		return c.buildPopulation()
+	}
 	if numClients < 1 {
 		return fmt.Errorf("cluster: no clients configured")
 	}
@@ -604,6 +637,30 @@ func (c *Cluster) buildClients() error {
 	return nil
 }
 
+// buildPopulation assembles the open-loop traffic plane: the tenant
+// model over the snapshot's homes, then the flyweight population with
+// one timer wheel per shard engine.
+func (c *Cluster) buildPopulation() error {
+	cfg := c.Cfg
+	pcfg := *cfg.OpenLoop
+	if pcfg.Clients <= 0 {
+		pcfg.Clients = cfg.NumMDS * cfg.ClientsPerMDS
+	}
+	if pcfg.Clients < 1 {
+		return fmt.Errorf("cluster: no clients configured")
+	}
+	if len(c.Snap.Homes) == 0 {
+		return fmt.Errorf("cluster: open-loop traffic plane needs home directories in the snapshot")
+	}
+	tenants := workload.NewTenants(pcfg.Tenant, pcfg.Clients, c.Snap.Homes, cfg.Seed)
+	engines := []*sim.Engine{c.Eng}
+	if c.numShards > 1 {
+		engines = c.shardEngines
+	}
+	c.Pop = client.NewPopulation(pcfg, engines, c, c.Strategy, tenants, cfg.Seed)
+	return nil
+}
+
 // Node implements mds.Cluster.
 func (c *Cluster) Node(i int) *mds.MDS { return c.Nodes[i] }
 
@@ -623,14 +680,24 @@ func (c *Cluster) Fabric() *net.Fabric { return c.Fab }
 // serving node's pool (the two may live on different shards).
 func (c *Cluster) Deliver(rep *msg.Reply) {
 	if c.numShards > 1 {
-		shard := rep.Req.Client % c.numShards
+		shard := rep.Client % c.numShards
 		c.latencyLanes[shard].Observe(rep.Latency().Seconds())
-		c.Clients[rep.Req.Client].OnReply(rep)
+		c.latHistLanes[shard].Observe(rep.Latency())
+		if c.Pop != nil {
+			c.Pop.OnReply(rep)
+		} else {
+			c.Clients[rep.Client].OnReply(rep)
+		}
 		c.replyReturns[shard] = append(c.replyReturns[shard], rep)
 		return
 	}
 	c.Latencies.Observe(rep.Latency().Seconds())
-	c.Clients[rep.Req.Client].OnReply(rep)
+	c.LatH.Observe(rep.Latency())
+	if c.Pop != nil {
+		c.Pop.OnReply(rep)
+		return
+	}
+	c.Clients[rep.Client].OnReply(rep)
 }
 
 // DeliverConsumesReply tells the MDS that Deliver hands the reply to
@@ -684,6 +751,9 @@ func (c *Cluster) snapshotWarmup() {
 // Run executes the simulation and gathers results.
 func (c *Cluster) Run() *Result {
 	runStart := time.Now()
+	if c.Pop != nil {
+		c.Pop.Start()
+	}
 	stagger := sim.Time(0)
 	for _, cl := range c.Clients {
 		cl.Start(stagger)
@@ -749,10 +819,21 @@ type Result struct {
 	// Distributed-write mechanism activity (§4.2).
 	WritesAbsorbed uint64
 	SizeCallbacks  uint64
-	// LatencyP50 and LatencyP99 are client response-time quantile
-	// bounds in seconds (whole run, including warmup).
-	LatencyP50 float64
-	LatencyP99 float64
+	// LatencyP50, LatencyP99 and LatencyP999 are client response-time
+	// quantile bounds in seconds (whole run, including warmup). P999
+	// comes from the fine-grained log2-bucket histogram; for open-loop
+	// runs all three do.
+	LatencyP50  float64
+	LatencyP99  float64
+	LatencyP999 float64
+
+	// Open-loop traffic-plane accounting (zero / false when closed loop).
+	OpenLoop  bool
+	Issued    uint64
+	Completed uint64
+	// PopFootprint is the traffic plane's structural bytes (slabs,
+	// wheels, hint table, tenant tables).
+	PopFootprint int64
 
 	// Wall-clock accounting: SetupWall covers namespace generation (or
 	// thaw) plus cluster assembly; RunWall covers event-loop execution.
@@ -801,6 +882,9 @@ func (c *Cluster) Collect() *Result {
 		}
 		for _, h := range c.latencyLanes {
 			c.Latencies.Merge(h)
+		}
+		for _, h := range c.latHistLanes {
+			c.LatH.Merge(h)
 		}
 	}
 	cfg := c.Cfg
@@ -876,6 +960,22 @@ func (c *Cluster) Collect() *Result {
 	r.MeanLatency = lat.Mean()
 	r.LatencyP50 = c.Latencies.Quantile(0.5)
 	r.LatencyP99 = c.Latencies.Quantile(0.99)
+	r.LatencyP999 = c.LatH.Quantile(0.999).Seconds()
+	if c.Pop != nil {
+		r.OpenLoop = true
+		r.Clients = c.Pop.Clients()
+		r.Issued = c.Pop.Issued()
+		r.Completed = c.Pop.Completed()
+		r.PopFootprint = c.Pop.FootprintBytes()
+		r.MeanLatency = c.Pop.MeanLatency()
+		r.LatencyP50 = c.LatH.Quantile(0.5).Seconds()
+		r.LatencyP99 = c.LatH.Quantile(0.99).Seconds()
+	} else {
+		for _, cl := range c.Clients {
+			r.Issued += cl.Stats.Issued
+			r.Completed += cl.Stats.Completed
+		}
+	}
 	if c.Balancer != nil {
 		r.Migrations = len(c.Balancer.Migrations)
 	}

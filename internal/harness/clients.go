@@ -1,0 +1,74 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"dynmds/internal/client"
+	"dynmds/internal/cluster"
+	"dynmds/internal/metrics"
+	"dynmds/internal/sim"
+	"dynmds/internal/workload"
+)
+
+// clientsConfig builds one open-loop traffic-plane run.
+func clientsConfig(opt Options, strategy string, clients int, rate float64) cluster.Config {
+	cfg := cluster.Default()
+	cfg.Seed = opt.Seed
+	cfg.NetModel = opt.NetModel
+	cfg.Strategy = strategy
+	cfg.NumMDS = 8
+	cfg.FS.Users = 40
+	cfg.MDS.CacheCapacity = 2500
+	cfg.Duration = 8 * sim.Second
+	cfg.Warmup = 2 * sim.Second
+	cfg.OpenLoop = &client.PopulationConfig{
+		Clients: clients,
+		Rate:    rate,
+		Tenant:  workload.TenantConfig{TenantSkew: 1, FileSkew: 1},
+	}
+	if opt.Quick {
+		cfg.Duration = 4 * sim.Second
+		cfg.Warmup = 1 * sim.Second
+	}
+	return cfg
+}
+
+// ClientsExt sweeps the open-loop flyweight population across client
+// counts for the subtree strategies: per-client state stays flat (the
+// bytes/client column) while arrival volume is held constant, so the
+// axis isolates population-size cost from load.
+func ClientsExt(w io.Writer, opt Options) error {
+	counts := []int{100_000, 1_000_000}
+	budget := 40e3 // arrivals per run, under cluster service capacity
+	if opt.Quick {
+		counts = []int{20_000, 200_000}
+		budget = 15e3
+	}
+	var specs []RunSpec
+	for _, s := range []string{cluster.StratDynamic, cluster.StratStatic, cluster.StratFileHash} {
+		for _, n := range counts {
+			rate := budget / (float64(n) * clientsConfig(opt, s, n, 1).Duration.Seconds())
+			specs = append(specs, RunSpec{
+				Label: fmt.Sprintf("clients/%s/%d", s, n),
+				Cfg:   clientsConfig(opt, s, n, rate),
+			})
+		}
+	}
+	results, err := Sweep(specs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Extension: open-loop traffic plane, client-count sweep (constant arrival budget)")
+	tb := metrics.NewTable("strategy", "clients", "issued", "completed", "p50(ms)", "p99(ms)", "p999(ms)", "fwd", "B/client")
+	for i, r := range results {
+		tb.AddRow(specs[i].Cfg.Strategy, r.Clients, int(r.Issued), int(r.Completed),
+			fmt.Sprintf("%.2f", r.LatencyP50*1000),
+			fmt.Sprintf("%.2f", r.LatencyP99*1000),
+			fmt.Sprintf("%.2f", r.LatencyP999*1000),
+			fmt.Sprintf("%.3f", r.ForwardFrac),
+			fmt.Sprintf("%.1f", float64(r.PopFootprint)/float64(r.Clients)))
+	}
+	_, err = io.WriteString(w, tb.String())
+	return err
+}

@@ -32,6 +32,14 @@ func Extras() []Experiment {
 			Run: FailoverExt,
 		},
 		{
+			ID:    "clients",
+			Title: "Extension: open-loop client-count sweep",
+			Description: "Flyweight traffic plane scaled across population sizes " +
+				"at a constant arrival budget: latency quantiles and structural " +
+				"bytes per client as the population grows.",
+			Run: ClientsExt,
+		},
+		{
 			ID:    "avail",
 			Title: "Extension: availability under fault injection",
 			Description: "Per-strategy throughput dip, failure-detection and " +

@@ -1356,6 +1356,11 @@ func (m *MDS) reply(req *msg.Request) {
 	}
 	rep := m.getReply()
 	rep.Req, rep.ServedBy = req, m.id
+	// Identity and issue time are copied by value: the client matches
+	// replies by (Client, ID, Gen) and computes latency from Issued, so
+	// a duplicate reply stays recognisable (and harmless) even after
+	// the request struct is recycled for a newer operation.
+	rep.Client, rep.ID, rep.Gen, rep.Issued = req.Client, req.ID, req.Gen, req.Issued
 	if !m.strat.ClientComputable() {
 		rep.Hints = m.appendHints(rep.Hints[:0], req.Target)
 	}

@@ -60,7 +60,14 @@ func (o Op) IsUpdate() bool {
 type Request struct {
 	ID     uint64
 	Client int
-	Op     Op
+	// Gen distinguishes incarnations of a pooled request struct: the
+	// client bumps it each time the struct is recycled for a new
+	// operation, and replies echo it, so a late duplicate reply to an
+	// earlier incarnation can never be mistaken for the current one.
+	// Matching by (Client, ID, Gen) values — not pointer identity —
+	// is what makes request pooling safe under retries.
+	Gen uint32
+	Op  Op
 
 	// Target is the inode the operation applies to. For Create and
 	// Mkdir it is the containing directory; NewName is the entry to
@@ -81,9 +88,6 @@ type Request struct {
 	// if it arrived straight from the client. Receivers ack forwards back
 	// to Via when fault injection arms the forward timeout.
 	Via int
-	// Acked is set by the client when it accepts a reply, so duplicate
-	// replies to a retried request are recognised and dropped.
-	Acked bool
 	// Applied is set by the authority when an update commits, making
 	// re-delivered retries idempotent: a duplicate is answered without
 	// re-applying the mutation.
@@ -102,14 +106,23 @@ type Hint struct {
 	Replicated bool
 }
 
-// Reply completes a request.
+// Reply completes a request. The identifying fields (Client, ID, Gen)
+// and Issued are copied BY VALUE from the request when the authority
+// builds the reply: the request struct may be recycled for a new
+// operation while a duplicate reply is still in flight, so consumers
+// must never derive identity or latency from Req's fields.
 type Reply struct {
 	Req       *Request
+	Client    int
+	ID        uint64
+	Gen       uint32
+	Issued    sim.Time
 	ServedBy  int
 	Completed sim.Time
 	// Hints covers the target and its prefix directories.
 	Hints []Hint
 }
 
-// Latency returns the request's total response time.
-func (r *Reply) Latency() sim.Time { return r.Completed - r.Req.Issued }
+// Latency returns the request's total response time, from the Issued
+// value captured at reply-build time (immune to request recycling).
+func (r *Reply) Latency() sim.Time { return r.Completed - r.Issued }

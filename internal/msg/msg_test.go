@@ -41,9 +41,14 @@ func TestIsUpdate(t *testing.T) {
 }
 
 func TestReplyLatency(t *testing.T) {
-	req := &Request{Issued: 100 * sim.Microsecond}
-	rep := &Reply{Req: req, Completed: 350 * sim.Microsecond}
+	rep := &Reply{Issued: 100 * sim.Microsecond, Completed: 350 * sim.Microsecond}
 	if rep.Latency() != 250*sim.Microsecond {
 		t.Fatalf("latency = %v", rep.Latency())
+	}
+	// Latency must come from the copied Issued value, not the request
+	// struct, which may have been recycled for a newer operation.
+	rep.Req = &Request{Issued: 999 * sim.Microsecond}
+	if rep.Latency() != 250*sim.Microsecond {
+		t.Fatalf("latency followed the recycled request: %v", rep.Latency())
 	}
 }

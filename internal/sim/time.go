@@ -21,6 +21,7 @@ const (
 	Millisecond Time = 1000 * Microsecond
 	Second      Time = 1000 * Millisecond
 	Minute      Time = 60 * Second
+	Hour        Time = 60 * Minute
 )
 
 // Seconds returns t expressed in (floating point) seconds.

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"testing"
+)
+
+// wheelRec records firing order and times for wheel tests.
+type wheelRec struct {
+	w     *Wheel
+	eng   *Engine
+	ids   []int32
+	times []Time
+}
+
+func (r *wheelRec) fire(id int32) {
+	r.ids = append(r.ids, id)
+	r.times = append(r.times, r.eng.Now())
+}
+
+// TestWheelFiresOnTime schedules timers across all four levels and
+// checks each fires at its deadline rounded up to a tick boundary,
+// regardless of how many cascades it crossed.
+func TestWheelFiresOnTime(t *testing.T) {
+	eng := NewEngine()
+	rec := &wheelRec{eng: eng}
+	w := NewWheel(eng, Millisecond, 16, rec.fire)
+	rec.w = w
+
+	delays := []Time{
+		1 * Millisecond,   // level 0
+		255 * Millisecond, // level 0 edge
+		256 * Millisecond, // level 1 first slot
+		300 * Millisecond, // level 1
+		65536 * Millisecond,
+		65600 * Millisecond, // level 2
+		1 << 24 * Millisecond,
+		(1<<24 + 7) * Millisecond, // level 3
+	}
+	w.Start()
+	for i, d := range delays {
+		w.Schedule(int32(i), d)
+	}
+	eng.RunUntil((1<<24 + 16) * Millisecond)
+	w.Stop()
+	eng.Run()
+
+	if len(rec.ids) != len(delays) {
+		t.Fatalf("fired %d timers, want %d", len(rec.ids), len(delays))
+	}
+	got := make(map[int32]Time)
+	for i, id := range rec.ids {
+		got[id] = rec.times[i]
+	}
+	for i, d := range delays {
+		want := d // already tick-aligned
+		if got[int32(i)] != want {
+			t.Errorf("timer %d fired at %v, want %v", i, got[int32(i)], want)
+		}
+	}
+	if w.Pending() != 0 {
+		t.Fatalf("pending = %d after drain", w.Pending())
+	}
+}
+
+// TestWheelSubTickRoundsUp checks that deadlines between tick
+// boundaries round up, with a floor of one tick.
+func TestWheelSubTickRoundsUp(t *testing.T) {
+	eng := NewEngine()
+	rec := &wheelRec{eng: eng}
+	w := NewWheel(eng, Millisecond, 4, rec.fire)
+	w.Start()
+	w.Schedule(0, 0)                // floor: next tick
+	w.Schedule(1, 1500*Microsecond) // rounds to 2ms
+	eng.RunUntil(10 * Millisecond)
+	w.Stop()
+	eng.Run()
+	if len(rec.ids) != 2 {
+		t.Fatalf("fired %d", len(rec.ids))
+	}
+	if rec.times[0] != Millisecond || rec.ids[0] != 0 {
+		t.Errorf("timer 0: %v (id %d), want 1ms", rec.times[0], rec.ids[0])
+	}
+	if rec.times[1] != 2*Millisecond || rec.ids[1] != 1 {
+		t.Errorf("timer 1: %v (id %d), want 2ms", rec.times[1], rec.ids[1])
+	}
+}
+
+// TestWheelSlotOrderDeterministic checks FIFO dispatch within one
+// deadline tick: timers due the same tick fire in scheduling order,
+// including timers that reached the slot through a cascade from a
+// higher level (scheduled earlier => cascaded in order => still FIFO).
+func TestWheelSlotOrderDeterministic(t *testing.T) {
+	eng := NewEngine()
+	rec := &wheelRec{eng: eng}
+	w := NewWheel(eng, Millisecond, 64, rec.fire)
+	w.Start()
+
+	// ids 0..31 all due at tick 300 (level 1, one cascade), scheduled
+	// in id order; ids 32..35 due at tick 300 scheduled later but
+	// directly into level 1 as well.
+	for i := int32(0); i < 36; i++ {
+		w.Schedule(i, 300*Millisecond)
+	}
+	eng.RunUntil(400 * Millisecond)
+	w.Stop()
+	eng.Run()
+
+	if len(rec.ids) != 36 {
+		t.Fatalf("fired %d, want 36", len(rec.ids))
+	}
+	for i, id := range rec.ids {
+		if id != int32(i) {
+			t.Fatalf("dispatch order %v: position %d got id %d", rec.ids[:8], i, id)
+		}
+		if rec.times[i] != 300*Millisecond {
+			t.Fatalf("timer %d fired at %v", id, rec.times[i])
+		}
+	}
+
+	// Determinism: a second identical schedule fires identically.
+	eng2 := NewEngine()
+	rec2 := &wheelRec{eng: eng2}
+	w2 := NewWheel(eng2, Millisecond, 64, rec2.fire)
+	w2.Start()
+	for i := int32(0); i < 36; i++ {
+		w2.Schedule(i, 300*Millisecond)
+	}
+	eng2.RunUntil(400 * Millisecond)
+	w2.Stop()
+	eng2.Run()
+	if len(rec2.ids) != len(rec.ids) {
+		t.Fatalf("replay fired %d, want %d", len(rec2.ids), len(rec.ids))
+	}
+	for i := range rec.ids {
+		if rec.ids[i] != rec2.ids[i] || rec.times[i] != rec2.times[i] {
+			t.Fatal("replay diverged from first run")
+		}
+	}
+}
+
+// TestWheelCascadeBoundary exercises deadlines straddling the exact
+// level-0/level-1 boundary around a wrap: timers due at ticks 255, 256,
+// 257 and 511, 512, 513 must fire at exactly those ticks.
+func TestWheelCascadeBoundary(t *testing.T) {
+	eng := NewEngine()
+	rec := &wheelRec{eng: eng}
+	w := NewWheel(eng, Millisecond, 8, rec.fire)
+	w.Start()
+	deadlines := []Time{255, 256, 257, 511, 512, 513}
+	for i, d := range deadlines {
+		w.Schedule(int32(i), d*Millisecond)
+	}
+	eng.RunUntil(600 * Millisecond)
+	w.Stop()
+	eng.Run()
+	if len(rec.ids) != len(deadlines) {
+		t.Fatalf("fired %d, want %d", len(rec.ids), len(deadlines))
+	}
+	for i, id := range rec.ids {
+		if rec.times[i] != deadlines[id]*Millisecond {
+			t.Errorf("timer %d fired at %v, want %v", id, rec.times[i], deadlines[id]*Millisecond)
+		}
+	}
+}
+
+// TestWheelRescheduleFromFire models the open-loop arrival pattern:
+// every firing reschedules its own id. The wheel must keep exactly one
+// pending timer per id and never lose or duplicate one.
+func TestWheelRescheduleFromFire(t *testing.T) {
+	eng := NewEngine()
+	const n = 100
+	fired := make([]int, n)
+	var w *Wheel
+	w = NewWheel(eng, Millisecond, n, func(id int32) {
+		fired[id]++
+		w.Schedule(id, Time(1+int(id)%7)*Millisecond)
+	})
+	w.Start()
+	for i := int32(0); i < n; i++ {
+		w.Schedule(i, Time(1+int(i)%5)*Millisecond)
+	}
+	eng.RunUntil(1000 * Millisecond)
+	if got := w.Pending(); got != n {
+		t.Fatalf("pending = %d, want %d (one per id)", got, n)
+	}
+	for i, f := range fired {
+		if f == 0 {
+			t.Fatalf("id %d never fired", i)
+		}
+	}
+	var total uint64
+	for _, f := range fired {
+		total += uint64(f)
+	}
+	if total != w.Fired {
+		t.Fatalf("fired counter %d != observed %d", w.Fired, total)
+	}
+}
+
+// wheelPin is the zero-alloc receiver: each firing reschedules itself,
+// so steady state exercises Schedule + cascade + dispatch.
+type wheelPin struct {
+	w *Wheel
+	n uint64
+}
+
+func (p *wheelPin) fire(id int32) {
+	p.n++
+	// Mix of near and far deadlines so cascades stay exercised.
+	d := Time(1+int(id)%300) * Millisecond
+	p.w.Schedule(id, d)
+}
+
+// TestWheelAllocFree pins the tentpole property: steady-state
+// scheduling, cascading and dispatch through the wheel allocate
+// nothing.
+func TestWheelAllocFree(t *testing.T) {
+	eng := NewEngine()
+	pin := &wheelPin{}
+	w := NewWheel(eng, Millisecond, 1024, pin.fire)
+	pin.w = w
+	w.Start()
+	for i := int32(0); i < 1024; i++ {
+		w.Schedule(i, Time(1+i%512)*Millisecond)
+	}
+	end := Time(2) * Second
+	eng.RunUntil(end) // warmup: event heap reaches its high-water mark
+
+	allocs := testing.AllocsPerRun(20, func() {
+		end += 100 * Millisecond
+		eng.RunUntil(end)
+	})
+	if allocs > 0 {
+		t.Fatalf("wheel steady state allocated %.2f times per 100ms of ticks, want 0", allocs)
+	}
+	if pin.n == 0 {
+		t.Fatal("no timers fired")
+	}
+}

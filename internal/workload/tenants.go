@@ -1,0 +1,302 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"strconv"
+
+	"dynmds/internal/namespace"
+	"dynmds/internal/sim"
+)
+
+// TenantConfig parameterises the open-loop tenant model: the client
+// population is carved into tenants with Zipf-distributed sizes, and
+// each tenant works against a bounded working set sampled from one home
+// subtree of the frozen snapshot, with Zipf popularity inside the set.
+type TenantConfig struct {
+	// Tenants is the number of tenants. Zero derives clients/1024,
+	// minimum 16 (capped at the client count).
+	Tenants int
+	// TenantSkew is the Zipf exponent for tenant sizes: tenant i gets
+	// weight (i+1)^-TenantSkew. Zero means uniform sizes.
+	TenantSkew float64
+	// FileSkew is the Zipf exponent for target popularity inside a
+	// tenant's working set. Zero means uniform.
+	FileSkew float64
+	// WorkingSet bounds the files (and directories) each tenant draws
+	// from. Zero means 512.
+	WorkingSet int
+}
+
+func (c TenantConfig) withDefaults(clients int) TenantConfig {
+	if c.Tenants <= 0 {
+		c.Tenants = clients / 1024
+		if c.Tenants < 16 {
+			c.Tenants = 16
+		}
+	}
+	if c.Tenants > clients {
+		c.Tenants = clients
+	}
+	if c.WorkingSet <= 0 {
+		c.WorkingSet = 512
+	}
+	if c.TenantSkew < 0 {
+		c.TenantSkew = 0
+	}
+	if c.FileSkew < 0 {
+		c.FileSkew = 0
+	}
+	return c
+}
+
+// Tenants is the materialised tenant model: flat slabs only, no
+// per-tenant pointers beyond the slice headers, so the setup cost and
+// footprint stay O(tenants · working set) regardless of client count.
+type Tenants struct {
+	cfg       TenantConfig
+	clientOff []int32 // prefix sums of clients per tenant, len T+1
+
+	// Working-set slabs, all tenants concatenated; tenant t owns
+	// files[fileOff[t]:fileOff[t+1]] (ditto dirs). The files slab may
+	// include directories — Stat/Chmod on a directory is a valid op.
+	files   []*namespace.Inode
+	dirs    []*namespace.Inode
+	fileOff []int32
+	dirOff  []int32
+
+	// Vose alias tables over each tenant's working set, same offsets as
+	// the slabs: O(1) Zipf-popularity draws with two uniform words.
+	fProb  []float64
+	fAlias []int32
+	dProb  []float64
+	dAlias []int32
+}
+
+// NewTenants builds the tenant model for a client population over the
+// given home directories. Deterministic for (cfg, clients, seed) and a
+// fixed snapshot.
+func NewTenants(cfg TenantConfig, clients int, homes []*namespace.Inode, seed int64) *Tenants {
+	if clients < 1 {
+		panic("workload: NewTenants with no clients")
+	}
+	if len(homes) == 0 {
+		panic("workload: NewTenants with no home directories")
+	}
+	cfg = cfg.withDefaults(clients)
+	t := &Tenants{cfg: cfg}
+	t.assignClients(clients)
+	t.buildWorkingSets(homes, seed)
+	return t
+}
+
+// NumTenants returns the tenant count after defaulting.
+func (t *Tenants) NumTenants() int { return len(t.clientOff) - 1 }
+
+// ClientTenant maps a client id to its tenant (contiguous ranges).
+func (t *Tenants) ClientTenant(client int) int {
+	return sort.Search(t.NumTenants(), func(i int) bool {
+		return int(t.clientOff[i+1]) > client
+	})
+}
+
+// TenantClients returns tenant i's client count (tests, figures).
+func (t *Tenants) TenantClients(i int) int {
+	return int(t.clientOff[i+1] - t.clientOff[i])
+}
+
+// WorkingSetSize returns tenant i's file working-set size.
+func (t *Tenants) WorkingSetSize(i int) int {
+	return int(t.fileOff[i+1] - t.fileOff[i])
+}
+
+// FootprintBytes returns the slab bytes (8 per pointer/float, 4 per
+// int32), for the population's memory accounting.
+func (t *Tenants) FootprintBytes() int64 {
+	ptrs := len(t.files) + len(t.dirs)
+	f64 := len(t.fProb) + len(t.dProb)
+	i32 := len(t.fAlias) + len(t.dAlias) + len(t.fileOff) + len(t.dirOff) + len(t.clientOff)
+	return int64(ptrs+f64)*8 + int64(i32)*4
+}
+
+// File draws a target from tenant i's working set by Zipf popularity:
+// u1 selects the candidate column, u2 resolves the alias coin flip.
+func (t *Tenants) File(i int, u1, u2 uint64) *namespace.Inode {
+	lo, hi := int(t.fileOff[i]), int(t.fileOff[i+1])
+	return t.files[lo+aliasPick(t.fProb[lo:hi], t.fAlias[lo:hi], u1, u2)]
+}
+
+// Dir draws a directory from tenant i's working set.
+func (t *Tenants) Dir(i int, u1, u2 uint64) *namespace.Inode {
+	lo, hi := int(t.dirOff[i]), int(t.dirOff[i+1])
+	return t.dirs[lo+aliasPick(t.dProb[lo:hi], t.dAlias[lo:hi], u1, u2)]
+}
+
+// aliasPick is the Vose draw: column u1 mod n, accept with probability
+// prob, else take the alias. Two uniform words, no allocation.
+func aliasPick(prob []float64, alias []int32, u1, u2 uint64) int {
+	n := uint64(len(prob))
+	i := int(u1 % n)
+	if float64(u2>>11)/(1<<53) < prob[i] {
+		return i
+	}
+	return int(alias[i])
+}
+
+// assignClients splits clients across tenants with weights
+// (i+1)^-TenantSkew by largest remainder: every tenant gets at least
+// one client, the rest follow the Zipf weights exactly up to rounding.
+func (t *Tenants) assignClients(clients int) {
+	n := t.cfg.Tenants
+	weights := make([]float64, n)
+	var total float64
+	for i := range weights {
+		weights[i] = zipfWeight(i, t.cfg.TenantSkew)
+		total += weights[i]
+	}
+	counts := make([]int32, n)
+	spare := clients - n // one guaranteed client per tenant
+	assigned := 0
+	rems := make([]float64, n)
+	for i := range counts {
+		exact := float64(spare) * weights[i] / total
+		counts[i] = int32(exact)
+		assigned += int(exact)
+		rems[i] = exact - float64(int(exact))
+	}
+	// Hand the rounding leftover to the largest remainders, ties to the
+	// lower index, so the split is deterministic.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return rems[order[a]] > rems[order[b]] })
+	for k := 0; k < spare-assigned; k++ {
+		counts[order[k%n]]++
+	}
+	t.clientOff = make([]int32, n+1)
+	for i, c := range counts {
+		t.clientOff[i+1] = t.clientOff[i] + c + 1
+	}
+}
+
+func zipfWeight(rank int, skew float64) float64 {
+	if skew == 0 {
+		return 1
+	}
+	return math.Pow(float64(rank+1), -skew)
+}
+
+// buildWorkingSets samples each tenant's working set from one home
+// subtree (tenants round-robin over homes) with a per-tenant seeded
+// stream, then builds the alias tables for Zipf popularity.
+func (t *Tenants) buildWorkingSets(homes []*namespace.Inode, seed int64) {
+	n := t.NumTenants()
+	t.fileOff = make([]int32, n+1)
+	t.dirOff = make([]int32, n+1)
+	var scratchF, scratchD []*namespace.Inode
+	for i := 0; i < n; i++ {
+		rng := sim.NewStream(seed, "tenant-"+strconv.Itoa(i))
+		home := homes[i%len(homes)]
+		scratchF, scratchD = collectSubtree(home, scratchF[:0], scratchD[:0])
+		if len(scratchF) == 0 {
+			scratchF = append(scratchF, home)
+		}
+		if len(scratchD) == 0 {
+			scratchD = append(scratchD, home)
+		}
+		fset := sampleK(scratchF, t.cfg.WorkingSet, rng)
+		dset := sampleK(scratchD, max(1, t.cfg.WorkingSet/8), rng)
+		t.files = append(t.files, fset...)
+		t.dirs = append(t.dirs, dset...)
+		t.fileOff[i+1] = int32(len(t.files))
+		t.dirOff[i+1] = int32(len(t.dirs))
+	}
+	t.fProb, t.fAlias = buildAliasRuns(t.fileOff, t.cfg.FileSkew)
+	t.dProb, t.dAlias = buildAliasRuns(t.dirOff, t.cfg.FileSkew)
+}
+
+// collectSubtree gathers the files and directories beneath root
+// (inclusive for directories) in deterministic DFS order.
+func collectSubtree(root *namespace.Inode, files, dirs []*namespace.Inode) ([]*namespace.Inode, []*namespace.Inode) {
+	if !root.IsDir() {
+		return append(files, root), dirs
+	}
+	dirs = append(dirs, root)
+	for _, c := range root.Children() {
+		files, dirs = collectSubtree(c, files, dirs)
+	}
+	return files, dirs
+}
+
+// sampleK picks min(k, len(pool)) distinct nodes by partial
+// Fisher–Yates, copying out so the scratch pool can be reused. The
+// output order is the popularity ranking (index 0 = hottest).
+func sampleK(pool []*namespace.Inode, k int, rng *sim.RNG) []*namespace.Inode {
+	if k > len(pool) {
+		k = len(pool)
+	}
+	out := make([]*namespace.Inode, k)
+	for i := 0; i < k; i++ {
+		j := i + rng.Pick(len(pool)-i)
+		pool[i], pool[j] = pool[j], pool[i]
+		out[i] = pool[i]
+	}
+	return out
+}
+
+// buildAliasRuns fills Vose alias tables for every [off[i], off[i+1])
+// run with weights rank^-skew within the run.
+func buildAliasRuns(off []int32, skew float64) ([]float64, []int32) {
+	total := int(off[len(off)-1])
+	prob := make([]float64, total)
+	alias := make([]int32, total)
+	for i := 0; i+1 < len(off); i++ {
+		buildAlias(prob[off[i]:off[i+1]], alias[off[i]:off[i+1]], skew)
+	}
+	return prob, alias
+}
+
+// buildAlias constructs one Vose alias table in place for Zipf weights
+// (rank+1)^-skew, deterministic small/large pairing by ascending index.
+func buildAlias(prob []float64, alias []int32, skew float64) {
+	n := len(prob)
+	if n == 0 {
+		return
+	}
+	var total float64
+	for i := range prob {
+		prob[i] = zipfWeight(i, skew)
+		total += prob[i]
+	}
+	scale := float64(n) / total
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i := range prob {
+		prob[i] *= scale
+		alias[i] = int32(i)
+		if prob[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		alias[s] = l
+		prob[l] -= 1 - prob[s]
+		if prob[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	for _, i := range large {
+		prob[i] = 1
+	}
+	for _, i := range small {
+		prob[i] = 1
+	}
+}
+

@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"testing"
+
+	"dynmds/internal/namespace"
+)
+
+// tenantTree builds a small namespace with h home directories, each
+// holding a few files and one subdirectory.
+func tenantTree(t *testing.T, h int) (*namespace.Tree, []*namespace.Inode) {
+	t.Helper()
+	tr := namespace.NewTree()
+	homeRoot, err := tr.Mkdir(tr.Root, "home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	homes := make([]*namespace.Inode, h)
+	for i := 0; i < h; i++ {
+		u, err := tr.Mkdir(homeRoot, "u"+string(rune('a'+i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		homes[i] = u
+		sub, err := tr.Mkdir(u, "proj")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 6; j++ {
+			name := "f" + string(rune('0'+j))
+			if _, err := tr.Create(u, name); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tr.Create(sub, name); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return tr, homes
+}
+
+func TestTenantsClientSplit(t *testing.T) {
+	_, homes := tenantTree(t, 4)
+	cfg := TenantConfig{Tenants: 10, TenantSkew: 1.0, WorkingSet: 8}
+	tn := NewTenants(cfg, 1000, homes, 42)
+	if tn.NumTenants() != 10 {
+		t.Fatalf("tenants = %d", tn.NumTenants())
+	}
+	total := 0
+	for i := 0; i < 10; i++ {
+		c := tn.TenantClients(i)
+		if c < 1 {
+			t.Fatalf("tenant %d has %d clients", i, c)
+		}
+		total += c
+	}
+	if total != 1000 {
+		t.Fatalf("client counts sum to %d", total)
+	}
+	// Zipf sizes: tenant 0 largest, monotone non-increasing overall
+	// shape (largest remainder can wobble by one, so compare 0 vs last).
+	if tn.TenantClients(0) <= tn.TenantClients(9) {
+		t.Fatalf("skew missing: t0=%d t9=%d", tn.TenantClients(0), tn.TenantClients(9))
+	}
+	// Roughly Zipf: tenant 0's weight is 1/H(10) ≈ 0.34 of the mass.
+	if c0 := tn.TenantClients(0); c0 < 250 || c0 > 450 {
+		t.Fatalf("tenant 0 clients = %d, want ≈ 340", c0)
+	}
+	// ClientTenant is consistent with the contiguous ranges.
+	seen := make([]int, 10)
+	for c := 0; c < 1000; c++ {
+		seen[tn.ClientTenant(c)]++
+	}
+	for i := 0; i < 10; i++ {
+		if seen[i] != tn.TenantClients(i) {
+			t.Fatalf("tenant %d: mapped %d, counted %d", i, seen[i], tn.TenantClients(i))
+		}
+	}
+}
+
+func TestTenantsUniformSplit(t *testing.T) {
+	_, homes := tenantTree(t, 2)
+	tn := NewTenants(TenantConfig{Tenants: 7, WorkingSet: 4}, 700, homes, 1)
+	for i := 0; i < 7; i++ {
+		if c := tn.TenantClients(i); c != 100 {
+			t.Fatalf("tenant %d clients = %d, want 100", i, c)
+		}
+	}
+}
+
+func TestTenantsSeedStable(t *testing.T) {
+	_, homes := tenantTree(t, 4)
+	cfg := TenantConfig{Tenants: 6, TenantSkew: 0.8, FileSkew: 1.1, WorkingSet: 8}
+	a := NewTenants(cfg, 300, homes, 7)
+	b := NewTenants(cfg, 300, homes, 7)
+	c := NewTenants(cfg, 300, homes, 8)
+	for i := 0; i < 6; i++ {
+		if a.TenantClients(i) != b.TenantClients(i) {
+			t.Fatalf("tenant %d size differs across identical builds", i)
+		}
+	}
+	same, diff := true, false
+	for i := 0; i < 6; i++ {
+		lo, hi := int(a.fileOff[i]), int(a.fileOff[i+1])
+		for j := lo; j < hi; j++ {
+			if a.files[j] != b.files[j] {
+				same = false
+			}
+			if a.files[j] != c.files[j] {
+				diff = true
+			}
+		}
+	}
+	if !same {
+		t.Fatal("identical seeds produced different working sets")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical working sets")
+	}
+	// Draws are pure functions of (tenant, u1, u2).
+	if a.File(2, 123, 456) != b.File(2, 123, 456) {
+		t.Fatal("draw not reproducible")
+	}
+}
+
+func TestTenantsDrawDistribution(t *testing.T) {
+	_, homes := tenantTree(t, 1)
+	tn := NewTenants(TenantConfig{Tenants: 1, FileSkew: 1.2, WorkingSet: 8}, 16, homes, 3)
+	ws := tn.WorkingSetSize(0)
+	if ws < 2 {
+		t.Fatalf("working set = %d", ws)
+	}
+	hot := tn.files[0]
+	counts := map[*namespace.Inode]int{}
+	// Deterministic pseudo-uniform words via splitmix-ish mixing.
+	x := uint64(0x9E3779B97F4A7C15)
+	next := func() uint64 {
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return z ^ (z >> 31)
+	}
+	n := 20000
+	for i := 0; i < n; i++ {
+		counts[tn.File(0, next(), next())]++
+	}
+	// With skew 1.2 over 8 ranks, rank 0 holds ≈45% of the mass; it must
+	// clearly dominate a uniform share and every rank must be drawn.
+	if counts[hot] < n/4 {
+		t.Fatalf("hottest file drawn %d/%d, want > %d", counts[hot], n, n/4)
+	}
+	if len(counts) != ws {
+		t.Fatalf("only %d of %d working-set entries ever drawn", len(counts), ws)
+	}
+	for f, c := range counts {
+		if f == hot {
+			continue
+		}
+		if c >= counts[hot] {
+			t.Fatalf("rank-0 file not the mode: %d vs %d", counts[hot], c)
+		}
+	}
+	// Dir draws return directories.
+	for i := 0; i < 100; i++ {
+		if d := tn.Dir(0, next(), next()); !d.IsDir() {
+			t.Fatal("Dir returned a non-directory")
+		}
+	}
+}
+
+func TestTenantsWorkingSetBounded(t *testing.T) {
+	_, homes := tenantTree(t, 2)
+	tn := NewTenants(TenantConfig{Tenants: 3, WorkingSet: 5}, 30, homes, 9)
+	for i := 0; i < 3; i++ {
+		ws := tn.WorkingSetSize(i)
+		if ws < 1 || ws > 5 {
+			t.Fatalf("tenant %d working set = %d, want 1..5", i, ws)
+		}
+		// Entries are distinct.
+		seen := map[*namespace.Inode]bool{}
+		for j := int(tn.fileOff[i]); j < int(tn.fileOff[i+1]); j++ {
+			if seen[tn.files[j]] {
+				t.Fatalf("tenant %d working set has duplicates", i)
+			}
+			seen[tn.files[j]] = true
+		}
+	}
+}
+
+func TestTenantsDrawAllocFree(t *testing.T) {
+	_, homes := tenantTree(t, 1)
+	tn := NewTenants(TenantConfig{Tenants: 2, FileSkew: 0.9, WorkingSet: 8}, 64, homes, 5)
+	var sink *namespace.Inode
+	allocs := testing.AllocsPerRun(200, func() {
+		sink = tn.File(0, 12345, 67890)
+		sink = tn.Dir(1, 111, 222)
+	})
+	if allocs != 0 {
+		t.Fatalf("draw allocates: %v allocs/op", allocs)
+	}
+	_ = sink
+}

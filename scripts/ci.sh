@@ -48,6 +48,34 @@ if go run ./cmd/mdsim -shards -3 2>/dev/null; then
     exit 1
 fi
 
+# Open-loop traffic-plane smoke under the race detector: one million
+# flyweight clients through the hierarchical timer wheels at K=4, with
+# diurnal and burst modulation on. The arrival rate keeps the total
+# budget (~30k ops) under cluster service capacity.
+go run -race ./cmd/mdsim -open-loop 1000000 -open-rate 0.01 -mds 8 -users 40 \
+    -dur 3 -warmup 1 -diurnal 0.3 -burst-prob 0.05 -shards 4
+
+# Open-loop perf report (quick scale in CI; regenerate the committed
+# BENCH_7.json with a full-scale run, which adds the 10M-client row:
+# `go run ./cmd/mdsim -bench7-json BENCH_7.json`).
+go run ./cmd/mdsim -bench7-json BENCH_7.quick.json -quick
+
+# Flyweight memory gate: end-to-end heap delta per client at one
+# million clients must stay at or under 64 bytes. The structural plane
+# is ~41 B/client; the gate leaves headroom for pools and fs state
+# while still forbidding any per-client boxed object from sneaking in.
+BPC=$(awk '/"clients": 1000000,/{f=1} f && /"heap_bytes_per_client"/{gsub(/[",]/,""); print $2; exit}' BENCH_7.quick.json)
+if [ -z "$BPC" ]; then
+    echo "ci: no 1M-client heap_bytes_per_client in BENCH_7.quick.json" >&2
+    exit 1
+fi
+if awk "BEGIN{exit !($BPC <= 64)}"; then
+    echo "ci: open-loop heap ${BPC} B/client at 1M clients (gate: <= 64)"
+else
+    echo "ci: open-loop heap ${BPC} B/client at 1M clients exceeds the 64 B gate" >&2
+    exit 1
+fi
+
 # Perf report (quick scale in CI; regenerate the committed BENCH_6.json
 # with a full-scale run: `go run ./cmd/mdsim -bench-json BENCH_6.json
 # -shards 8`). Includes the serial-vs-sharded measurement of the bench

@@ -6,8 +6,8 @@
 #
 # testdata/figures_quick.txt  every experiment at reduced scale (-quick)
 # testdata/figures_full.txt   Figures 2-7 at paper scale
-# testdata/extras_full.txt    the sci, failover, and avail extensions at
-#                             paper scale
+# testdata/extras_full.txt    the sci, failover, avail, and clients
+#                             extensions at paper scale
 #
 # All runs use seed 1 and the default fixed network model; with those
 # held, output is bit-identical across machines, so a diff against the
@@ -30,5 +30,6 @@ if [ "${1:-}" = "-full" ]; then
 	go run ./cmd/mdsim -fig sci > testdata/extras_full.txt
 	go run ./cmd/mdsim -fig failover >> testdata/extras_full.txt
 	go run ./cmd/mdsim -fig avail >> testdata/extras_full.txt
+	go run ./cmd/mdsim -fig clients >> testdata/extras_full.txt
 	echo "wrote testdata/extras_full.txt"
 fi
