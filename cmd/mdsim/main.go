@@ -50,6 +50,9 @@ func run() int {
 		warm     = flag.Float64("warmup", 5, "warmup in simulated seconds")
 	)
 	list := flag.Bool("list", false, "list available experiments")
+	planArg := flag.String("plan", "", "run a scenario plan: a library plan name, 'all', or a plan DSL file path")
+	planList := flag.Bool("list-plans", false, "list the scenario plan library")
+	planJSON := flag.String("plan-json", "", "with -plan: write per-run and per-act metrics as JSON to this file")
 	benchJSON := flag.String("bench-json", "", "run the hot-path and sweep benchmarks and write a JSON report to this file")
 	share := flag.Bool("share-snapshots", true, "share one frozen namespace snapshot across sweep runs (off = legacy per-run generation)")
 	netModel := flag.String("net-model", simnet.ModelFixed, "fabric latency model: fixed or queued")
@@ -132,6 +135,23 @@ func run() int {
 	if *list {
 		for _, e := range append(harness.All(), harness.Extras()...) {
 			fmt.Printf("%-10s %s\n           %s\n", e.ID, e.Title, e.Description)
+		}
+		return 0
+	}
+
+	if *planList {
+		listPlans()
+		return 0
+	}
+
+	if *planArg != "" {
+		opt := harness.Options{Quick: *quick, Seed: *seed, NetModel: *netModel}
+		if err := runPlans(*planArg, *planJSON, opt); err != nil {
+			// Plan failures are configuration errors caught before (or
+			// while constructing) any simulation — usage errors, like a
+			// bad -faults schedule.
+			fmt.Fprintln(os.Stderr, "mdsim:", err)
+			return 2
 		}
 		return 0
 	}

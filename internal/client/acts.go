@@ -1,0 +1,130 @@
+package client
+
+import (
+	"dynmds/internal/metrics"
+	"dynmds/internal/namespace"
+	"dynmds/internal/sim"
+)
+
+// numMixOps is the op vocabulary size of the open-loop mix, in canonical
+// draw order: stat, readdir, chmod, create, rename.
+const numMixOps = 5
+
+// Act retargets the population during [From, To): a rate multiplier, an
+// op-mix override, and an optional hotspot that absorbs HotFrac of the
+// act's target draws. Acts never overlap; between acts the population
+// runs its base configuration. Boundaries are scheduled at exact
+// virtual times on every shard engine, so a run with acts is
+// bit-reproducible for a fixed (seed, clients, shard count).
+//
+// Open-loop semantics: each client's next inter-arrival is drawn at the
+// previous arrival, so a rate change takes effect at the client's first
+// draw after the boundary — one inter-arrival of lag, never a burst of
+// rescheduling work at the boundary itself.
+type Act struct {
+	Name     string
+	From, To sim.Time
+	// RateMul scales the per-client arrival rate; 0 means unchanged.
+	RateMul float64
+	// Mix overrides the op-mix weights in canonical order (stat,
+	// readdir, chmod, create, rename); an all-zero mix inherits the
+	// base mix.
+	Mix [numMixOps]float64
+	// Hot, when non-nil, receives HotFrac of the act's draws as their
+	// target (the directory of a create storm, the file of a stat
+	// crowd). Resolved against the namespace by the cluster layer.
+	Hot     *namespace.Inode
+	HotFrac float64
+}
+
+// shardActStat is one shard's slice of an act's accounting: counter
+// snapshots at the boundaries and a latency lane for completions that
+// land inside the window.
+type shardActStat struct {
+	issued0, completed0 uint64
+	issued1, completed1 uint64
+	lat                 *metrics.LatHist
+	open                bool
+}
+
+// ScheduleActs registers the acts and schedules their boundary events on
+// every shard engine. Call once, before Start. The cluster layer
+// validates ordering and non-overlap; boundary work (threshold rebuild,
+// one histogram allocation per act per shard) runs off the hot path.
+func (p *Population) ScheduleActs(acts []Act) {
+	p.acts = acts
+	for _, s := range p.shards {
+		s.actStats = make([]shardActStat, len(acts))
+		sh := s
+		for i := range acts {
+			i := i
+			sh.eng.At(acts[i].From, func() { sh.beginAct(i) })
+			sh.eng.At(acts[i].To, func() { sh.endAct(i) })
+		}
+	}
+}
+
+// beginAct installs act i's phase state on this shard.
+func (s *popShard) beginAct(i int) {
+	a := &s.pop.acts[i]
+	s.rateMul = 1
+	if a.RateMul > 0 {
+		s.rateMul = a.RateMul
+	}
+	if a.Mix[0]+a.Mix[1]+a.Mix[2]+a.Mix[3]+a.Mix[4] > 0 {
+		s.cum = cumMix(a.Mix[0], a.Mix[1], a.Mix[2], a.Mix[3], a.Mix[4])
+	} else {
+		s.cum = s.pop.baseCum
+	}
+	s.hot, s.hotFrac = a.Hot, a.HotFrac
+	st := &s.actStats[i]
+	st.issued0, st.completed0 = s.issued, s.completed
+	st.lat = metrics.NewLatHist()
+	st.open = true
+	s.curLat = st.lat
+}
+
+// endAct snapshots act i's counters and reverts to the base phase.
+func (s *popShard) endAct(i int) {
+	st := &s.actStats[i]
+	st.issued1, st.completed1 = s.issued, s.completed
+	st.open = false
+	s.curLat = nil
+	s.rateMul = 1
+	s.cum = s.pop.baseCum
+	s.hot, s.hotFrac = nil, 0
+}
+
+// ActStat is one act's accounting merged across shards.
+type ActStat struct {
+	Name      string
+	From, To  sim.Time
+	Issued    uint64
+	Completed uint64
+	Lat       *metrics.LatHist
+}
+
+// ActStats merges the per-shard act accounting. An act whose end event
+// has not fired (To at the run horizon) reads live counters instead.
+func (p *Population) ActStats() []ActStat {
+	if len(p.acts) == 0 {
+		return nil
+	}
+	out := make([]ActStat, len(p.acts))
+	for i, a := range p.acts {
+		out[i] = ActStat{Name: a.Name, From: a.From, To: a.To, Lat: metrics.NewLatHist()}
+		for _, s := range p.shards {
+			st := &s.actStats[i]
+			i1, c1 := st.issued1, st.completed1
+			if st.open {
+				i1, c1 = s.issued, s.completed
+			}
+			out[i].Issued += i1 - st.issued0
+			out[i].Completed += c1 - st.completed0
+			if st.lat != nil {
+				out[i].Lat.Merge(st.lat)
+			}
+		}
+	}
+	return out
+}

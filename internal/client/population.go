@@ -5,6 +5,7 @@ import (
 
 	"dynmds/internal/metrics"
 	"dynmds/internal/msg"
+	"dynmds/internal/namespace"
 	"dynmds/internal/partition"
 	"dynmds/internal/sim"
 	"dynmds/internal/workload"
@@ -38,10 +39,12 @@ type PopulationConfig struct {
 	BurstFactor float64
 	BurstEpoch  sim.Time
 
-	// Op mix weights; zero-valued mixes default to Stat 80, Readdir 10,
-	// Chmod 8, Create 2. (No Open/Close: the open-loop plane never
-	// issues an op whose accounting depends on a paired follow-up.)
-	MixStat, MixReaddir, MixChmod, MixCreate float64
+	// Op mix weights; an all-zero mix defaults to Stat 80, Readdir 10,
+	// Chmod 8, Create 2, Rename 0. (No Open/Close: the open-loop plane
+	// never issues an op whose accounting depends on a paired follow-up.
+	// Rename moves a working-set entry into another tenant's directory —
+	// the cross-authority migration op.)
+	MixStat, MixReaddir, MixChmod, MixCreate, MixRename float64
 }
 
 func (c PopulationConfig) withDefaults() PopulationConfig {
@@ -63,10 +66,37 @@ func (c PopulationConfig) withDefaults() PopulationConfig {
 	if c.BurstFactor <= 0 {
 		c.BurstFactor = 4
 	}
-	if c.MixStat+c.MixReaddir+c.MixChmod+c.MixCreate <= 0 {
+	if c.MixStat+c.MixReaddir+c.MixChmod+c.MixCreate+c.MixRename <= 0 {
 		c.MixStat, c.MixReaddir, c.MixChmod, c.MixCreate = 80, 10, 8, 2
 	}
 	return c
+}
+
+// EffectiveMix returns the defaulted op-mix weights in canonical draw
+// order (stat, readdir, chmod, create, rename) — what an all-zero act
+// mix inherits. The cluster layer uses it to validate hotspot targets.
+func (c PopulationConfig) EffectiveMix() [numMixOps]float64 {
+	d := c.withDefaults()
+	return [numMixOps]float64{d.MixStat, d.MixReaddir, d.MixChmod, d.MixCreate, d.MixRename}
+}
+
+// cumMix folds mix weights into cumulative draw thresholds in canonical
+// op order; cum[numMixOps-1] is the total weight. Left-to-right addition
+// order matters: it must reproduce the pre-act threshold arithmetic
+// bit-for-bit so act-free runs stay golden-identical.
+func cumMix(stat, readdir, chmod, create, rename float64) [numMixOps]float64 {
+	var cum [numMixOps]float64
+	c := stat
+	cum[0] = c
+	c += readdir
+	cum[1] = c
+	c += chmod
+	cum[2] = c
+	c += create
+	cum[3] = c
+	c += rename
+	cum[4] = c
+	return cum
 }
 
 // Population is the open-loop flyweight traffic plane: millions of
@@ -78,7 +108,10 @@ func (c PopulationConfig) withDefaults() PopulationConfig {
 //
 // The hot paths (wheel fire → draw op → direct → send, and reply →
 // record → recycle) are allocation-free in steady state; only Create
-// ops allocate (the new entry's name and inode, inherent to the op).
+// and Rename ops allocate (the new entry's name and inode, inherent to
+// the op). Scenario acts (ScheduleActs) retarget rate, mix, and hotspot
+// at exact virtual times without adding steady-state work: the arrival
+// path reads plain per-shard phase fields.
 type Population struct {
 	cfg     PopulationConfig
 	net     Network
@@ -86,7 +119,8 @@ type Population struct {
 	tenants *workload.Tenants
 	hints   *HintTable
 	shards  []*popShard
-	mixTot  float64
+	baseCum [numMixOps]float64
+	acts    []Act
 }
 
 // popShard is one shard's slice of the population: clients are striped
@@ -106,6 +140,18 @@ type popShard struct {
 	pool    []*msg.Request // free list; grows to max outstanding, then steady
 	seq     uint64         // shard-monotonic request ids
 	nameSeq int
+
+	// Phase state, rewritten at act boundaries and read on every
+	// arrival: the effective rate multiplier, cumulative mix
+	// thresholds, and hotspot redirect. Plain fields touched only from
+	// this shard's engine, so acts are free on the hot path.
+	rateMul float64
+	cum     [numMixOps]float64
+	hot     *namespace.Inode
+	hotFrac float64
+
+	actStats []shardActStat
+	curLat   *metrics.LatHist // per-act latency lane; nil outside acts
 
 	issued    uint64
 	completed uint64
@@ -131,19 +177,21 @@ func NewPopulation(cfg PopulationConfig, engines []*sim.Engine, netw Network, st
 		strat:   strat,
 		tenants: tenants,
 		hints:   NewHintTable(cfg.Clients, cfg.Ways),
-		mixTot:  cfg.MixStat + cfg.MixReaddir + cfg.MixChmod + cfg.MixCreate,
+		baseCum: cumMix(cfg.MixStat, cfg.MixReaddir, cfg.MixChmod, cfg.MixCreate, cfg.MixRename),
 	}
 	p.shards = make([]*popShard, k)
 	for s := 0; s < k; s++ {
 		n := (cfg.Clients - s + k - 1) / k // ceil((clients-s)/k): locals of stripe s
 		ps := &popShard{
-			pop:   p,
-			eng:   engines[s],
-			shard: s,
-			k:     k,
-			rng:   make([]uint64, n),
-			tenant: make([]uint32, n),
-			lat:   metrics.NewLatHist(),
+			pop:     p,
+			eng:     engines[s],
+			shard:   s,
+			k:       k,
+			rng:     make([]uint64, n),
+			tenant:  make([]uint32, n),
+			rateMul: 1,
+			cum:     p.baseCum,
+			lat:     metrics.NewLatHist(),
 		}
 		for li := 0; li < n; li++ {
 			g := li*k + s
@@ -221,7 +269,7 @@ func (s *popShard) rearm(li int32) {
 	if u <= 0 {
 		u = 1e-18
 	}
-	d := sim.FromSeconds(-math.Log(u) / s.rate(li, s.eng.Now()))
+	d := sim.FromSeconds(-math.Log(u) / (s.rate(li, s.eng.Now()) * s.rateMul))
 	if d > sim.Hour {
 		d = sim.Hour
 	}
@@ -258,23 +306,45 @@ func (s *popShard) arrive(li int32) {
 	req.Issued = s.eng.Now()
 	req.Via = -1
 
-	x := uniform(s.next(li)) * p.mixTot
-	cfg := &p.cfg
+	x := uniform(s.next(li)) * s.cum[numMixOps-1]
 	switch {
-	case x < cfg.MixStat:
+	case x < s.cum[0]:
 		req.Op = msg.Stat
 		req.Target = p.tenants.File(tn, s.next(li), s.next(li))
-	case x < cfg.MixStat+cfg.MixReaddir:
+	case x < s.cum[1]:
 		req.Op = msg.Readdir
 		req.Target = p.tenants.Dir(tn, s.next(li), s.next(li))
-	case x < cfg.MixStat+cfg.MixReaddir+cfg.MixChmod:
+	case x < s.cum[2]:
 		req.Op = msg.Chmod
 		req.Target = p.tenants.File(tn, s.next(li), s.next(li))
-	default:
+	case x < s.cum[3]:
 		req.Op = msg.Create
 		req.Target = p.tenants.Dir(tn, s.next(li), s.next(li))
 		s.nameSeq++
 		req.NewName = popName(s.shard, s.nameSeq)
+	default:
+		// Rename: move a working-set entry into another tenant's
+		// directory — the cross-authority migration op. The inode
+		// survives the move (failed renames are MDS-side no-ops), so
+		// working-set and alias-table pointers stay valid.
+		req.Op = msg.Rename
+		req.Target = p.tenants.File(tn, s.next(li), s.next(li))
+		dst := tn
+		if t := p.tenants.NumTenants(); t > 1 {
+			dst = int(s.next(li) % uint64(t-1))
+			if dst >= tn {
+				dst++
+			}
+		}
+		req.DstDir = p.tenants.Dir(dst, s.next(li), s.next(li))
+		s.nameSeq++
+		req.NewName = popName(s.shard, s.nameSeq)
+	}
+	// Hotspot acts redirect a fraction of draws to one target. The
+	// extra uniform word is drawn only while a hotspot is active, so
+	// hotspot-free runs keep their RNG streams (and goldens) intact.
+	if s.hotFrac > 0 && uniform(s.next(li)) < s.hotFrac {
+		req.Target = s.hot
 	}
 
 	mds := p.direct(g, req, s.next(li))
@@ -339,6 +409,9 @@ func (p *Population) OnReply(rep *msg.Reply) {
 	s.completed++
 	lat := rep.Latency()
 	s.lat.Observe(lat)
+	if s.curLat != nil {
+		s.curLat.Observe(lat)
+	}
 	s.welford.Add(lat.Seconds())
 	for _, h := range rep.Hints {
 		p.hints.Put(rep.Client, h)

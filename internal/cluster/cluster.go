@@ -141,6 +141,12 @@ type Config struct {
 	// loop has no retry path and no scenario hooks).
 	OpenLoop *client.PopulationConfig
 
+	// Acts, when non-empty, scripts the open-loop run as a timeline of
+	// scenario acts — timed rate/mix/skew/hotspot retargets of the
+	// traffic plane (see ActConfig). Requires OpenLoop; validated and
+	// resolved against the namespace in New, before any simulation.
+	Acts []ActConfig
+
 	// Shards, when > 1, runs the simulation on the conservative parallel
 	// (Chandy–Misra style) sharded executor: MDS endpoints and clients
 	// are partitioned across that many per-shard event heaps advancing
@@ -196,6 +202,10 @@ type Cluster struct {
 	Clients  []*client.Client
 	// Pop is the open-loop traffic plane (nil for closed-loop runs).
 	Pop *client.Population
+	// tenants is the plane's tenant model, kept for act-driven skew
+	// retargets (scheduled on the global engine: they mutate shared
+	// alias tables, so they must run at barriers when sharded).
+	tenants *workload.Tenants
 
 	// Per-node reply series, cluster-wide forward and client-arrival
 	// series, replica-serve series (all bucketed by SeriesBucket).
@@ -450,6 +460,12 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 
+	// Scenario acts: validated, hotspot paths resolved against the
+	// fresh namespace, boundaries scheduled.
+	if err := c.setupActs(); err != nil {
+		return nil, err
+	}
+
 	if c.numShards > 1 {
 		// Materialize every inode's tag block and freeze authority
 		// resolution while still single-threaded: windows read tags and
@@ -657,6 +673,7 @@ func (c *Cluster) buildPopulation() error {
 	if c.numShards > 1 {
 		engines = c.shardEngines
 	}
+	c.tenants = tenants
 	c.Pop = client.NewPopulation(pcfg, engines, c, c.Strategy, tenants, cfg.Seed)
 	return nil
 }
@@ -834,6 +851,9 @@ type Result struct {
 	// PopFootprint is the traffic plane's structural bytes (slabs,
 	// wheels, hint table, tenant tables).
 	PopFootprint int64
+	// Acts holds per-act metrics when the run was scripted (Config.Acts),
+	// in timeline order.
+	Acts []ActResult
 
 	// Wall-clock accounting: SetupWall covers namespace generation (or
 	// thaw) plus cluster assembly; RunWall covers event-loop execution.
@@ -970,6 +990,7 @@ func (c *Cluster) Collect() *Result {
 		r.MeanLatency = c.Pop.MeanLatency()
 		r.LatencyP50 = c.LatH.Quantile(0.5).Seconds()
 		r.LatencyP99 = c.LatH.Quantile(0.99).Seconds()
+		c.collectActs(r)
 	} else {
 		for _, cl := range c.Clients {
 			r.Issued += cl.Stats.Issued

@@ -6,6 +6,7 @@ import (
 
 	"dynmds/internal/cluster"
 	"dynmds/internal/metrics"
+	"dynmds/internal/plan"
 	"dynmds/internal/sim"
 )
 
@@ -85,24 +86,26 @@ func availScenario(opt Options, strategy string) availSpec {
 // Exposed separately from the experiment so the benchmark emitter can
 // reuse the numbers.
 func AvailabilityReport(opt Options) ([]AvailMetrics, error) {
-	var specs []RunSpec
-	var scen []availSpec
-	for _, s := range cluster.Strategies {
-		sp := availScenario(opt, s)
-		scen = append(scen, sp)
-		control := sp.cfg
-		control.Faults = inertSchedule
-		specs = append(specs,
-			RunSpec{Label: "avail/" + s, Cfg: sp.cfg},
-			RunSpec{Label: "avail-control/" + s, Cfg: control})
+	p := &plan.Plan{
+		Name: "avail",
+		Matrix: []plan.Axis{
+			{Key: "strategy", Values: cluster.Strategies},
+			{Key: "run", Values: []string{"fault", "control"}},
+		},
+		Tweak: func(cfg *cluster.Config, cell plan.Cell, _ plan.Options) {
+			*cfg = availScenario(opt, cell["strategy"]).cfg
+			if cell["run"] == "control" {
+				cfg.Faults = inertSchedule
+			}
+		},
 	}
-	results, err := Sweep(specs)
+	runs, err := RunPlan(p, opt)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]AvailMetrics, len(scen))
-	for i := range scen {
-		out[i] = reduceAvail(results[2*i], results[2*i+1], scen[i])
+	out := make([]AvailMetrics, len(cluster.Strategies))
+	for i, s := range cluster.Strategies {
+		out[i] = reduceAvail(runs[2*i].Res, runs[2*i+1].Res, availScenario(opt, s))
 	}
 	return out, nil
 }

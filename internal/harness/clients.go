@@ -7,6 +7,7 @@ import (
 	"dynmds/internal/client"
 	"dynmds/internal/cluster"
 	"dynmds/internal/metrics"
+	"dynmds/internal/plan"
 	"dynmds/internal/sim"
 	"dynmds/internal/workload"
 )
@@ -45,24 +46,27 @@ func ClientsExt(w io.Writer, opt Options) error {
 		counts = []int{20_000, 200_000}
 		budget = 15e3
 	}
-	var specs []RunSpec
-	for _, s := range []string{cluster.StratDynamic, cluster.StratStatic, cluster.StratFileHash} {
-		for _, n := range counts {
-			rate := budget / (float64(n) * clientsConfig(opt, s, n, 1).Duration.Seconds())
-			specs = append(specs, RunSpec{
-				Label: fmt.Sprintf("clients/%s/%d", s, n),
-				Cfg:   clientsConfig(opt, s, n, rate),
-			})
-		}
+	p := &plan.Plan{
+		Name: "clients",
+		Matrix: []plan.Axis{
+			{Key: "strategy", Values: []string{cluster.StratDynamic, cluster.StratStatic, cluster.StratFileHash}},
+			{Key: "clients", Values: intStrings(counts)},
+		},
+		Tweak: func(cfg *cluster.Config, cell plan.Cell, _ plan.Options) {
+			n := atoi(cell["clients"])
+			rate := budget / (float64(n) * clientsConfig(opt, cell["strategy"], n, 1).Duration.Seconds())
+			*cfg = clientsConfig(opt, cell["strategy"], n, rate)
+		},
 	}
-	results, err := Sweep(specs)
+	runs, err := RunPlan(p, opt)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(w, "Extension: open-loop traffic plane, client-count sweep (constant arrival budget)")
 	tb := metrics.NewTable("strategy", "clients", "issued", "completed", "p50(ms)", "p99(ms)", "p999(ms)", "fwd", "B/client")
-	for i, r := range results {
-		tb.AddRow(specs[i].Cfg.Strategy, r.Clients, int(r.Issued), int(r.Completed),
+	for _, run := range runs {
+		r := run.Res
+		tb.AddRow(run.Cfg.Strategy, r.Clients, int(r.Issued), int(r.Completed),
 			fmt.Sprintf("%.2f", r.LatencyP50*1000),
 			fmt.Sprintf("%.2f", r.LatencyP99*1000),
 			fmt.Sprintf("%.2f", r.LatencyP999*1000),

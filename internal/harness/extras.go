@@ -3,9 +3,11 @@ package harness
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"dynmds/internal/cluster"
 	"dynmds/internal/metrics"
+	"dynmds/internal/plan"
 	"dynmds/internal/sim"
 )
 
@@ -78,31 +80,36 @@ func sciConfig(opt Options, strategy string) cluster.Config {
 // dynamic strategy with directory hashing enabled) oversized-directory
 // distribution.
 func SciExt(w io.Writer, opt Options) error {
-	var specs []RunSpec
-	for _, s := range cluster.Strategies {
-		specs = append(specs, RunSpec{
-			Label: "sci/" + s,
-			Cfg:   sciConfig(opt, s),
-		})
+	// Every strategy, plus dynamic again with directory hashing of huge
+	// shared dirs.
+	variants := append(append([]string(nil), cluster.Strategies...),
+		cluster.StratDynamic+"+dirhash")
+	p := &plan.Plan{
+		Name: "sci",
+		Matrix: []plan.Axis{
+			{Key: "variant", Values: variants},
+		},
+		Tweak: func(cfg *cluster.Config, cell plan.Cell, _ plan.Options) {
+			v := cell["variant"]
+			strategy, hashed := strings.CutSuffix(v, "+dirhash")
+			*cfg = sciConfig(opt, strategy)
+			if hashed {
+				cfg.HashDirThreshold = 256
+			}
+		},
 	}
-	// Dynamic again with directory hashing of huge shared dirs.
-	hashed := sciConfig(opt, cluster.StratDynamic)
-	hashed.HashDirThreshold = 256
-	specs = append(specs, RunSpec{Label: "sci/DynamicSubtree+dirhash", Cfg: hashed})
-
-	results, err := Sweep(specs)
+	runs, err := RunPlan(p, opt)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(w, "Extension: scientific workload (synchronised N-to-1 / N-to-N bursts)")
 	tb := metrics.NewTable("strategy", "ops/s/mds", "hit", "fwd", "replications", "writes_absorbed")
-	for i, r := range results {
-		name := specs[i].Label[len("sci/"):]
-		tb.AddRow(name, r.AvgThroughput,
-			fmt.Sprintf("%.3f", r.HitRate),
-			fmt.Sprintf("%.4f", r.ForwardFrac),
-			int(r.Replications),
-			int(r.WritesAbsorbed))
+	for _, r := range runs {
+		tb.AddRow(r.Cell["variant"], r.Res.AvgThroughput,
+			fmt.Sprintf("%.3f", r.Res.HitRate),
+			fmt.Sprintf("%.4f", r.Res.ForwardFrac),
+			int(r.Res.Replications),
+			int(r.Res.WritesAbsorbed))
 	}
 	_, err = io.WriteString(w, tb.String())
 	return err

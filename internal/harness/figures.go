@@ -3,11 +3,20 @@ package harness
 import (
 	"fmt"
 	"io"
+	"strconv"
 
 	"dynmds/internal/cluster"
 	"dynmds/internal/metrics"
+	"dynmds/internal/plan"
 	"dynmds/internal/sim"
 )
+
+// The figures are plan definitions: each builds a plan.Plan whose
+// matrix mirrors the old hand-rolled spec loops (first axis outermost,
+// so runs come back in the same order) and whose Tweak overwrites the
+// compiled config with the figure's bespoke one — which keeps the
+// goldens bit-identical to the pre-plan harness. Only the table
+// rendering stays per-figure.
 
 // scaledConfig builds the Figure 2/3 scaling configuration: MDS memory
 // is fixed while file system size and client base scale with the
@@ -54,36 +63,49 @@ func sizesFor(opt Options, max int) []int {
 	return out
 }
 
-// Fig2 regenerates Figure 2: average per-MDS throughput vs cluster size
-// for all five strategies under the general-purpose workload.
-func Fig2(w io.Writer, opt Options) error {
-	sizes := sizesFor(opt, 50)
-	var specs []RunSpec
-	for _, n := range sizes {
-		for _, s := range cluster.Strategies {
-			specs = append(specs, RunSpec{
-				Label: fmt.Sprintf("fig2/%s/n=%d", s, n),
-				Cfg:   scaledConfig(opt, s, n),
-			})
-		}
+// scalingPlan is the Figure 2/3 shape: cluster sizes × all strategies,
+// each cell the scaled configuration.
+func scalingPlan(name string, opt Options, sizes []int) *plan.Plan {
+	return &plan.Plan{
+		Name: name,
+		Matrix: []plan.Axis{
+			{Key: "mds", Values: intStrings(sizes)},
+			{Key: "strategy", Values: cluster.Strategies},
+		},
+		Tweak: func(cfg *cluster.Config, cell plan.Cell, _ plan.Options) {
+			*cfg = scaledConfig(opt, cell["strategy"], atoi(cell["mds"]))
+		},
 	}
-	results, err := Sweep(specs)
-	if err != nil {
-		return err
-	}
-	tb := metrics.NewTable(append([]string{"mds"}, cluster.Strategies...)...)
+}
+
+// writeStrategyGrid renders the rows × strategies table the scaling
+// figures share: one cell per run, runs in matrix (row-major) order.
+func writeStrategyGrid(w io.Writer, rowHeader string, rowLabels []interface{}, runs []PlanRun, val func(*cluster.Result) interface{}) error {
+	tb := metrics.NewTable(append([]string{rowHeader}, cluster.Strategies...)...)
 	i := 0
-	for _, n := range sizes {
-		row := []interface{}{n}
+	for _, rl := range rowLabels {
+		row := []interface{}{rl}
 		for range cluster.Strategies {
-			row = append(row, results[i].AvgThroughput)
+			row = append(row, val(runs[i].Res))
 			i++
 		}
 		tb.AddRow(row...)
 	}
-	fmt.Fprintln(w, "Figure 2: average MDS throughput (ops/sec) vs cluster size")
-	_, err = io.WriteString(w, tb.String())
+	_, err := io.WriteString(w, tb.String())
 	return err
+}
+
+// Fig2 regenerates Figure 2: average per-MDS throughput vs cluster size
+// for all five strategies under the general-purpose workload.
+func Fig2(w io.Writer, opt Options) error {
+	sizes := sizesFor(opt, 50)
+	runs, err := RunPlan(scalingPlan("fig2", opt, sizes), opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 2: average MDS throughput (ops/sec) vs cluster size")
+	return writeStrategyGrid(w, "mds", intCells(sizes), runs,
+		func(r *cluster.Result) interface{} { return r.AvgThroughput })
 }
 
 // Fig3 regenerates Figure 3: percentage of cache consumed by prefix
@@ -92,32 +114,13 @@ func Fig2(w io.Writer, opt Options) error {
 // it for completeness).
 func Fig3(w io.Writer, opt Options) error {
 	sizes := sizesFor(opt, 30)
-	var specs []RunSpec
-	for _, n := range sizes {
-		for _, s := range cluster.Strategies {
-			specs = append(specs, RunSpec{
-				Label: fmt.Sprintf("fig3/%s/n=%d", s, n),
-				Cfg:   scaledConfig(opt, s, n),
-			})
-		}
-	}
-	results, err := Sweep(specs)
+	runs, err := RunPlan(scalingPlan("fig3", opt, sizes), opt)
 	if err != nil {
 		return err
 	}
-	tb := metrics.NewTable(append([]string{"mds"}, cluster.Strategies...)...)
-	i := 0
-	for _, n := range sizes {
-		row := []interface{}{n}
-		for range cluster.Strategies {
-			row = append(row, 100*results[i].PrefixFrac)
-			i++
-		}
-		tb.AddRow(row...)
-	}
 	fmt.Fprintln(w, "Figure 3: cache consumed by prefix inodes (%) vs cluster size")
-	_, err = io.WriteString(w, tb.String())
-	return err
+	return writeStrategyGrid(w, "mds", intCells(sizes), runs,
+		func(r *cluster.Result) interface{} { return 100 * r.PrefixFrac })
 }
 
 // Fig4 regenerates Figure 4: cache hit rate as a function of cache size
@@ -138,39 +141,38 @@ func Fig4(w io.Writer, opt Options) error {
 		return err
 	}
 
-	var specs []RunSpec
-	for _, f := range fractions {
-		for _, s := range cluster.Strategies {
-			cfg := scaledConfig(opt, s, n)
+	fracs := make([]string, len(fractions))
+	for i, f := range fractions {
+		fracs[i] = fmt.Sprintf("%.3f", f)
+	}
+	p := &plan.Plan{
+		Name: "fig4",
+		Matrix: []plan.Axis{
+			{Key: "frac", Values: fracs},
+			{Key: "strategy", Values: cluster.Strategies},
+		},
+		Tweak: func(cfg *cluster.Config, cell plan.Cell, _ plan.Options) {
+			f, _ := strconv.ParseFloat(cell["frac"], 64)
+			*cfg = scaledConfig(opt, cell["strategy"], n)
 			perMDS := int(f * float64(totalInodes) / float64(n))
 			if perMDS < 64 {
 				perMDS = 64
 			}
 			cfg.MDS.CacheCapacity = perMDS
 			cfg.MDS.Storage.LogCapacity = perMDS
-			specs = append(specs, RunSpec{
-				Label: fmt.Sprintf("fig4/%s/frac=%.3f", s, f),
-				Cfg:   cfg,
-			})
-		}
+		},
 	}
-	results, err := Sweep(specs)
+	runs, err := RunPlan(p, opt)
 	if err != nil {
 		return err
 	}
-	tb := metrics.NewTable(append([]string{"cache_frac"}, cluster.Strategies...)...)
-	i := 0
-	for _, f := range fractions {
-		row := []interface{}{fmt.Sprintf("%.3f", f)}
-		for range cluster.Strategies {
-			row = append(row, fmt.Sprintf("%.3f", results[i].HitRate))
-			i++
-		}
-		tb.AddRow(row...)
-	}
 	fmt.Fprintf(w, "Figure 4: cache hit rate vs cache size fraction (cluster of %d, fs=%d inodes)\n", n, totalInodes)
-	_, err = io.WriteString(w, tb.String())
-	return err
+	rows := make([]interface{}, len(fracs))
+	for i, f := range fracs {
+		rows[i] = f
+	}
+	return writeStrategyGrid(w, "cache_frac", rows, runs,
+		func(r *cluster.Result) interface{} { return fmt.Sprintf("%.3f", r.HitRate) })
 }
 
 // shiftConfig builds the Figure 5/6 workload-evolution run.
@@ -208,21 +210,31 @@ func shiftConfig(opt Options, strategy string) cluster.Config {
 	return cfg
 }
 
+// shiftPlan is the Figure 5/6 shape: dynamic vs static under the
+// workload shift.
+func shiftPlan(name string, opt Options) *plan.Plan {
+	return &plan.Plan{
+		Name: name,
+		Matrix: []plan.Axis{
+			{Key: "strategy", Values: []string{cluster.StratDynamic, cluster.StratStatic}},
+		},
+		Tweak: func(cfg *cluster.Config, cell plan.Cell, _ plan.Options) {
+			*cfg = shiftConfig(opt, cell["strategy"])
+		},
+	}
+}
+
 // Fig5 regenerates Figure 5: the range (min..max) and average of MDS
 // throughput over time under the shifting workload, dynamic vs static.
 func Fig5(w io.Writer, opt Options) error {
-	specs := []RunSpec{
-		{Label: "fig5/dynamic", Cfg: shiftConfig(opt, cluster.StratDynamic)},
-		{Label: "fig5/static", Cfg: shiftConfig(opt, cluster.StratStatic)},
-	}
-	results, err := Sweep(specs)
+	runs, err := RunPlan(shiftPlan("fig5", opt), opt)
 	if err != nil {
 		return err
 	}
-	dyn, sta := results[0], results[1]
+	dyn, sta := runs[0].Res, runs[1].Res
 	fmt.Fprintln(w, "Figure 5: MDS throughput (ops/sec) over time under a workload shift")
 	fmt.Fprintf(w, "shift at t=%v; dynamic migrations=%d\n",
-		specs[0].Cfg.Workload.ShiftTime, dyn.Migrations)
+		runs[0].Cfg.Workload.ShiftTime, dyn.Migrations)
 	tb := metrics.NewTable("t(s)",
 		"dyn_min", "dyn_avg", "dyn_max",
 		"sta_min", "sta_avg", "sta_max")
@@ -258,15 +270,11 @@ func nodeRange(r *cluster.Result, i int) (min, avg, max float64) {
 // Fig6 regenerates Figure 6: the fraction of client requests forwarded
 // over time under the same shift.
 func Fig6(w io.Writer, opt Options) error {
-	specs := []RunSpec{
-		{Label: "fig6/dynamic", Cfg: shiftConfig(opt, cluster.StratDynamic)},
-		{Label: "fig6/static", Cfg: shiftConfig(opt, cluster.StratStatic)},
-	}
-	results, err := Sweep(specs)
+	runs, err := RunPlan(shiftPlan("fig6", opt), opt)
 	if err != nil {
 		return err
 	}
-	dyn, sta := results[0], results[1]
+	dyn, sta := runs[0].Res, runs[1].Res
 	fmt.Fprintln(w, "Figure 6: fraction of requests forwarded over time under a workload shift")
 	tb := metrics.NewTable("t(s)", "dynamic", "static")
 	buckets := dyn.Forwards.Len()
@@ -327,15 +335,20 @@ func flashConfig(opt Options, trafficOn bool) cluster.Config {
 // Fig7 regenerates Figure 7: cluster-wide replies and forwards per
 // second through the flash crowd, without and with traffic control.
 func Fig7(w io.Writer, opt Options) error {
-	specs := []RunSpec{
-		{Label: "fig7/no-tc", Cfg: flashConfig(opt, false)},
-		{Label: "fig7/tc", Cfg: flashConfig(opt, true)},
+	p := &plan.Plan{
+		Name: "fig7",
+		Matrix: []plan.Axis{
+			{Key: "tc", Values: []string{"off", "on"}},
+		},
+		Tweak: func(cfg *cluster.Config, cell plan.Cell, _ plan.Options) {
+			*cfg = flashConfig(opt, cell["tc"] == "on")
+		},
 	}
-	results, err := Sweep(specs)
+	runs, err := RunPlan(p, opt)
 	if err != nil {
 		return err
 	}
-	off, on := results[0], results[1]
+	off, on := runs[0].Res, runs[1].Res
 	fmt.Fprintln(w, "Figure 7: flash crowd at t=8s; requests/sec, traffic control off vs on")
 	tb := metrics.NewTable("t(s)",
 		"off_replies", "off_forwards",
@@ -366,4 +379,28 @@ func totalReplies(r *cluster.Result, i int) float64 {
 		sum += s.Sum(i)
 	}
 	return sum
+}
+
+// intStrings renders ints as matrix axis values.
+func intStrings(ns []int) []string {
+	out := make([]string, len(ns))
+	for i, n := range ns {
+		out[i] = strconv.Itoa(n)
+	}
+	return out
+}
+
+// intCells renders ints as table row labels.
+func intCells(ns []int) []interface{} {
+	out := make([]interface{}, len(ns))
+	for i, n := range ns {
+		out[i] = n
+	}
+	return out
+}
+
+// atoi is strconv.Atoi for matrix values already validated by Compile.
+func atoi(s string) int {
+	n, _ := strconv.Atoi(s)
+	return n
 }

@@ -1,0 +1,179 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"dynmds/internal/cluster"
+	"dynmds/internal/metrics"
+	"dynmds/internal/plan"
+)
+
+// PlanRun is one executed cell of a plan: the compiled config and its
+// result, labelled for reports.
+type PlanRun struct {
+	Label string
+	Cell  plan.Cell
+	Cfg   cluster.Config
+	Res   *cluster.Result
+}
+
+// PlanOptions maps harness options onto the plan compiler's.
+func PlanOptions(opt Options) plan.Options {
+	return plan.Options{Quick: opt.Quick, Seed: opt.Seed, NetModel: opt.NetModel}
+}
+
+// RunPlan compiles a plan and sweeps its cells through the shared
+// worker pool. This is the one executor behind figures, extras, library
+// scenarios and mdsim -plan: a plan in, labelled results out.
+func RunPlan(p *plan.Plan, opt Options) ([]PlanRun, error) {
+	cells, err := p.Compile(PlanOptions(opt))
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]RunSpec, len(cells))
+	for i, c := range cells {
+		specs[i] = RunSpec{Label: c.Label, Cfg: c.Cfg}
+	}
+	results, err := Sweep(specs)
+	if err != nil {
+		return nil, err
+	}
+	runs := make([]PlanRun, len(cells))
+	for i, c := range cells {
+		runs[i] = PlanRun{Label: c.Label, Cell: c.Cell, Cfg: c.Cfg, Res: results[i]}
+	}
+	return runs, nil
+}
+
+// planMetrics is the report column order; a plan's optimize list is
+// honoured first, then any remaining columns that apply.
+var planMetricOrder = []string{"ops", "p50", "p99", "p999", "load-spread", "hit", "fwd"}
+
+// WritePlanReport renders the default deterministic plan report: a
+// summary table across cells (optimize metrics first), then one per-act
+// table per cell when the plan has acts. No wall-clock lines — the
+// output is golden-stable.
+func WritePlanReport(w io.Writer, p *plan.Plan, runs []PlanRun) error {
+	fmt.Fprintf(w, "## plan %s\n", p.Name)
+	if p.Describe != "" {
+		fmt.Fprintf(w, "%s\n", p.Describe)
+	}
+	fmt.Fprintln(w)
+	cols := planColumns(p)
+	header := append([]string{"run"}, cols...)
+	tbl := metrics.NewTable(header...)
+	for _, r := range runs {
+		row := make([]any, 0, len(header))
+		row = append(row, r.Label)
+		for _, c := range cols {
+			row = append(row, planMetric(&r, c))
+		}
+		tbl.AddRow(row...)
+	}
+	fmt.Fprint(w, tbl.String())
+	if len(p.Acts) == 0 {
+		return nil
+	}
+	for _, r := range runs {
+		fmt.Fprintf(w, "\nacts: %s\n", r.Label)
+		at := metrics.NewTable("act", "window", "issued", "completed", "ops/s", "p50 ms", "p99 ms", "spread")
+		for _, a := range r.Res.Acts {
+			at.AddRow(a.Name,
+				fmt.Sprintf("%gs-%gs", a.From.Seconds(), a.To.Seconds()),
+				fmt.Sprintf("%d", a.Issued),
+				fmt.Sprintf("%d", a.Completed),
+				fmt.Sprintf("%.0f", a.OpsPerSec),
+				fmt.Sprintf("%.2f", a.P50*1000),
+				fmt.Sprintf("%.2f", a.P99*1000),
+				fmt.Sprintf("%.2f", a.LoadSpread))
+		}
+		fmt.Fprint(w, at.String())
+	}
+	return nil
+}
+
+// planColumns returns the summary columns: the plan's optimize metrics
+// in declared order, then the rest of the standard set.
+func planColumns(p *plan.Plan) []string {
+	cols := append([]string(nil), p.Optimize...)
+	have := map[string]bool{}
+	for _, c := range cols {
+		have[c] = true
+	}
+	for _, c := range planMetricOrder {
+		if !have[c] {
+			cols = append(cols, c)
+		}
+	}
+	return cols
+}
+
+// planMetric renders one summary metric for one run.
+func planMetric(r *PlanRun, m string) string {
+	res := r.Res
+	switch m {
+	case "ops":
+		if sec := r.Cfg.Duration.Seconds(); sec > 0 {
+			return fmt.Sprintf("%.0f", float64(res.Completed)/sec)
+		}
+		return "0"
+	case "p50":
+		return fmt.Sprintf("%.2fms", res.LatencyP50*1000)
+	case "p99":
+		return fmt.Sprintf("%.2fms", res.LatencyP99*1000)
+	case "p999":
+		return fmt.Sprintf("%.2fms", res.LatencyP999*1000)
+	case "load-spread":
+		return fmt.Sprintf("%.2f", LoadSpreadOf(res.PerMDSOps))
+	case "hit":
+		return fmt.Sprintf("%.3f", res.HitRate)
+	case "fwd":
+		return fmt.Sprintf("%.3f", res.ForwardFrac)
+	}
+	return "?"
+}
+
+// LoadSpreadOf reduces per-MDS throughput to max/mean (1.0 = even).
+func LoadSpreadOf(perMDS []float64) float64 {
+	if len(perMDS) == 0 {
+		return 0
+	}
+	var sum, max float64
+	for _, v := range perMDS {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	mean := sum / float64(len(perMDS))
+	if mean <= 0 {
+		return 0
+	}
+	return max / mean
+}
+
+// PlanExperiment wraps a plan as a harness Experiment with the default
+// report, so library scenarios list alongside the figures.
+func PlanExperiment(p *plan.Plan) Experiment {
+	return Experiment{
+		ID:          p.Name,
+		Title:       "Plan: " + p.Name,
+		Description: p.Describe,
+		Run: func(w io.Writer, opt Options) error {
+			runs, err := RunPlan(p, opt)
+			if err != nil {
+				return err
+			}
+			return WritePlanReport(w, p, runs)
+		},
+	}
+}
+
+// trimCellLabel strips the plan-name prefix from a run label, leaving
+// the cell part ("name/strategy=X" -> "strategy=X"); figure tables use
+// the bare value.
+func trimCellLabel(label, name string) string {
+	return strings.TrimPrefix(label, name+"/")
+}

@@ -1,0 +1,439 @@
+package plan
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dynmds/internal/sim"
+)
+
+// The plan DSL is line-oriented. Blank lines and #-comments are
+// skipped; everything else is a directive:
+//
+//	plan midas-create-hotspot
+//	describe Single-directory create storm against one home.
+//	quick 0.5
+//	fs users=40 projects=8
+//	cluster mds=8 strategy=DynamicSubtree cache=2500 shards=2 net=fixed bucket=500ms
+//	traffic clients=4000 rate=1.5 tenants=64 file-skew=1 mix=stat:70,readdir:20,create:10
+//	matrix strategy=DynamicSubtree,FileHash
+//	warmup 2s
+//	duration 20s
+//	act phase warm @2s-6s rate=x2 mix=stat:70,readdir:20,chmod:8,create:2 skew=1.2
+//	act hotspot storm @6s-14s rate=x4 mix=stat:10,create:90 target=/home/u0000 frac=0.8
+//	optimize ops p99 load-spread
+//
+// String renders the canonical form: fixed directive order, zero-valued
+// keys omitted, shortest-round-trip floats, largest-exact-unit times —
+// so Parse∘String is the identity on canonical text (the same contract
+// fault.Schedule keeps).
+
+// Parse parses a plan from DSL text. The result is syntactically
+// well-formed; call Validate (or Compile) for semantic checks.
+func Parse(src string) (*Plan, error) {
+	p := &Plan{}
+	seen := map[string]bool{}
+	for ln, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		dir, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		if dir != "matrix" && dir != "act" {
+			if seen[dir] {
+				return nil, fmt.Errorf("plan line %d: duplicate %s directive", ln+1, dir)
+			}
+			seen[dir] = true
+		}
+		var err error
+		switch dir {
+		case "plan":
+			p.Name = rest
+		case "describe":
+			p.Describe = rest
+		case "quick":
+			p.Quick, err = parseFloat(rest)
+		case "fs":
+			err = parseFS(p, rest)
+		case "cluster":
+			err = parseCluster(p, rest)
+		case "traffic":
+			err = parseTraffic(p, rest)
+		case "matrix":
+			err = parseMatrix(p, rest)
+		case "warmup":
+			p.Warmup, err = parseTime(rest)
+		case "duration":
+			p.Duration, err = parseTime(rest)
+		case "act":
+			err = parseAct(p, rest)
+		case "optimize":
+			p.Optimize = strings.Fields(rest)
+		default:
+			err = fmt.Errorf("unknown directive %q", dir)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("plan line %d: %w", ln+1, err)
+		}
+	}
+	if p.Name == "" {
+		return nil, fmt.Errorf("plan text has no plan directive")
+	}
+	return p, nil
+}
+
+func parseFS(p *Plan, rest string) error {
+	return eachKV(rest, func(k, v string) error {
+		var err error
+		switch k {
+		case "users":
+			p.FS.Users, err = parseInt(v)
+		case "projects":
+			p.FS.Projects, err = parseInt(v)
+		default:
+			err = fmt.Errorf("unknown fs key %q", k)
+		}
+		return err
+	})
+}
+
+func parseCluster(p *Plan, rest string) error {
+	return eachKV(rest, func(k, v string) error {
+		var err error
+		switch k {
+		case "mds":
+			p.Cluster.MDS, err = parseInt(v)
+		case "strategy":
+			p.Cluster.Strategy = v
+		case "cache":
+			p.Cluster.Cache, err = parseInt(v)
+		case "shards":
+			p.Cluster.Shards, err = parseInt(v)
+		case "net":
+			p.Cluster.Net = v
+		case "faults":
+			p.Cluster.Faults = v
+		case "bucket":
+			p.Cluster.Bucket, err = parseTime(v)
+		default:
+			err = fmt.Errorf("unknown cluster key %q", k)
+		}
+		return err
+	})
+}
+
+func parseTraffic(p *Plan, rest string) error {
+	t := &TrafficSpec{}
+	p.Traffic = t
+	return eachKV(rest, func(k, v string) error {
+		var err error
+		switch k {
+		case "clients":
+			t.Clients, err = parseInt(v)
+		case "rate":
+			t.Rate, err = parseFloat(v)
+		case "tenants":
+			t.Tenants, err = parseInt(v)
+		case "tenant-skew":
+			t.TenantSkew, err = parseFloat(v)
+		case "file-skew":
+			t.FileSkew, err = parseFloat(v)
+		case "working-set":
+			t.WorkingSet, err = parseInt(v)
+		case "ways":
+			t.Ways, err = parseInt(v)
+		case "mix":
+			t.Mix, err = parseMix(v)
+		default:
+			err = fmt.Errorf("unknown traffic key %q", k)
+		}
+		return err
+	})
+}
+
+func parseMatrix(p *Plan, rest string) error {
+	k, v, ok := strings.Cut(rest, "=")
+	if !ok || k == "" || v == "" {
+		return fmt.Errorf("matrix wants key=v1,v2,... got %q", rest)
+	}
+	p.Matrix = append(p.Matrix, Axis{Key: k, Values: strings.Split(v, ",")})
+	return nil
+}
+
+// parseAct parses "act <kind> <name> @from-to [key=value]...".
+func parseAct(p *Plan, rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) < 3 {
+		return fmt.Errorf("act wants <kind> <name> @from-to, got %q", rest)
+	}
+	a := Act{Kind: fields[0], Name: fields[1], Skew: -1}
+	win, ok := strings.CutPrefix(fields[2], "@")
+	if !ok {
+		return fmt.Errorf("act window %q must start with @", fields[2])
+	}
+	fromStr, toStr, ok := strings.Cut(win, "-")
+	if !ok {
+		return fmt.Errorf("act window %q wants @from-to", fields[2])
+	}
+	var err error
+	if a.From, err = parseTime(fromStr); err != nil {
+		return err
+	}
+	if a.To, err = parseTime(toStr); err != nil {
+		return err
+	}
+	for _, tok := range fields[3:] {
+		k, v, ok := strings.Cut(tok, "=")
+		if !ok {
+			return fmt.Errorf("act option %q wants key=value", tok)
+		}
+		switch k {
+		case "rate":
+			mul, ok := strings.CutPrefix(v, "x")
+			if !ok {
+				return fmt.Errorf("act rate %q wants a multiplier like x2", v)
+			}
+			if a.RateMul, err = parseFloat(mul); err != nil {
+				return err
+			}
+			if a.RateMul <= 0 {
+				return fmt.Errorf("act rate multiplier %q must be > 0", v)
+			}
+		case "mix":
+			if a.Mix, err = parseMix(v); err != nil {
+				return err
+			}
+		case "skew":
+			if a.Skew, err = parseFloat(v); err != nil {
+				return err
+			}
+			if a.Skew < 0 {
+				return fmt.Errorf("act skew %q must be >= 0", v)
+			}
+		case "target":
+			a.Target = v
+		case "frac":
+			if a.Frac, err = parseFloat(v); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("unknown act option %q", k)
+		}
+	}
+	p.Acts = append(p.Acts, a)
+	return nil
+}
+
+// mixOpNames is the canonical draw order shared with the traffic plane.
+var mixOpNames = [...]string{"stat", "readdir", "chmod", "create", "rename"}
+
+// parseMix parses "stat:80,create:20" (ops omitted weigh zero).
+func parseMix(v string) (*MixSpec, error) {
+	m := &MixSpec{}
+	slot := map[string]*float64{
+		"stat": &m.Stat, "readdir": &m.Readdir, "chmod": &m.Chmod,
+		"create": &m.Create, "rename": &m.Rename,
+	}
+	for _, part := range strings.Split(v, ",") {
+		op, w, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q wants op:weight", part)
+		}
+		dst, known := slot[op]
+		if !known {
+			return nil, fmt.Errorf("unknown mix op %q (want %s)", op, strings.Join(mixOpNames[:], "/"))
+		}
+		f, err := parseFloat(w)
+		if err != nil || f < 0 {
+			return nil, fmt.Errorf("bad mix weight %q", part)
+		}
+		*dst = f
+	}
+	return m, nil
+}
+
+// eachKV walks whitespace-separated key=value tokens.
+func eachKV(rest string, fn func(k, v string) error) error {
+	for _, tok := range strings.Fields(rest) {
+		k, v, ok := strings.Cut(tok, "=")
+		if !ok || v == "" {
+			return fmt.Errorf("token %q wants key=value", tok)
+		}
+		if err := fn(k, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the canonical DSL form (Tweak functions are code and
+// are not serialized).
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan %s\n", p.Name)
+	if p.Describe != "" {
+		fmt.Fprintf(&b, "describe %s\n", p.Describe)
+	}
+	if p.Quick > 0 {
+		fmt.Fprintf(&b, "quick %s\n", fmtFloat(p.Quick))
+	}
+	var kv kvLine
+	kv.add("users", itoa(p.FS.Users))
+	kv.add("projects", itoa(p.FS.Projects))
+	kv.flush(&b, "fs")
+	kv.add("mds", itoa(p.Cluster.MDS))
+	kv.addStr("strategy", p.Cluster.Strategy)
+	kv.add("cache", itoa(p.Cluster.Cache))
+	kv.add("shards", itoa(p.Cluster.Shards))
+	kv.addStr("net", p.Cluster.Net)
+	kv.addStr("faults", p.Cluster.Faults)
+	if p.Cluster.Bucket > 0 {
+		kv.addStr("bucket", fmtTime(p.Cluster.Bucket))
+	}
+	kv.flush(&b, "cluster")
+	if t := p.Traffic; t != nil {
+		kv.add("clients", itoa(t.Clients))
+		kv.addF("rate", t.Rate)
+		kv.add("tenants", itoa(t.Tenants))
+		kv.addF("tenant-skew", t.TenantSkew)
+		kv.addF("file-skew", t.FileSkew)
+		kv.add("working-set", itoa(t.WorkingSet))
+		kv.add("ways", itoa(t.Ways))
+		if t.Mix != nil {
+			kv.addStr("mix", fmtMix(t.Mix))
+		}
+		kv.flush(&b, "traffic")
+	}
+	for _, ax := range p.Matrix {
+		fmt.Fprintf(&b, "matrix %s=%s\n", ax.Key, strings.Join(ax.Values, ","))
+	}
+	if p.Warmup > 0 {
+		fmt.Fprintf(&b, "warmup %s\n", fmtTime(p.Warmup))
+	}
+	if p.Duration > 0 {
+		fmt.Fprintf(&b, "duration %s\n", fmtTime(p.Duration))
+	}
+	for _, a := range p.Acts {
+		fmt.Fprintf(&b, "act %s %s @%s-%s", a.Kind, a.Name, fmtTime(a.From), fmtTime(a.To))
+		if a.RateMul > 0 {
+			fmt.Fprintf(&b, " rate=x%s", fmtFloat(a.RateMul))
+		}
+		if a.Mix != nil {
+			fmt.Fprintf(&b, " mix=%s", fmtMix(a.Mix))
+		}
+		if a.Skew >= 0 {
+			fmt.Fprintf(&b, " skew=%s", fmtFloat(a.Skew))
+		}
+		if a.Target != "" {
+			fmt.Fprintf(&b, " target=%s", a.Target)
+		}
+		if a.Frac > 0 {
+			fmt.Fprintf(&b, " frac=%s", fmtFloat(a.Frac))
+		}
+		b.WriteByte('\n')
+	}
+	if len(p.Optimize) > 0 {
+		fmt.Fprintf(&b, "optimize %s\n", strings.Join(p.Optimize, " "))
+	}
+	return b.String()
+}
+
+// fmtMix renders the non-zero weights in canonical op order.
+func fmtMix(m *MixSpec) string {
+	ws := [...]float64{m.Stat, m.Readdir, m.Chmod, m.Create, m.Rename}
+	var parts []string
+	for i, w := range ws {
+		if w != 0 {
+			parts = append(parts, mixOpNames[i]+":"+fmtFloat(w))
+		}
+	}
+	if len(parts) == 0 {
+		return "stat:0"
+	}
+	return strings.Join(parts, ",")
+}
+
+// kvLine accumulates key=value tokens for one section line, dropping
+// zero values so the output is canonical.
+type kvLine struct{ parts []string }
+
+func (l *kvLine) add(k, v string) {
+	if v != "0" {
+		l.parts = append(l.parts, k+"="+v)
+	}
+}
+
+func (l *kvLine) addStr(k, v string) {
+	if v != "" {
+		l.parts = append(l.parts, k+"="+v)
+	}
+}
+
+func (l *kvLine) addF(k string, v float64) {
+	if v != 0 {
+		l.parts = append(l.parts, k+"="+fmtFloat(v))
+	}
+}
+
+func (l *kvLine) flush(b *strings.Builder, section string) {
+	if len(l.parts) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "%s %s\n", section, strings.Join(l.parts, " "))
+	l.parts = l.parts[:0]
+}
+
+func itoa(n int) string { return strconv.Itoa(n) }
+
+func parseInt(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", s)
+	}
+	return n, nil
+}
+
+func parseFloat(s string) (float64, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return f, nil
+}
+
+// fmtTime renders a virtual time in the largest s/ms/us unit that is
+// exact; parseTime inverts it (same convention as internal/fault).
+func fmtTime(t sim.Time) string {
+	switch {
+	case t%sim.Second == 0:
+		return strconv.FormatInt(int64(t/sim.Second), 10) + "s"
+	case t%sim.Millisecond == 0:
+		return strconv.FormatInt(int64(t/sim.Millisecond), 10) + "ms"
+	default:
+		return strconv.FormatInt(int64(t), 10) + "us"
+	}
+}
+
+// fmtFloat renders the shortest decimal that parses back to exactly v.
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// parseTime parses "30s", "500ms", "250us", or a bare number (seconds).
+func parseTime(s string) (sim.Time, error) {
+	unit := sim.Second
+	num := s
+	switch {
+	case strings.HasSuffix(s, "us"):
+		unit, num = sim.Microsecond, s[:len(s)-2]
+	case strings.HasSuffix(s, "ms"):
+		unit, num = sim.Millisecond, s[:len(s)-2]
+	case strings.HasSuffix(s, "s"):
+		unit, num = sim.Second, s[:len(s)-1]
+	}
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad time %q", s)
+	}
+	return sim.Time(v * float64(unit)), nil
+}

@@ -1,0 +1,297 @@
+package plan_test
+
+import (
+	"strings"
+	"testing"
+
+	"dynmds/internal/cluster"
+	"dynmds/internal/plan"
+	"dynmds/internal/plan/library"
+	"dynmds/internal/sim"
+)
+
+// fullSrc exercises every directive the DSL has.
+const fullSrc = `plan full-demo
+describe Every directive at once.
+quick 0.25
+fs users=40 projects=8
+cluster mds=8 strategy=DynamicSubtree cache=2500 shards=2 net=fixed faults=drop@0:all bucket=500ms
+traffic clients=4000 rate=1.5 tenants=64 tenant-skew=0.8 file-skew=1 working-set=256 ways=4 mix=stat:70,readdir:20,create:10
+matrix strategy=DynamicSubtree,FileHash
+warmup 2s
+duration 20s
+act phase warm @2s-6s rate=x2 mix=stat:70,readdir:20,chmod:8,create:2 skew=1.2
+act hotspot storm @6s-14s rate=x4 mix=stat:10,create:90 target=/home/u0000 frac=0.8
+optimize ops p99 load-spread
+`
+
+// TestRoundTrip pins the fault.Schedule contract on plans: String is
+// canonical, so parse→print→parse→print is a fixed point after one
+// print, and the canonical form revalidates.
+func TestRoundTrip(t *testing.T) {
+	srcs := map[string]string{"full-demo": fullSrc}
+	for _, p := range library.All() {
+		srcs[p.Name] = p.String()
+	}
+	for name, src := range srcs {
+		p1, err := plan.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		s1 := p1.String()
+		p2, err := plan.Parse(s1)
+		if err != nil {
+			t.Fatalf("%s: reparse canonical form: %v\n%s", name, err, s1)
+		}
+		if err := p2.Validate(); err != nil {
+			t.Fatalf("%s: canonical form does not validate: %v", name, err)
+		}
+		if s2 := p2.String(); s2 != s1 {
+			t.Fatalf("%s: canonical form is not a fixed point:\nfirst:\n%s\nsecond:\n%s", name, s1, s2)
+		}
+	}
+}
+
+// TestRoundTripPreservesFields spot-checks that the full-demo survives
+// the trip with its numbers intact, not just its text shape.
+func TestRoundTripPreservesFields(t *testing.T) {
+	p, err := plan.Parse(fullSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := plan.Parse(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Quick != 0.25 || q.FS.Users != 40 || q.Cluster.Shards != 2 ||
+		q.Cluster.Bucket != 500*sim.Millisecond || q.Cluster.Faults != "drop@0:all" {
+		t.Fatalf("header fields lost: %+v", q)
+	}
+	tr := q.Traffic
+	if tr == nil || tr.Clients != 4000 || tr.Rate != 1.5 || tr.TenantSkew != 0.8 ||
+		tr.Ways != 4 || tr.Mix == nil || tr.Mix.Create != 10 {
+		t.Fatalf("traffic fields lost: %+v", tr)
+	}
+	if len(q.Acts) != 2 {
+		t.Fatalf("acts lost: %+v", q.Acts)
+	}
+	warm, storm := q.Acts[0], q.Acts[1]
+	if warm.Kind != plan.ActPhase || warm.RateMul != 2 || warm.Skew != 1.2 ||
+		warm.Mix == nil || warm.Mix.Chmod != 8 {
+		t.Fatalf("warm act lost fields: %+v", warm)
+	}
+	if storm.Kind != plan.ActHotspot || storm.Target != "/home/u0000" ||
+		storm.Frac != 0.8 || storm.From != 6*sim.Second {
+		t.Fatalf("storm act lost fields: %+v", storm)
+	}
+	// An act that never touched skew must round-trip as "unchanged".
+	if storm.Skew != -1 {
+		t.Fatalf("storm skew = %v, want -1 (unchanged)", storm.Skew)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"no name", "duration 10s\n", "no plan directive"},
+		{"unknown directive", "plan p\nbogus 1\n", "unknown directive"},
+		{"duplicate singleton", "plan p\nduration 10s\nduration 20s\n", "duplicate"},
+		{"bad act shape", "plan p\nact phase warm\n", "act wants"},
+		{"window missing @", "plan p\nact phase warm 2s-6s\n", "must start with @"},
+		{"bad rate syntax", "plan p\nact phase warm @2s-6s rate=2\n", "multiplier like x2"},
+		{"zero rate", "plan p\nact phase warm @2s-6s rate=x0\n", "must be > 0"},
+		{"negative skew", "plan p\nact phase warm @2s-6s skew=-1\n", "must be >= 0"},
+		{"unknown mix op", "plan p\nact phase warm @2s-6s mix=open:50\n", "unknown mix op"},
+		{"unknown act option", "plan p\nact phase warm @2s-6s color=red\n", "unknown act option"},
+		{"bad time", "plan p\nduration 10q\n", "bad time"},
+		{"bad matrix", "plan p\nmatrix strategy\n", "matrix wants"},
+	}
+	for _, c := range cases {
+		if _, err := plan.Parse(c.src); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+	// Parse errors carry the 1-based line number.
+	_, err := plan.Parse("plan p\n\n# comment\nbogus 1\n")
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("line number lost: %v", err)
+	}
+}
+
+// validBase returns a minimal valid plan for mutation tests.
+func validBase() *plan.Plan {
+	return &plan.Plan{
+		Name:     "base",
+		Duration: 10 * sim.Second,
+		Warmup:   2 * sim.Second,
+		Traffic:  &plan.TrafficSpec{Clients: 100, Rate: 1},
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(p *plan.Plan)
+		want string
+	}{
+		{"bad name", func(p *plan.Plan) { p.Name = "Bad Name" }, "lowercase"},
+		{"no duration", func(p *plan.Plan) { p.Duration = 0 }, "no duration"},
+		{"warmup too long", func(p *plan.Plan) { p.Warmup = p.Duration }, "does not fit"},
+		{"bad net", func(p *plan.Plan) { p.Cluster.Net = "warp" }, "unknown net model"},
+		{"no clients", func(p *plan.Plan) { p.Traffic.Clients = 0 }, "client count"},
+		{"zero rate", func(p *plan.Plan) { p.Traffic.Rate = 0 }, "rate must be > 0"},
+		{"unknown axis", func(p *plan.Plan) {
+			p.Matrix = []plan.Axis{{Key: "color", Values: []string{"red"}}}
+		}, "unknown matrix key"},
+		{"empty axis", func(p *plan.Plan) {
+			p.Matrix = []plan.Axis{{Key: "strategy"}}
+		}, "no values"},
+		{"repeated axis", func(p *plan.Plan) {
+			p.Matrix = []plan.Axis{
+				{Key: "mds", Values: []string{"4"}},
+				{Key: "mds", Values: []string{"8"}},
+			}
+		}, "repeated"},
+		{"bad strategy value", func(p *plan.Plan) {
+			p.Matrix = []plan.Axis{{Key: "strategy", Values: []string{"Quantum"}}}
+		}, "unknown strategy"},
+		{"unknown act kind", func(p *plan.Plan) {
+			p.Acts = []plan.Act{{Kind: "surge", Name: "a", From: sim.Second, To: 2 * sim.Second, Skew: -1}}
+		}, "unknown act kind"},
+		{"acts without traffic", func(p *plan.Plan) {
+			p.Traffic = nil
+			p.Acts = []plan.Act{{Kind: plan.ActPhase, Name: "a", From: sim.Second, To: 2 * sim.Second, Skew: -1}}
+		}, "acts need a traffic section"},
+		{"backward window", func(p *plan.Plan) {
+			p.Acts = []plan.Act{{Kind: plan.ActPhase, Name: "a", From: 2 * sim.Second, To: sim.Second, Skew: -1}}
+		}, "does not move forward"},
+		{"act past duration", func(p *plan.Plan) {
+			p.Acts = []plan.Act{{Kind: plan.ActPhase, Name: "a", From: sim.Second, To: 11 * sim.Second, Skew: -1}}
+		}, "past the"},
+		{"overlapping acts", func(p *plan.Plan) {
+			p.Acts = []plan.Act{
+				{Kind: plan.ActPhase, Name: "a", From: sim.Second, To: 5 * sim.Second, Skew: -1},
+				{Kind: plan.ActPhase, Name: "b", From: 4 * sim.Second, To: 6 * sim.Second, Skew: -1},
+			}
+		}, "overlaps"},
+		{"hotspot without target", func(p *plan.Plan) {
+			p.Acts = []plan.Act{{Kind: plan.ActHotspot, Name: "a", From: sim.Second, To: 2 * sim.Second, Skew: -1, Frac: 0.5}}
+		}, "without a target path"},
+		{"relative target", func(p *plan.Plan) {
+			p.Acts = []plan.Act{{Kind: plan.ActHotspot, Name: "a", From: sim.Second, To: 2 * sim.Second, Skew: -1, Target: "home/u0", Frac: 0.5}}
+		}, "not an absolute path"},
+		{"frac out of range", func(p *plan.Plan) {
+			p.Acts = []plan.Act{{Kind: plan.ActHotspot, Name: "a", From: sim.Second, To: 2 * sim.Second, Skew: -1, Target: "/home/u0", Frac: 1.5}}
+		}, "outside (0, 1]"},
+		{"phase with target", func(p *plan.Plan) {
+			p.Acts = []plan.Act{{Kind: plan.ActPhase, Name: "a", From: sim.Second, To: 2 * sim.Second, Skew: -1, Target: "/home/u0"}}
+		}, "take no target"},
+		{"unknown metric", func(p *plan.Plan) { p.Optimize = []string{"vibes"} }, "unknown metric"},
+	}
+	for _, c := range cases {
+		p := validBase()
+		c.mut(p)
+		if err := p.Validate(); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+	}
+	if err := validBase().Validate(); err != nil {
+		t.Fatalf("base plan should validate: %v", err)
+	}
+}
+
+func TestCompileMatrixOrderAndLabels(t *testing.T) {
+	p := validBase()
+	p.Matrix = []plan.Axis{
+		{Key: "mds", Values: []string{"4", "8"}},
+		{Key: "strategy", Values: []string{cluster.StratDynamic, cluster.StratStatic}},
+	}
+	cells, err := p.Compile(plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First axis outermost, labels in axis order.
+	wantLabels := []string{
+		"base/mds=4/strategy=DynamicSubtree",
+		"base/mds=4/strategy=StaticSubtree",
+		"base/mds=8/strategy=DynamicSubtree",
+		"base/mds=8/strategy=StaticSubtree",
+	}
+	if len(cells) != len(wantLabels) {
+		t.Fatalf("compiled %d cells, want %d", len(cells), len(wantLabels))
+	}
+	for i, want := range wantLabels {
+		if cells[i].Label != want {
+			t.Fatalf("cell %d label = %q, want %q", i, cells[i].Label, want)
+		}
+	}
+	if cells[2].Cfg.NumMDS != 8 || cells[2].Cfg.Strategy != cluster.StratDynamic {
+		t.Fatalf("axis not applied: %+v", cells[2].Cfg)
+	}
+	if cells[0].Cfg.OpenLoop == nil || cells[0].Cfg.OpenLoop.Clients != 100 {
+		t.Fatalf("traffic section not compiled: %+v", cells[0].Cfg.OpenLoop)
+	}
+}
+
+func TestCompileQuickScaling(t *testing.T) {
+	p := validBase()
+	p.Quick = 0.5
+	p.Acts = []plan.Act{{Kind: plan.ActPhase, Name: "a", From: 2 * sim.Second, To: 6 * sim.Second, Skew: -1}}
+	full, err := p.Compile(plan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quick, err := p.Compile(plan.Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, q := full[0].Cfg, quick[0].Cfg
+	if f.Duration != 10*sim.Second || q.Duration != 5*sim.Second {
+		t.Fatalf("duration scaling: full %v quick %v", f.Duration, q.Duration)
+	}
+	if f.OpenLoop.Clients != 100 || q.OpenLoop.Clients != 50 {
+		t.Fatalf("client scaling: full %d quick %d", f.OpenLoop.Clients, q.OpenLoop.Clients)
+	}
+	if len(q.Acts) != 1 || q.Acts[0].From != sim.Second || q.Acts[0].To != 3*sim.Second {
+		t.Fatalf("act window not scaled: %+v", q.Acts)
+	}
+	// Scaled boundaries stay on the millisecond grid.
+	if q.Acts[0].From%sim.Millisecond != 0 {
+		t.Fatalf("act boundary off the ms grid: %v", q.Acts[0].From)
+	}
+	// Seed and net model thread through.
+	opts, err := p.Compile(plan.Options{Seed: 99, NetModel: "queued"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts[0].Cfg.Seed != 99 || opts[0].Cfg.NetModel != "queued" {
+		t.Fatalf("options not applied: seed=%d net=%q", opts[0].Cfg.Seed, opts[0].Cfg.NetModel)
+	}
+}
+
+// TestLibraryWellFormed pins the library contract: every plan loads,
+// validates, compiles in both modes, and carries a description.
+func TestLibraryWellFormed(t *testing.T) {
+	all := library.All()
+	if len(all) < 5 {
+		t.Fatalf("library has %d plans, want >= 5", len(all))
+	}
+	for _, p := range all {
+		if p.Describe == "" {
+			t.Errorf("%s: no description", p.Name)
+		}
+		if _, err := p.Compile(plan.Options{}); err != nil {
+			t.Errorf("%s: full compile: %v", p.Name, err)
+		}
+		if _, err := p.Compile(plan.Options{Quick: true}); err != nil {
+			t.Errorf("%s: quick compile: %v", p.Name, err)
+		}
+		if _, ok := library.ByName(p.Name); !ok {
+			t.Errorf("%s: not findable by name", p.Name)
+		}
+	}
+	if _, ok := library.ByName("no-such-plan"); ok {
+		t.Error("ByName found a plan that does not exist")
+	}
+}

@@ -119,6 +119,28 @@ func (t *Tenants) FootprintBytes() int64 {
 	return int64(ptrs+f64)*8 + int64(i32)*4
 }
 
+// FileSkew returns the current popularity exponent.
+func (t *Tenants) FileSkew() float64 { return t.cfg.FileSkew }
+
+// SetFileSkew rebuilds the popularity alias tables in place for a new
+// Zipf exponent. The working sets themselves are unchanged — only the
+// draw distribution over them. Must run single-threaded (inline when
+// serial, at a barrier when sharded); the Vose scratch allocation is
+// boundary-time, not steady-state. Negative skew is a no-op, matching
+// the act-layer "unchanged" convention.
+func (t *Tenants) SetFileSkew(skew float64) {
+	if skew < 0 || skew == t.cfg.FileSkew {
+		return
+	}
+	t.cfg.FileSkew = skew
+	for i := 0; i+1 < len(t.fileOff); i++ {
+		buildAlias(t.fProb[t.fileOff[i]:t.fileOff[i+1]], t.fAlias[t.fileOff[i]:t.fileOff[i+1]], skew)
+	}
+	for i := 0; i+1 < len(t.dirOff); i++ {
+		buildAlias(t.dProb[t.dirOff[i]:t.dirOff[i+1]], t.dAlias[t.dirOff[i]:t.dirOff[i+1]], skew)
+	}
+}
+
 // File draws a target from tenant i's working set by Zipf popularity:
 // u1 selects the candidate column, u2 resolves the alias coin flip.
 func (t *Tenants) File(i int, u1, u2 uint64) *namespace.Inode {
@@ -299,4 +321,3 @@ func buildAlias(prob []float64, alias []int32, skew float64) {
 		prob[i] = 1
 	}
 }
-

@@ -7,7 +7,9 @@ cd "$(dirname "$0")/.."
 
 go vet ./...
 go build ./...
-go test -race ./...
+# -race on the small CI box is ~6x slower than native; give packages
+# headroom past go test's 10m default so a busy host doesn't flake.
+go test -race -timeout 30m ./...
 
 # Figure smoke run: exercises the sweep runner, the snapshot cache, and
 # the copy-on-write overlay path end to end at reduced scale, under
@@ -45,6 +47,54 @@ if go run ./cmd/mdsim -faults 'explode@1s:mds0' 2>/dev/null; then
 fi
 if go run ./cmd/mdsim -shards -3 2>/dev/null; then
     echo "ci: negative -shards was accepted" >&2
+    exit 1
+fi
+
+# Scenario-plan engine: one library plan end to end under the race
+# detector (acts retarget the live population mid-run), then the whole
+# library at quick scale with the per-act bench report.
+go run -race ./cmd/mdsim -plan simfs-campaign -quick
+go run ./cmd/mdsim -list-plans >/dev/null
+go run ./cmd/mdsim -plan all -quick -plan-json BENCH_8.json
+
+# Bad plans must fail fast with a usage error before any event runs,
+# exactly like bad -faults/-net-model knobs.
+PLANTMP=$(mktemp -d)
+trap 'rm -rf "$PLANTMP"' EXIT
+cat > "$PLANTMP/bad-kind.plan" <<'EOF'
+plan bad-kind
+traffic clients=100 rate=1
+duration 10s
+act surge a @1s-2s
+EOF
+cat > "$PLANTMP/bad-overlap.plan" <<'EOF'
+plan bad-overlap
+traffic clients=100 rate=1
+duration 10s
+act phase a @1s-5s
+act phase b @4s-6s
+EOF
+cat > "$PLANTMP/bad-rate.plan" <<'EOF'
+plan bad-rate
+traffic clients=100 rate=1
+duration 10s
+act phase a @1s-2s rate=x0
+EOF
+cat > "$PLANTMP/bad-hotspot.plan" <<'EOF'
+plan bad-hotspot
+fs users=8
+traffic clients=100 rate=1
+duration 10s
+act hotspot a @1s-2s target=/no/such/path frac=0.5
+EOF
+for bad in bad-kind bad-overlap bad-rate bad-hotspot; do
+    if go run ./cmd/mdsim -plan "$PLANTMP/$bad.plan" -quick 2>/dev/null; then
+        echo "ci: $bad.plan was accepted" >&2
+        exit 1
+    fi
+done
+if go run ./cmd/mdsim -plan no-such-plan 2>/dev/null; then
+    echo "ci: unknown -plan name was accepted" >&2
     exit 1
 fi
 

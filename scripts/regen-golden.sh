@@ -5,6 +5,8 @@
 #   scripts/regen-golden.sh -full    # also the full-scale goldens (~10 min)
 #
 # testdata/figures_quick.txt  every experiment at reduced scale (-quick)
+# testdata/plans_quick.txt    the plan library at reduced scale (no wall
+#                             lines: plan reports are fully deterministic)
 # testdata/figures_full.txt   Figures 2-7 at paper scale
 # testdata/extras_full.txt    the sci, failover, avail, and clients
 #                             extensions at paper scale
@@ -20,6 +22,9 @@ go build ./cmd/mdsim
 
 go run ./cmd/mdsim -fig all -quick > testdata/figures_quick.txt
 echo "wrote testdata/figures_quick.txt"
+
+go run ./cmd/mdsim -plan all -quick > testdata/plans_quick.txt
+echo "wrote testdata/plans_quick.txt"
 
 if [ "${1:-}" = "-full" ]; then
 	: > testdata/figures_full.txt
