@@ -73,6 +73,9 @@ func run() int {
 	diurnal := flag.Float64("diurnal", 0, "open loop: diurnal rate-modulation amplitude (0..1)")
 	burstProb := flag.Float64("burst-prob", 0, "open loop: per-tenant-epoch burst probability")
 	bench7 := flag.String("bench7-json", "", "run the open-loop client-count/skew sweep and write a JSON report to this file")
+	leases := flag.Bool("leases", false, "open loop: grant coherent client read leases (requires -open-loop)")
+	replicaFanout := flag.Bool("replica-fanout", false, "push hot-directory replicas to peers ahead of demand")
+	bench9 := flag.String("bench9-json", "", "run the hotspot mechanism duel (dumb/leases/fanout/both across client counts) and write a JSON report to this file")
 	flag.Parse()
 
 	// Validate the knobs that select named models up front, so a typo
@@ -98,6 +101,11 @@ func run() int {
 	if *shards > runtime.GOMAXPROCS(0) {
 		fmt.Fprintf(os.Stderr, "mdsim: warning: -shards %d exceeds %d cores; expect no speedup\n",
 			*shards, runtime.GOMAXPROCS(0))
+	}
+	if *leases && *openLoop <= 0 {
+		fmt.Fprintln(os.Stderr, "mdsim: -leases requires -open-loop (the lease slab lives in the flyweight population)")
+		flag.Usage()
+		return 2
 	}
 
 	harness.SetSnapshotSharing(*share)
@@ -172,6 +180,14 @@ func run() int {
 		return 0
 	}
 
+	if *bench9 != "" {
+		if err := runBench9(*bench9, *seed, *quick, *shards); err != nil {
+			fmt.Fprintln(os.Stderr, "mdsim:", err)
+			return 1
+		}
+		return 0
+	}
+
 	if *chaosRuns > 0 {
 		rep, err := harness.Chaos(harness.ChaosOptions{
 			Seed:      *chaosSeed,
@@ -226,6 +242,8 @@ func run() int {
 			BurstProb:  *burstProb,
 		}
 	}
+	cfg.Lease.Enabled = *leases
+	cfg.Lease.Fanout = *replicaFanout
 
 	// Custom runs build the cluster directly (not via harness.RunOne):
 	// a -faults run is drained and checked by simfsck afterwards, which
@@ -249,6 +267,11 @@ func run() int {
 			res.LatencyP50*1000, res.LatencyP99*1000, res.LatencyP999*1000, res.MeanLatency*1000)
 		fmt.Printf("memory: plane %.1f B/client structural, %.1f B/client heap delta (fs+cluster+plane)\n",
 			float64(res.PopFootprint)/float64(res.Clients), heapPerClient)
+		if *leases || *replicaFanout {
+			fmt.Printf("leases: %d grants, %d local hits, recalls %d sent / %d delivered / %d acked, %d fanouts, slab+registry %d B\n",
+				res.LeaseGrants, res.LeaseHits, res.LeaseRecalls,
+				res.LeaseRecalled, res.LeaseAcks, res.ReplicaFanouts, res.LeaseFootprint)
+		}
 		runtime.KeepAlive(cl)
 	}
 	fmt.Printf("fabric (%s model): %d messages, %d bytes, max link queue %d\n",
@@ -656,6 +679,165 @@ func runBench7(path string, seed int64, quick bool, shards int) error {
 	for _, s := range skews {
 		if err := measure(100_000, s, 1.0); err != nil {
 			return err
+		}
+	}
+	rep.PeakRSSKB = peakRSSKB()
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d rows, peak RSS %d kB\n", path, len(rep.Rows), rep.PeakRSSKB)
+	return nil
+}
+
+// bench9Row is one hotspot-duel cell: a coherence mechanism at a
+// population size, against the ops served at the flash-crowd hotspot
+// (split local lease hits vs remote round trips) and the two per-client
+// memory views. The lease slab is part of plane_bytes_per_client.
+type bench9Row struct {
+	Mechanism      string  `json:"mechanism"`
+	Clients        int     `json:"clients"`
+	RatePerCli     float64 `json:"rate_ops_per_client"`
+	Issued         uint64  `json:"issued"`
+	Completed      uint64  `json:"completed"`
+	HotspotOps     uint64  `json:"hotspot_ops"` // local + remote
+	HotspotLocal   uint64  `json:"hotspot_local"`
+	HotspotRemote  uint64  `json:"hotspot_remote"`
+	LeaseGrants    uint64  `json:"lease_grants"`
+	LeaseHits      uint64  `json:"lease_hits"`
+	LeaseRecalls   uint64  `json:"lease_recalls"`
+	ReplicaFanouts uint64  `json:"replica_fanouts"`
+	P50Us          int64   `json:"p50_us"`
+	P99Us          int64   `json:"p99_us"`
+	WallNs         int64   `json:"wall_ns"`
+	PlaneBPerCli   float64 `json:"plane_bytes_per_client"`
+	HeapBPerCli    float64 `json:"heap_bytes_per_client"`
+}
+
+type bench9Report struct {
+	Quick     bool        `json:"quick"`
+	Cores     int         `json:"cores"`
+	Strategy  string      `json:"strategy"`
+	OpBudget  float64     `json:"op_budget"` // base arrival rate, ops/sec aggregate
+	Rows      []bench9Row `json:"rows"`
+	PeakRSSKB int64       `json:"peak_rss_kb"`
+}
+
+// bench9Mechanisms maps the duel's mechanism names onto lease-plane
+// configs (the same mapping the plan engine's mechanism axis uses).
+var bench9Mechanisms = []struct {
+	name           string
+	leases, fanout bool
+}{
+	{"dumb", false, false},
+	{"leases", true, false},
+	{"fanout", false, true},
+	{"both", true, true},
+}
+
+// runBench9 runs the hotspot duel: a flash crowd aims most of an
+// over-capacity arrival stream at one directory of a StaticSubtree
+// cluster (no traffic control — the paper's motivating pathology), and
+// each coherence mechanism races the same storm across population
+// sizes. The aggregate budget is fixed, so small populations re-access
+// the hotspot often (lease territory) and the million-client row is
+// pure fan-in (replica fan-out territory).
+func runBench9(path string, seed int64, quick bool, shards int) error {
+	counts := []int{10_000, 100_000, 1_000_000}
+	budget := 10e3
+	durS := 10.0
+	if quick {
+		counts = []int{10_000, 100_000}
+		budget = 6e3
+		durS = 5.0
+	}
+
+	rep := bench9Report{
+		Quick:    quick,
+		Cores:    runtime.GOMAXPROCS(0),
+		Strategy: cluster.StratStatic,
+		OpBudget: budget,
+	}
+	measure := func(mech string, useLeases, useFanout bool, clients int) error {
+		cfg := cluster.Default()
+		cfg.Seed = seed
+		cfg.Strategy = cluster.StratStatic
+		cfg.NumMDS = 8
+		cfg.FS.Users = 40
+		cfg.Shards = shards
+		cfg.Duration = sim.FromSeconds(durS)
+		cfg.Warmup = sim.FromSeconds(1)
+		rate := budget / (float64(clients) * 1)
+		if rate > 50 {
+			rate = 50
+		}
+		cfg.OpenLoop = &client.PopulationConfig{
+			Clients: clients,
+			Rate:    rate,
+			Tenant:  workload.TenantConfig{TenantSkew: 1, FileSkew: 1},
+		}
+		cfg.Lease.Enabled = useLeases
+		cfg.Lease.Fanout = useFanout
+		if useLeases {
+			// Crowd-scale lifetime: long enough that a client re-reading
+			// the hot directory mid-crowd still holds its lease.
+			cfg.Lease.Duration = 4 * sim.Second
+		}
+		// The crowd: double the arrival rate and aim 80% of it at one
+		// home directory, read-only (a mutation at the hotspot would
+		// recall every lease — recall costs are measured by the cluster
+		// tests, the duel measures the serving ceiling).
+		cfg.Acts = []cluster.ActConfig{{
+			Name: "crowd", From: sim.FromSeconds(1), To: cfg.Duration,
+			RateMul: 2, MixStat: 90, MixReaddir: 10,
+			FileSkew: -1, Hotspot: "/home/u0000", HotFrac: 0.8,
+		}}
+
+		heapBase := heapBytes(true)
+		cl, err := cluster.New(cfg)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		res := cl.Run()
+		wall := time.Since(start)
+		heapNow := heapBytes(true)
+		row := bench9Row{
+			Mechanism:      mech,
+			Clients:        clients,
+			RatePerCli:     rate,
+			Issued:         res.Issued,
+			Completed:      res.Completed,
+			HotspotOps:     res.HotspotLocal + res.HotspotRemote,
+			HotspotLocal:   res.HotspotLocal,
+			HotspotRemote:  res.HotspotRemote,
+			LeaseGrants:    res.LeaseGrants,
+			LeaseHits:      res.LeaseHits,
+			LeaseRecalls:   res.LeaseRecalls,
+			ReplicaFanouts: res.ReplicaFanouts,
+			P50Us:          int64(res.LatencyP50 * 1e6),
+			P99Us:          int64(res.LatencyP99 * 1e6),
+			WallNs:         wall.Nanoseconds(),
+			PlaneBPerCli:   float64(res.PopFootprint) / float64(clients),
+			HeapBPerCli:    float64(heapNow-heapBase) / float64(clients),
+		}
+		runtime.KeepAlive(cl)
+		rep.Rows = append(rep.Rows, row)
+		fmt.Printf("%-7s clients=%-9d: hotspot %d (%d local + %d remote), %d grants, %d fanouts, %.1f B/client plane, %v wall\n",
+			mech, clients, row.HotspotOps, row.HotspotLocal, row.HotspotRemote,
+			row.LeaseGrants, row.ReplicaFanouts, row.PlaneBPerCli, wall.Round(time.Millisecond))
+		return nil
+	}
+
+	for _, n := range counts {
+		for _, m := range bench9Mechanisms {
+			if err := measure(m.name, m.leases, m.fanout, n); err != nil {
+				return err
+			}
 		}
 	}
 	rep.PeakRSSKB = peakRSSKB()

@@ -321,9 +321,35 @@ func checkOps(cl *cluster.Cluster, fail func(string, ...any)) {
 		issued += c.Stats.Issued
 		retries += c.Stats.Retries
 	}
+	if p := cl.Pop; p != nil {
+		// Open-loop accounting: leased hits complete locally and never
+		// cross the edge; retransmissions cross it once more per retry.
+		issued += p.Issued() - p.LeaseHits()
+		retries += p.Retries()
+	}
 	if req := cl.Fab.Class(net.Request); req.Sent != issued+retries {
 		fail("ops: %d requests crossed the client edge, clients issued %d + retried %d",
 			req.Sent, issued, retries)
+	}
+	checkLeases(cl, fail)
+}
+
+// checkLeases verifies the lease plane left no coherence holes: every
+// unexpired, current-generation slab slot is known to the registry
+// (Plane.Dangling), and every delivered recall was acknowledged to its
+// authority — acks are sent exactly on delivery, so the identity holds
+// even when a fault plane drops recall notices.
+func checkLeases(cl *cluster.Cluster, fail func(string, ...any)) {
+	if cl.Lease == nil {
+		return
+	}
+	if n := cl.Lease.Dangling(cl.Eng.Now()); n != 0 {
+		fail("leases: %d dangling slab slots (valid at a client, unknown to the registry)", n)
+	}
+	recall := cl.Fab.Class(net.LeaseRecall)
+	ack := cl.Fab.Class(net.LeaseAck)
+	if ack.Sent != recall.Delivered {
+		fail("leases: %d acks sent for %d delivered recalls", ack.Sent, recall.Delivered)
 	}
 }
 

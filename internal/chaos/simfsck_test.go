@@ -4,11 +4,13 @@ import (
 	"strings"
 	"testing"
 
+	"dynmds/internal/client"
 	"dynmds/internal/cluster"
 	"dynmds/internal/dirstore"
 	"dynmds/internal/namespace"
 	"dynmds/internal/partition"
 	"dynmds/internal/sim"
+	"dynmds/internal/workload"
 )
 
 // tinyConfig is a fast small-scale run for checker tests.
@@ -74,6 +76,49 @@ func TestFsckCrashWithoutRecovery(t *testing.T) {
 	cl, base := runDrained(t, tinyConfig(cluster.StratDynamic, "crash@1500ms:mds2"))
 	if err := Fsck(cl, base); err != nil {
 		t.Errorf("unrecovered crash: %v", err)
+	}
+}
+
+// TestFsckOpenLoopFaultsWithLeases composes the three planes that must
+// coexist: the open-loop population (with its boxed retry-escalation
+// cache armed by the fault schedule), a lossy faulted fabric, and the
+// lease plane with fan-out. Drops force retries; recalls ride the same
+// lossy fabric; the checker must still find conservation intact and no
+// lease dangling.
+func TestFsckOpenLoopFaultsWithLeases(t *testing.T) {
+	cfg := tinyConfig(cluster.StratDynamic, "drop@0.02:all")
+	cfg.FS.Users = 40
+	cfg.OpenLoop = &client.PopulationConfig{
+		Clients: 600,
+		Rate:    3,
+		Tenant:  workload.TenantConfig{Tenants: 8, TenantSkew: 1, FileSkew: 1, WorkingSet: 32},
+	}
+	cfg.Lease.Enabled = true
+	cfg.Lease.Fanout = true
+	cfg.Lease.GrantPopularity = 0.01
+	cfg.Lease.Duration = sim.Second
+	cfg.Acts = []cluster.ActConfig{
+		{Name: "crowd", From: sim.Second, To: 3 * sim.Second, RateMul: 2,
+			MixStat: 90, MixReaddir: 10, FileSkew: -1,
+			Hotspot: "/home/u0000", HotFrac: 0.7},
+		{Name: "churn", From: 3 * sim.Second, To: 4 * sim.Second,
+			MixStat: 50, MixChmod: 30, MixCreate: 20, FileSkew: -1},
+	}
+	cl, err := cluster.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Capture(cl)
+	res := cl.Run()
+	cl.Drain()
+	if res.LeaseGrants == 0 || res.LeaseHits == 0 {
+		t.Fatalf("lease plane idle: %d grants, %d hits", res.LeaseGrants, res.LeaseHits)
+	}
+	if res.PopRetries == 0 {
+		t.Fatal("2% drops produced no population retries")
+	}
+	if err := Fsck(cl, base); err != nil {
+		t.Errorf("open-loop + faults + leases: %v", err)
 	}
 }
 

@@ -3,6 +3,7 @@ package client
 import (
 	"math"
 
+	"dynmds/internal/lease"
 	"dynmds/internal/metrics"
 	"dynmds/internal/msg"
 	"dynmds/internal/namespace"
@@ -121,6 +122,16 @@ type Population struct {
 	shards  []*popShard
 	baseCum [numMixOps]float64
 	acts    []Act
+
+	// lease, when attached, is the coherent client-cache plane
+	// (internal/lease): reads of a validly leased record are served
+	// locally with zero fabric hops. Nil leaves the arrival path
+	// bit-identical to a build without the plane. Contrast with hints:
+	// hints are non-coherent location guesses (a stale hint costs a
+	// forward), leases are coherent records (a stale lease is
+	// structurally impossible — recall bumps the shared generation the
+	// validity check reads).
+	lease *lease.Plane
 }
 
 // popShard is one shard's slice of the population: clients are striped
@@ -157,6 +168,34 @@ type popShard struct {
 	completed uint64
 	lat       *metrics.LatHist
 	welford   metrics.Welford
+
+	// Lease-plane lanes: local serves, plus ops landing on the active
+	// act's hotspot target (served locally vs remotely).
+	leaseHits uint64
+	hotLocal  uint64
+	hotRemote uint64
+
+	// stopped suppresses new arrivals (Drain); pending wheel timers
+	// still fire but issue nothing and do not rearm.
+	stopped bool
+
+	// Retry escalation (EnableRetries; fault runs only): outstanding
+	// requests keyed by shard-unique id, each a boxed record carrying
+	// the escalation state the flyweight slabs deliberately omit. Nil on
+	// fault-free runs, where the arrival path stays allocation-free.
+	retry           map[uint64]*openRetry
+	retryTimeout    sim.Time
+	retryBackoffMax sim.Time
+	retryMax        int
+	retries         uint64
+	timedOut        uint64
+}
+
+// openRetry is one outstanding open-loop request's retry box.
+type openRetry struct {
+	req      *msg.Request
+	li       int32
+	attempts int
 }
 
 // NewPopulation builds the traffic plane over numShards engines
@@ -295,6 +334,9 @@ func (s *popShard) getRequest() *msg.Request {
 // arrive is the wheel's fire callback: draw the op, direct it, send it,
 // and arm the next arrival. Allocation-free except for Create.
 func (s *popShard) arrive(li int32) {
+	if s.stopped {
+		return
+	}
 	p := s.pop
 	g := int(li)*s.k + s.shard
 	tn := int(s.tenant[li])
@@ -347,11 +389,73 @@ func (s *popShard) arrive(li int32) {
 		req.Target = s.hot
 	}
 
+	// A validly leased record is served locally: zero fabric hops, zero
+	// latency. The check consumes no randomness and the branch only
+	// exists when the plane is attached, so runs without it replay
+	// bit-identically.
+	if l := p.lease; l != nil && l.Tab != nil && !req.Op.IsUpdate() {
+		ino := req.Target.ID
+		if l.Tab.Valid(g, ino, l.Reg.Gen(ino), s.eng.Now()) {
+			s.issued++
+			s.completed++
+			s.leaseHits++
+			if req.Target == s.hot {
+				s.hotLocal++
+			}
+			s.lat.Observe(0)
+			if s.curLat != nil {
+				s.curLat.Observe(0)
+			}
+			s.welford.Add(0)
+			s.pool = append(s.pool, req)
+			s.rearm(li)
+			return
+		}
+	}
+
 	mds := p.direct(g, req, s.next(li))
 	req.FirstMDS = mds
 	s.issued++
+	if s.retry != nil {
+		r := &openRetry{req: req, li: li}
+		s.retry[req.ID] = r
+		s.eng.AfterCall(s.retryTimeout, popRetryFire, s, r)
+	}
 	p.net.Send(mds, req)
 	s.rearm(li)
+}
+
+// popRetryFire is the retry-escalation timer: retransmit with doubled
+// backoff, or retire the op as timed out once attempts are exhausted
+// (or the population is draining). Retiring recycles the request; a
+// late reply for a retired id misses the retry map and is dropped
+// without touching the pool, so a struct can never be pooled twice.
+func popRetryFire(a, b any) {
+	s := a.(*popShard)
+	r := b.(*openRetry)
+	if s.retry[r.req.ID] != r {
+		return // completed (or already retired); timer is stale
+	}
+	if s.stopped || r.attempts >= s.retryMax {
+		delete(s.retry, r.req.ID)
+		s.timedOut++
+		s.pool = append(s.pool, r.req)
+		return
+	}
+	r.attempts++
+	s.retries++
+	// Resteer through the current hint state: the authority may have
+	// moved (or died) since the original send.
+	p := s.pop
+	g := int(r.li)*s.k + s.shard
+	mds := p.direct(g, r.req, s.next(r.li))
+	r.req.FirstMDS = mds
+	p.net.Send(mds, r.req)
+	d := s.retryTimeout << uint(r.attempts)
+	if d > s.retryBackoffMax {
+		d = s.retryBackoffMax
+	}
+	s.eng.AfterCall(d, popRetryFire, s, r)
 }
 
 // popName formats p<shard>_<seq> without fmt; the retained string is
@@ -401,11 +505,22 @@ func (p *Population) direct(g int, req *msg.Request, u uint64) int {
 	return int(u % uint64(p.net.NumMDS()))
 }
 
-// OnReply completes one arrival: record latency, absorb hints, recycle
-// the request. Runs on the client's shard. Allocation-free (pool growth
-// amortises to zero once the outstanding high-water mark is reached).
+// OnReply completes one arrival: record latency, absorb hints and a
+// lease grant if one rides the reply, recycle the request. Runs on the
+// client's shard. Allocation-free (pool growth amortises to zero once
+// the outstanding high-water mark is reached).
 func (p *Population) OnReply(rep *msg.Reply) {
 	s := p.shards[rep.Client%len(p.shards)]
+	if s.retry != nil {
+		r, ok := s.retry[rep.ID]
+		if !ok || r.req != rep.Req {
+			// A duplicate reply to a retransmitted (or already retired)
+			// request: the first copy completed it and recycled the
+			// struct, so this one must not touch the pool or counters.
+			return
+		}
+		delete(s.retry, rep.ID)
+	}
 	s.completed++
 	lat := rep.Latency()
 	s.lat.Observe(lat)
@@ -417,7 +532,51 @@ func (p *Population) OnReply(rep *msg.Reply) {
 		p.hints.Put(rep.Client, h)
 	}
 	if req := rep.Req; req != nil {
+		if req.Target == s.hot {
+			s.hotRemote++
+		}
+		// Install a granted lease at receipt: lifetime runs from now,
+		// and the generation snapshotted at the authority keeps a grant
+		// that raced a recall from resurrecting the lease.
+		if rep.Leased && p.lease != nil && p.lease.Tab != nil {
+			p.lease.Tab.Install(rep.Client, req.Target.ID, rep.LeaseGen,
+				s.eng.Now()+p.lease.Cfg.Duration)
+		}
 		s.pool = append(s.pool, req)
+	}
+}
+
+// AttachLeasePlane hands the population the coherent client-cache plane.
+// Call before Start.
+func (p *Population) AttachLeasePlane(l *lease.Plane) { p.lease = l }
+
+// EnableRetries arms the boxed retry-escalation cache on every shard:
+// unanswered requests are retransmitted with capped exponential backoff
+// (base timeout doubling per attempt, capped at backoffMax, 8× the base
+// when zero) and retired as timed out after maxRetries attempts. Only
+// fault schedules need this — it buys crash survival at the cost of one
+// small heap box per outstanding request.
+func (p *Population) EnableRetries(timeout sim.Time, maxRetries int, backoffMax sim.Time) {
+	if timeout <= 0 || maxRetries <= 0 {
+		panic("client: EnableRetries with no timeout or retry budget")
+	}
+	if backoffMax <= 0 {
+		backoffMax = 8 * timeout
+	}
+	for _, s := range p.shards {
+		s.retry = make(map[uint64]*openRetry)
+		s.retryTimeout = timeout
+		s.retryBackoffMax = backoffMax
+		s.retryMax = maxRetries
+	}
+}
+
+// Stop suppresses further arrivals (Drain): pending wheel timers fire
+// into a no-op and outstanding retry chains retire at their next
+// deadline, so a drained run leaves no in-flight population state.
+func (p *Population) Stop() {
+	for _, s := range p.shards {
+		s.stopped = true
 	}
 }
 
@@ -435,6 +594,53 @@ func (p *Population) Completed() uint64 {
 	var n uint64
 	for _, s := range p.shards {
 		n += s.completed
+	}
+	return n
+}
+
+// LeaseHits counts arrivals served locally from a valid lease.
+func (p *Population) LeaseHits() uint64 {
+	var n uint64
+	for _, s := range p.shards {
+		n += s.leaseHits
+	}
+	return n
+}
+
+// HotspotOps returns ops that landed on an act's hotspot target, split
+// into locally leased serves and remote (MDS) completions.
+func (p *Population) HotspotOps() (local, remote uint64) {
+	for _, s := range p.shards {
+		local += s.hotLocal
+		remote += s.hotRemote
+	}
+	return
+}
+
+// Retries and TimedOut sum the retry-escalation counters.
+func (p *Population) Retries() uint64 {
+	var n uint64
+	for _, s := range p.shards {
+		n += s.retries
+	}
+	return n
+}
+
+// TimedOut counts ops retired after exhausting their retry budget.
+func (p *Population) TimedOut() uint64 {
+	var n uint64
+	for _, s := range p.shards {
+		n += s.timedOut
+	}
+	return n
+}
+
+// RetryOutstanding counts boxed requests still awaiting a reply or a
+// retirement deadline; zero after a drain.
+func (p *Population) RetryOutstanding() int {
+	n := 0
+	for _, s := range p.shards {
+		n += len(s.retry)
 	}
 	return n
 }
@@ -474,5 +680,12 @@ func (p *Population) FootprintBytes() int64 {
 		b += int64(len(s.rng))*8 + int64(len(s.tenant))*4
 		b += s.wheel.FootprintBytes()
 	}
-	return b + p.hints.FootprintBytes() + p.tenants.FootprintBytes()
+	b += p.hints.FootprintBytes() + p.tenants.FootprintBytes()
+	if p.lease != nil && p.lease.Tab != nil {
+		// The lease slab is per-client state and counts against the
+		// bytes/client budget; the shared registry scales with the
+		// namespace, not the population, and is reported separately.
+		b += int64(p.lease.Tab.FootprintBytes())
+	}
+	return b
 }

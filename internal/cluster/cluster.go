@@ -13,6 +13,7 @@ import (
 	"dynmds/internal/core"
 	"dynmds/internal/fault"
 	"dynmds/internal/fsgen"
+	"dynmds/internal/lease"
 	"dynmds/internal/mds"
 	"dynmds/internal/metrics"
 	"dynmds/internal/msg"
@@ -136,10 +137,17 @@ type Config struct {
 	// per-client records, tenants with Zipf-distributed sizes, Poisson
 	// arrivals (with diurnal/burst modulation) scheduled through a
 	// hierarchical timer wheel per shard. OpenLoop.Clients defaults to
-	// NumMDS·ClientsPerMDS. Incompatible with fault schedules, generator
-	// replacement/wrapping, and non-general workload kinds (the open
-	// loop has no retry path and no scenario hooks).
+	// NumMDS·ClientsPerMDS. Incompatible with generator replacement/
+	// wrapping and non-general workload kinds (the open loop has no
+	// scenario hooks). A fault schedule composes: it arms the population's
+	// boxed retry-escalation cache, so drops and crashes are survivable.
 	OpenLoop *client.PopulationConfig
+
+	// Lease configures the hotspot-mitigation plane (internal/lease):
+	// coherent client read leases (Lease.Enabled; requires OpenLoop) and
+	// hot-directory replica fan-out (Lease.Fanout). The zero value
+	// disables both and leaves runs bit-identical to a build without it.
+	Lease lease.Config
 
 	// Acts, when non-empty, scripts the open-loop run as a timeline of
 	// scenario acts — timed rate/mix/skew/hotspot retargets of the
@@ -202,6 +210,9 @@ type Cluster struct {
 	Clients  []*client.Client
 	// Pop is the open-loop traffic plane (nil for closed-loop runs).
 	Pop *client.Population
+	// Lease is the hotspot-mitigation plane (nil unless Cfg.Lease
+	// enables leases and/or fan-out).
+	Lease *lease.Plane
 	// tenants is the plane's tenant model, kept for act-driven skew
 	// retargets (scheduled on the global engine: they mutate shared
 	// alias tables, so they must run at barriers when sharded).
@@ -302,6 +313,12 @@ func New(cfg Config) (*Cluster, error) {
 	if !sched.Empty() {
 		applyFaultDefaults(&cfg)
 	}
+	if err := cfg.Lease.Normalize(); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	if cfg.Lease.Enabled && cfg.OpenLoop == nil {
+		return nil, fmt.Errorf("cluster: client leases require the open-loop traffic plane")
+	}
 	setupStart := time.Now()
 	var snap *fsgen.Snapshot
 	if cfg.Snapshot != nil {
@@ -346,9 +363,6 @@ func New(cfg Config) (*Cluster, error) {
 		numShards: shards,
 	}
 	if cfg.OpenLoop != nil {
-		if !sched.Empty() {
-			return nil, fmt.Errorf("cluster: open-loop traffic plane is incompatible with fault injection")
-		}
 		if cfg.ReplaceGenerator != nil || cfg.WrapGenerator != nil {
 			return nil, fmt.Errorf("cluster: open-loop traffic plane is incompatible with generator replacement/wrapping")
 		}
@@ -464,6 +478,28 @@ func New(cfg Config) (*Cluster, error) {
 	// fresh namespace, boundaries scheduled.
 	if err := c.setupActs(); err != nil {
 		return nil, err
+	}
+
+	// Hotspot-mitigation plane: shared registry sized to the namespace
+	// (plus mid-run growth headroom), lease slab sized to the population.
+	if cfg.Lease.Enabled || cfg.Lease.Fanout {
+		nclients := 0
+		if c.Pop != nil {
+			nclients = c.Pop.Clients()
+		}
+		c.Lease = lease.NewPlane(cfg.Lease, nclients, snap.Tree.MaxID())
+		for _, n := range c.Nodes {
+			n.AttachLeasePlane(c.Lease)
+		}
+		if c.Pop != nil && cfg.Lease.Enabled {
+			c.Pop.AttachLeasePlane(c.Lease)
+		}
+	}
+
+	// A fault schedule over the open loop arms the population's boxed
+	// retry cache with the same (defaulted) knobs closed-loop clients use.
+	if c.Pop != nil && !sched.Empty() {
+		c.Pop.EnableRetries(cfg.Client.RetryTimeout, cfg.Client.MaxRetries, cfg.Client.RetryBackoffMax)
 	}
 
 	if c.numShards > 1 {
@@ -735,6 +771,27 @@ func (c *Cluster) ClientShard(client int) int {
 // at barriers (via TakeReply) rather than inline from Deliver.
 func (c *Cluster) RoutesReplies() bool { return c.numShards > 1 }
 
+// LeaseRecallDeliver lands a lease-recall notice at the client edge:
+// the generation bump (shared registry state) is deferred on the
+// delivering engine so it applies at the barrier when sharded, and a
+// LeaseAck rides back to the recalling authority. Recalls always travel
+// to edge shard 0 — the registry is shard-agnostic, so any one delivery
+// invalidates the lease for every client. Acks are sent exactly on
+// delivery, so LeaseAck.Sent == LeaseRecall.Delivered even when a fault
+// plane drops recalls (a lost recall is bounded by the lease lifetime:
+// holders lapse at expiry instead).
+func (c *Cluster) LeaseRecallDeliver(from int, target *namespace.Inode) {
+	eng := c.Eng
+	if c.numShards > 1 {
+		eng = c.shardEngines[0]
+	}
+	eng.Defer(lease.NoteRecalled, c.Lease, target)
+	c.Fab.SendFromEdge(0, net.LeaseAck, from, net.Bytes(net.LeaseAck), leaseAckArrive, c.Nodes[from], nil)
+}
+
+// leaseAckArrive completes the recall round trip at the authority.
+func leaseAckArrive(a, _ any) { a.(*mds.MDS).NoteLeaseAck() }
+
 // Send implements client.Network: the client→MDS hop enters the fabric
 // at the client edge — specifically the sending client's shard's slice
 // of it, so concurrent shards never share an edge-row counter.
@@ -849,11 +906,27 @@ type Result struct {
 	Issued    uint64
 	Completed uint64
 	// PopFootprint is the traffic plane's structural bytes (slabs,
-	// wheels, hint table, tenant tables).
+	// wheels, hint table, tenant tables, lease slab when attached).
 	PopFootprint int64
 	// Acts holds per-act metrics when the run was scripted (Config.Acts),
 	// in timeline order.
 	Acts []ActResult
+
+	// Lease-plane accounting (all zero when Config.Lease is off).
+	// LeaseHits are arrivals served locally from a valid lease;
+	// HotspotLocal/HotspotRemote split ops landing on an act's hotspot
+	// target into leased local serves and MDS completions.
+	LeaseHits      uint64
+	LeaseGrants    uint64
+	LeaseRecalls   uint64 // recall notices sent by authorities
+	LeaseRecalled  uint64 // recall notices delivered at the edge
+	LeaseAcks      uint64
+	ReplicaFanouts uint64
+	HotspotLocal   uint64
+	HotspotRemote  uint64
+	LeaseFootprint int // registry + slab structural bytes
+	PopRetries     uint64
+	PopTimedOut    uint64
 
 	// Wall-clock accounting: SetupWall covers namespace generation (or
 	// thaw) plus cluster assembly; RunWall covers event-loop execution.
@@ -953,6 +1026,14 @@ func (c *Cluster) Collect() *Result {
 		r.FetchTimeouts += n.Stats.FetchTimeouts
 		r.FwdTimeouts += n.Stats.FwdTimeouts
 		r.DeadLetters += n.Stats.DeadLetters
+		r.LeaseGrants += n.Stats.LeaseGrants
+		r.LeaseRecalls += n.Stats.LeaseRecalls
+		r.LeaseAcks += n.Stats.LeaseAcks
+		r.ReplicaFanouts += n.Stats.ReplicaFanouts
+	}
+	if c.Lease != nil {
+		r.LeaseRecalled = c.Lease.Recalled
+		r.LeaseFootprint = c.Lease.FootprintBytes()
 	}
 	r.PrefixFrac /= float64(len(c.Nodes))
 	served -= c.warmServed
@@ -990,6 +1071,12 @@ func (c *Cluster) Collect() *Result {
 		r.MeanLatency = c.Pop.MeanLatency()
 		r.LatencyP50 = c.LatH.Quantile(0.5).Seconds()
 		r.LatencyP99 = c.LatH.Quantile(0.99).Seconds()
+		r.LeaseHits = c.Pop.LeaseHits()
+		r.HotspotLocal, r.HotspotRemote = c.Pop.HotspotOps()
+		r.PopRetries = c.Pop.Retries()
+		r.PopTimedOut = c.Pop.TimedOut()
+		r.Retries += r.PopRetries
+		r.TimedOut += r.PopTimedOut
 		c.collectActs(r)
 	} else {
 		for _, cl := range c.Clients {

@@ -153,6 +153,9 @@ func (c *Cluster) Drain() {
 	for _, cl := range c.Clients {
 		cl.Stop()
 	}
+	if c.Pop != nil {
+		c.Pop.Stop()
+	}
 	if c.group != nil {
 		c.group.Run(c.Cfg.Duration + 2*sim.Second)
 		return
@@ -198,6 +201,16 @@ func (r *Result) FaultSummary() string {
 // either completed or was accounted as timed out, and no client still
 // holds an in-flight request. It returns the first violation found.
 func (c *Cluster) DrainCheck() error {
+	if c.Pop != nil {
+		if n := c.Pop.RetryOutstanding(); n > 0 {
+			return fmt.Errorf("cluster: population holds %d boxed requests after drain", n)
+		}
+		issued, completed, timedOut := c.Pop.Issued(), c.Pop.Completed(), c.Pop.TimedOut()
+		if issued != completed+timedOut {
+			return fmt.Errorf("cluster: orphaned population ops: issued=%d != completed=%d + timedout=%d",
+				issued, completed, timedOut)
+		}
+	}
 	for _, cl := range c.Clients {
 		s := cl.Stats
 		if cl.Inflight() {

@@ -103,10 +103,19 @@ func TestOpenLoopDeterministic(t *testing.T) {
 }
 
 func TestOpenLoopValidation(t *testing.T) {
+	// Open loop + faults composes (the boxed retry cache); leases
+	// without the open loop does not — the slab lives in the population.
 	bad := openLoopConfig(StratDynamic)
-	bad.Faults = "crash@3s:mds1"
+	bad.OpenLoop = nil
+	bad.Lease.Enabled = true
 	if _, err := New(bad); err == nil {
-		t.Fatal("open loop + faults accepted")
+		t.Fatal("leases without open loop accepted")
+	}
+	bad = openLoopConfig(StratDynamic)
+	bad.Lease.Ways = -1
+	bad.Lease.Enabled = true
+	if _, err := New(bad); err == nil {
+		t.Fatal("negative lease ways accepted")
 	}
 	bad = openLoopConfig(StratDynamic)
 	bad.Workload.Kind = WorkShift

@@ -49,7 +49,7 @@ func RunPlan(p *plan.Plan, opt Options) ([]PlanRun, error) {
 
 // planMetrics is the report column order; a plan's optimize list is
 // honoured first, then any remaining columns that apply.
-var planMetricOrder = []string{"ops", "p50", "p99", "p999", "load-spread", "hit", "fwd"}
+var planMetricOrder = []string{"ops", "p50", "p99", "p999", "load-spread", "hit", "fwd", "hot"}
 
 // WritePlanReport renders the default deterministic plan report: a
 // summary table across cells (optimize metrics first), then one per-act
@@ -131,6 +131,10 @@ func planMetric(r *PlanRun, m string) string {
 		return fmt.Sprintf("%.3f", res.HitRate)
 	case "fwd":
 		return fmt.Sprintf("%.3f", res.ForwardFrac)
+	case "hot":
+		// Ops served at the hotspot, split local (leased, zero fabric
+		// hops) vs remote (round-tripped to an MDS).
+		return fmt.Sprintf("%d+%d", res.HotspotLocal, res.HotspotRemote)
 	}
 	return "?"
 }

@@ -1,0 +1,186 @@
+package lease
+
+import (
+	"testing"
+
+	"dynmds/internal/namespace"
+	"dynmds/internal/sim"
+)
+
+func TestNormalizeDefaults(t *testing.T) {
+	c := Config{Enabled: true}
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Ways != DefaultWays || c.Duration != DefaultDuration ||
+		c.GrantPopularity != DefaultGrantPopularity || c.FanoutPopularity != DefaultFanoutPopularity {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+
+	// Ways round up to a power of two.
+	c = Config{Enabled: true, Ways: 5}
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Ways != 8 {
+		t.Fatalf("ways = %d, want 8", c.Ways)
+	}
+
+	// The zero value is inert and must stay untouched: a disabled plane
+	// is the bit-identical baseline.
+	c = Config{}
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if c != (Config{}) {
+		t.Fatalf("disabled config mutated: %+v", c)
+	}
+}
+
+func TestNormalizeRejectsBadKnobs(t *testing.T) {
+	bad := []Config{
+		{Enabled: true, Ways: -1},
+		{Enabled: true, Ways: 4096},
+		{Enabled: true, Duration: -sim.Second},
+		{Enabled: true, GrantPopularity: -1},
+		{Fanout: true, FanoutPeers: -2},
+		{Fanout: true, FanoutPopularity: -5},
+	}
+	for i, c := range bad {
+		if err := c.Normalize(); err == nil {
+			t.Fatalf("case %d: bad config %+v accepted", i, c)
+		}
+	}
+}
+
+func TestRegistryGrantRecall(t *testing.T) {
+	r := NewRegistry(100)
+	ino := namespace.InodeID(7)
+	if r.Outstanding(ino) {
+		t.Fatal("fresh registry has outstanding grants")
+	}
+	g0 := r.Gen(ino)
+	r.NoteGrant(ino)
+	r.NoteGrant(ino)
+	if !r.Outstanding(ino) {
+		t.Fatal("grants not recorded")
+	}
+	r.Recall(ino)
+	if r.Outstanding(ino) {
+		t.Fatal("recall did not clear the grant count")
+	}
+	if r.Gen(ino) != g0+1 {
+		t.Fatalf("gen = %d, want %d", r.Gen(ino), g0+1)
+	}
+
+	// Out-of-range inodes are simply never leasable; no panics, no state.
+	huge := namespace.InodeID(1 << 40)
+	if r.Leasable(huge) {
+		t.Fatal("out-of-range inode leasable")
+	}
+	r.NoteGrant(huge)
+	r.Recall(huge)
+	if r.Gen(huge) != 0 || r.Outstanding(huge) {
+		t.Fatal("out-of-range inode acquired state")
+	}
+}
+
+func TestTableInstallValid(t *testing.T) {
+	tab := NewTable(4, 2)
+	ino := namespace.InodeID(42)
+	exp := 700 * sim.Millisecond
+	tab.Install(1, ino, 3, exp)
+
+	if !tab.Valid(1, ino, 3, 100*sim.Millisecond) {
+		t.Fatal("fresh lease invalid")
+	}
+	// Wrong client region, wrong generation, expired.
+	if tab.Valid(2, ino, 3, 100*sim.Millisecond) {
+		t.Fatal("lease leaked across client regions")
+	}
+	if tab.Valid(1, ino, 4, 100*sim.Millisecond) {
+		t.Fatal("stale generation accepted")
+	}
+	if tab.Valid(1, ino, 3, 700*sim.Millisecond) {
+		t.Fatal("expired lease accepted")
+	}
+	// Expiry is truncated to the millisecond grid: a lease may lapse up
+	// to 1ms early, never late.
+	tab2 := NewTable(1, 1)
+	tab2.Install(0, ino, 0, 700*sim.Millisecond+999)
+	if tab2.Valid(0, ino, 0, 700*sim.Millisecond) {
+		t.Fatal("sub-millisecond expiry tail honoured; truncation must round down")
+	}
+}
+
+func TestTableNewestGrantWins(t *testing.T) {
+	tab := NewTable(1, 1)
+	a, b := namespace.InodeID(1), namespace.InodeID(2)
+	tab.Install(0, a, 0, sim.Second)
+	tab.Install(0, b, 0, sim.Second) // same home slot (ways=1): evicts a
+	if tab.Valid(0, a, 0, 0) {
+		t.Fatal("evicted lease still valid")
+	}
+	if !tab.Valid(0, b, 0, 0) {
+		t.Fatal("newest grant lost")
+	}
+}
+
+func TestTableHugeInodeIgnored(t *testing.T) {
+	tab := NewTable(1, 1)
+	huge := namespace.InodeID(0xFFFFFFFF)
+	tab.Install(0, huge, 0, sim.Second)
+	if tab.Valid(0, huge, 0, 0) {
+		t.Fatal("inode past the 32-bit key space leased")
+	}
+}
+
+func TestPlaneDangling(t *testing.T) {
+	cfg := Config{Enabled: true}
+	if err := cfg.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlane(cfg, 4, 100)
+	ino := namespace.InodeID(9)
+
+	// A granted lease the registry knows about: not dangling.
+	p.Reg.NoteGrant(ino)
+	p.Tab.Install(0, ino, p.Reg.Gen(ino), sim.Second)
+	if n := p.Dangling(0); n != 0 {
+		t.Fatalf("registered lease reported dangling: %d", n)
+	}
+
+	// Recall bumps the generation; the slot is stale, not dangling.
+	p.Reg.Recall(ino)
+	if n := p.Dangling(0); n != 0 {
+		t.Fatalf("recalled lease reported dangling: %d", n)
+	}
+
+	// A slot at the current generation with no registry record IS a
+	// coherence hole (this can only happen through a bug).
+	p.Tab.Install(1, ino, p.Reg.Gen(ino), sim.Second)
+	if n := p.Dangling(0); n != 1 {
+		t.Fatalf("dangling = %d, want 1", n)
+	}
+	// ...unless it has already expired.
+	if n := p.Dangling(2 * sim.Second); n != 0 {
+		t.Fatalf("expired slot reported dangling: %d", n)
+	}
+}
+
+func TestPlaneFootprint(t *testing.T) {
+	cfg := Config{Enabled: true, Ways: 2}
+	if err := cfg.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlane(cfg, 1000, 100)
+	// 12 bytes per slot, ways slots per client.
+	if got := p.Tab.FootprintBytes(); got != 1000*2*12 {
+		t.Fatalf("slab footprint = %d, want %d", got, 1000*2*12)
+	}
+	// Fan-out-only planes carry no slab at all.
+	p = NewPlane(Config{Fanout: true}, 1000, 100)
+	if p.Tab != nil {
+		t.Fatal("fan-out-only plane allocated a client slab")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"dynmds/internal/cache"
 	"dynmds/internal/core"
 	"dynmds/internal/dirstore"
+	"dynmds/internal/lease"
 	"dynmds/internal/metrics"
 	"dynmds/internal/msg"
 	"dynmds/internal/namespace"
@@ -175,6 +176,15 @@ type Stats struct {
 	WritesAbsorbed uint64 // size updates absorbed at this replica
 	WriteFlushes   uint64 // local maxima flushed to authorities
 	SizeCallbacks  uint64 // stat-time callbacks issued as authority
+
+	// Lease plane (internal/lease): read leases granted on replies,
+	// recall notices sent on mutations of leased records, recall acks
+	// received back from the client edge, and hot directories pushed to
+	// peers ahead of demand.
+	LeaseGrants    uint64
+	LeaseRecalls   uint64
+	LeaseAcks      uint64
+	ReplicaFanouts uint64
 }
 
 // pendingCall is one coalesced-fetch waiter in the engine's typed
@@ -220,6 +230,14 @@ type clientLocator interface{ ClientShard(client int) int }
 // node through TakeReply. mdsDeliver must then not recycle inline — that
 // would append to another shard's pool mid-window.
 type replyRouter interface{ RoutesReplies() bool }
+
+// leaseCluster is optionally implemented by the Cluster when the lease
+// plane is active: it lands a recall notice at the client edge (bumping
+// the shared recall generation through the edge engine's deferred-op
+// path) and acks it back to the authority on the LeaseAck class.
+type leaseCluster interface {
+	LeaseRecallDeliver(from int, target *namespace.Inode)
+}
 
 // MDS is one metadata server.
 type MDS struct {
@@ -297,6 +315,12 @@ type MDS struct {
 	// armed (a timed-out carrier may be resumed by its late response).
 	poolFetch bool
 
+	// lease is the cluster's hotspot-mitigation plane (nil when neither
+	// client leases nor replica fan-out are enabled); lec is the
+	// cluster's recall-delivery surface, set alongside it.
+	lease *lease.Plane
+	lec   leaseCluster
+
 	// OnReply and OnForward, when set, observe served requests and
 	// forwards for time-series measurement.
 	OnReply   func(id int, req *msg.Request, now sim.Time)
@@ -372,6 +396,44 @@ func New(id int, eng *sim.Engine, cfg Config, strat partition.Strategy, tc *core
 }
 
 func evictNoticeArrive(a, _ any) { a.(*MDS).Stats.EvictNoticesRecvd++ }
+
+// AttachLeasePlane activates the hotspot-mitigation plane on this node:
+// read-lease grants on replies, recall-on-mutate notices, and
+// hot-directory replica fan-out. The cluster attaches it after
+// construction; a nil plane (the default) leaves every request path
+// bit-identical to a build without the plane.
+func (m *MDS) AttachLeasePlane(p *lease.Plane) {
+	m.lease = p
+	if lc, ok := m.cluster.(leaseCluster); ok {
+		m.lec = lc
+	}
+}
+
+// NoteLeaseAck lands a LeaseAck from the client edge: the recall round
+// trip is complete. Runs on this node's engine.
+func (m *MDS) NoteLeaseAck() { m.Stats.LeaseAcks++ }
+
+// leaseNoteGrant records one issued grant on the shared registry.
+// a = *lease.Plane, b = *namespace.Inode.
+func leaseNoteGrant(a, b any) { a.(*lease.Plane).Reg.NoteGrant(b.(*namespace.Inode).ID) }
+
+// leaseGrantArrive is the LeaseGrant class's delivery continuation: the
+// capability itself rides the reply, so arrival is pure accounting (the
+// fabric's per-class counters conserve it).
+func leaseGrantArrive(_, _ any) {}
+
+// leaseRecallArrive lands a LeaseRecall at the client edge. It runs on
+// the edge shard's engine, so it only touches the cluster's dedicated
+// recall surface, which defers the generation bump there and acks back.
+func leaseRecallArrive(a, b any) {
+	m := a.(*MDS)
+	m.lec.LeaseRecallDeliver(m.id, b.(*namespace.Inode))
+}
+
+// fanoutTagSet / fanoutTagClear flip inode b's cluster-wide replication
+// advertisement for the fan-out mechanism (shared tag state, deferred).
+func fanoutTagSet(_, b any)   { partition.TagsOf(b.(*namespace.Inode)).ReplicatedAll = true }
+func fanoutTagClear(_, b any) { partition.TagsOf(b.(*namespace.Inode)).ReplicatedAll = false }
 
 // call0 adapts a bare func() to a fabric delivery continuation, for the
 // rare cold paths (write flushes, stat callbacks) that keep closures.
@@ -559,8 +621,9 @@ func (m *MDS) process(req *msg.Request) {
 			return
 		}
 		// A read of widely replicated metadata can be served from the
-		// local replica: the whole point of traffic control (§4.4).
-		if !req.Op.IsUpdate() && m.tc.Replicated(req.Target) && m.cache.Contains(req.Target.ID) {
+		// local replica: the whole point of traffic control (§4.4) and of
+		// hot-directory fan-out (internal/lease).
+		if !req.Op.IsUpdate() && m.advertised(req.Target) && m.cache.Contains(req.Target.ID) {
 			m.cache.Get(req.Target.ID)
 			m.Stats.ReplicaServes++
 			m.bumpPopularity(req.Target)
@@ -1086,6 +1149,20 @@ func (m *MDS) completeOp(req *msg.Request) {
 			return
 		}
 		req.Applied = true
+		// Recall outstanding client leases on every record this mutation
+		// invalidates — before deferring the mutation, because the serial
+		// path applies it immediately and Rename rewires target.Parent().
+		// Write is exempt: size maxima are monotonic and absorbed (§4.2).
+		if m.lease != nil && m.lease.Cfg.Enabled && req.Op != msg.Write {
+			m.recallLeases(target)
+			switch req.Op {
+			case msg.Unlink:
+				m.recallLeases(target.Parent())
+			case msg.Rename:
+				m.recallLeases(target.Parent())
+				m.recallLeases(req.DstDir)
+			}
+		}
 		// The namespace mutation lands at the barrier when sharded; the
 		// client cannot observe the gap, because its reply travels at
 		// least one lookahead of latency and so always arrives after the
@@ -1190,7 +1267,64 @@ func (m *MDS) finishReply(req *msg.Request) {
 			m.eng.Defer(tcCommitConsolidate, m, target)
 		}
 	}
+	m.maybeFanOut(target)
 	m.reply(req)
+}
+
+// recallLeases sends a recall notice to the client edge for ino's
+// outstanding leases. Outstanding is an upper bound (natural expiry
+// never decrements it), so a recall may chase leases that already
+// lapsed — one spurious notice, no coherence consequence. The
+// generation bump is applied at the edge through the NoteRecalled
+// applier so it lands exactly once, on the engine that owns delivery.
+func (m *MDS) recallLeases(ino *namespace.Inode) {
+	if ino == nil || !m.lease.Reg.Outstanding(ino.ID) {
+		return
+	}
+	m.Stats.LeaseRecalls++
+	m.fab.SendToEdge(0, net.LeaseRecall, m.id, net.Bytes(net.LeaseRecall), leaseRecallArrive, m, ino)
+}
+
+// maybeFanOut pushes replicas of a hot directory to peers ahead of
+// demand (the server-side hotspot mechanism, internal/lease). The
+// ReplicatedAll tag doubles as the "already fanned" marker and the
+// client advertisement; when traffic control is active it owns the
+// tag's hysteresis, so fan-out only un-fans under strategies running
+// without it (the threshold regions never overlap).
+func (m *MDS) maybeFanOut(target *namespace.Inode) {
+	if m.lease == nil || !m.lease.Cfg.Fanout || !target.IsDir() || target.Parent() == nil {
+		return
+	}
+	tags := partition.TagsOf(target)
+	if tags.Pop == nil {
+		return
+	}
+	pop := tags.Pop.Peek(m.eng.Now())
+	cfg := &m.lease.Cfg
+	if !tags.ReplicatedAll {
+		if pop < cfg.FanoutPopularity {
+			return
+		}
+		n := m.cluster.NumMDS() - 1
+		if cfg.FanoutPeers > 0 && n > cfg.FanoutPeers {
+			n = cfg.FanoutPeers
+		}
+		if n <= 0 {
+			return
+		}
+		for k := 1; k <= n; k++ {
+			to := (m.id + k) % m.cluster.NumMDS()
+			peer := m.cluster.Node(to)
+			m.fab.Send(net.ReplicaInstall, m.id, to, net.Bytes(net.ReplicaInstall), installReplicaAt, peer, target)
+		}
+		m.Stats.ReplicaFanouts++
+		m.Stats.ReplicasPushed += uint64(n)
+		m.eng.Defer(fanoutTagSet, nil, target)
+		return
+	}
+	if (m.tc == nil || !m.tc.Enabled) && pop < cfg.FanoutPopularity/10 {
+		m.eng.Defer(fanoutTagClear, nil, target)
+	}
 }
 
 func (m *MDS) bumpPopularity(ino *namespace.Inode) {
@@ -1373,6 +1507,24 @@ func (m *MDS) reply(req *msg.Request) {
 	if m.cloc != nil {
 		shard = m.cloc.ClientShard(req.Client)
 	}
+	// Lease fields are value state on a pooled struct: reset them
+	// unconditionally, then maybe grant. A grant rides the reply and
+	// snapshots the recall generation now, at the authority — a recall
+	// racing this grant bumps the shared generation, so the grant arrives
+	// stale instead of resurrecting the lease.
+	rep.Leased, rep.LeaseGen = false, 0
+	if m.lease != nil && m.lease.Cfg.Enabled && !req.Op.IsUpdate() && m.lease.Reg.Leasable(req.Target.ID) {
+		if tags := partition.TagsOf(req.Target); tags.Pop != nil &&
+			tags.Pop.Peek(now) >= m.lease.Cfg.GrantPopularity {
+			rep.Leased, rep.LeaseGen = true, m.lease.Reg.Gen(req.Target.ID)
+			m.eng.Defer(leaseNoteGrant, m.lease, req.Target)
+			m.Stats.LeaseGrants++
+			// The capability itself is in the reply; this envelope carries
+			// the grant's wire cost and per-class conservation.
+			m.fab.SendToEdge(shard, net.LeaseGrant, m.id,
+				net.Bytes(net.LeaseGrant), leaseGrantArrive, nil, nil)
+		}
+	}
 	rep.Completed = m.fab.SendToEdge(shard, net.Reply, m.id,
 		net.ReplyBytes(len(rep.Hints)), mdsDeliver, m, rep)
 }
@@ -1430,17 +1582,28 @@ func (m *MDS) appendHints(hs []msg.Hint, target *namespace.Inode) []msg.Hint {
 		hs = append(hs, msg.Hint{
 			Ino:        a.ID,
 			Authority:  m.strat.Authority(a),
-			Replicated: m.tc.Replicated(a),
+			Replicated: m.advertised(a),
 		})
 	}
 	if target.Parent() != nil {
 		hs = append(hs, msg.Hint{
 			Ino:        target.ID,
 			Authority:  m.strat.Authority(target),
-			Replicated: m.tc.Replicated(target),
+			Replicated: m.advertised(target),
 		})
 	}
 	return hs
+}
+
+// advertised reports whether replies should tell clients the item is
+// available cluster-wide: traffic control's hysteresis says so, or the
+// fan-out mechanism has pushed it (which also advertises under
+// strategies that run without traffic control).
+func (m *MDS) advertised(ino *namespace.Inode) bool {
+	if m.tc.Replicated(ino) {
+		return true
+	}
+	return m.lease != nil && m.lease.Cfg.Fanout && partition.TagsOf(ino).ReplicatedAll
 }
 
 func (m *MDS) noteMiss() {

@@ -121,6 +121,15 @@ type Reply struct {
 	Completed sim.Time
 	// Hints covers the target and its prefix directories.
 	Hints []Hint
+	// Leased grants the client a read lease on the request's target
+	// (internal/lease). LeaseGen is the authority's recall generation at
+	// grant time: the client stores it on the lease slot, and a recall
+	// bumps the shared generation, so a grant that raced a recall is
+	// stale on arrival instead of resurrecting the lease. Like the
+	// identity fields these are value state and must be reset when the
+	// reply struct is recycled.
+	Leased   bool
+	LeaseGen uint32
 }
 
 // Latency returns the request's total response time, from the Issued

@@ -54,6 +54,15 @@ const (
 	// when fault injection arms the forward timeout, so the forwarder can
 	// distinguish a dead peer from a slow one.
 	FwdAck
+	// LeaseGrant accompanies a reply that grants a client read lease on
+	// the touched record (internal/lease): the capability itself rides
+	// the reply, this class carries its wire cost and conservation.
+	LeaseGrant
+	// LeaseRecall tells the client edge that a leased record mutated and
+	// every outstanding lease on it is invalid (recall by generation).
+	LeaseRecall
+	// LeaseAck acknowledges a LeaseRecall back to the authority.
+	LeaseAck
 
 	numClasses
 )
@@ -65,6 +74,7 @@ var classNames = [NumClasses]string{
 	"request", "reply", "forward", "fetch_req", "fetch_resp",
 	"replica_install", "coherence", "evict_notice", "write_flush",
 	"stat_callback", "lh_propagate", "fwd_ack",
+	"lease_grant", "lease_recall", "lease_ack",
 }
 
 func (c Class) String() string {
@@ -90,6 +100,9 @@ var classBytes = [NumClasses]int{
 	StatCallback:   64,
 	LHPropagate:    192,
 	FwdAck:         32,
+	LeaseGrant:     48,
+	LeaseRecall:    64,
+	LeaseAck:       32,
 }
 
 // Bytes returns the nominal wire size of a class.
@@ -162,7 +175,9 @@ func (f Fixed) Lookahead() sim.Time {
 
 func (f Fixed) base(c Class) sim.Time {
 	switch c {
-	case Request, Reply:
+	case Request, Reply, LeaseGrant, LeaseRecall, LeaseAck:
+		// Client-edge hops; pricing the lease protocol at Net keeps
+		// Lookahead = min(Net, Fwd) unchanged.
 		return f.Net
 	case LHPropagate:
 		return 2 * f.Fwd

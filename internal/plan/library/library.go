@@ -15,7 +15,7 @@ import (
 	"dynmds/internal/plan"
 )
 
-var sources = []string{midasSrc, cfsSrc, simfsSrc, renameStormSrc, multiTenantSrc}
+var sources = []string{midasSrc, cfsSrc, simfsSrc, renameStormSrc, multiTenantSrc, duelSrc}
 
 var (
 	once  sync.Once
@@ -122,6 +122,32 @@ act phase calm @2s-8s
 act phase storm @8s-14s rate=x2 mix=stat:30,readdir:10,rename:60
 act phase settle @14s-20s
 optimize ops p99 fwd
+`
+
+// duelSrc: the hotspot duel pits the client-coherence mechanisms
+// against each other under a flash crowd. A dumb client round-trips
+// every hotspot read to the authority; the lease plane serves repeats
+// from the client slab with zero fabric hops; replica fan-out pushes
+// the hot directory to peers ahead of demand so the remote reads that
+// remain spread across the cluster. The headline is the hot column —
+// local+remote ops served at the hotspot per mechanism — read against
+// ops and load-spread. The crowd itself is read-only (a flash crowd is
+// a read storm, and any mutation at the hot record would recall every
+// lease); the closing churn act mutates the records the crowd leased,
+// so recall-on-mutate runs against a slab full of live leases.
+const duelSrc = `plan hotspot-duel
+describe Hotspot duel: dumb clients vs leases vs replica fan-out vs both under a flash crowd.
+fs users=40 projects=8
+cluster mds=8 cache=2500 bucket=500ms
+traffic clients=20000 rate=0.5 tenants=64 file-skew=0.8
+matrix mechanism=dumb,leases,fanout,both
+matrix strategy=StaticSubtree,DynamicSubtree
+warmup 2s
+duration 16s
+act phase calm @2s-5s
+act hotspot crowd @5s-13s rate=x3 mix=stat:90,readdir:10 target=/home/u0000 frac=0.7
+act phase churn @13s-16s mix=stat:40,chmod:30,create:30
+optimize hot ops p99 load-spread
 `
 
 // multiTenantSrc composes the other scenarios over one skewed tenant

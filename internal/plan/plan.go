@@ -40,14 +40,14 @@ const (
 // executor always records the full set).
 var knownMetrics = map[string]bool{
 	"ops": true, "p50": true, "p99": true, "p999": true,
-	"load-spread": true, "hit": true, "fwd": true,
+	"load-spread": true, "hit": true, "fwd": true, "hot": true,
 }
 
 // Matrix keys the compiler applies itself; anything else needs a Tweak.
 var knownAxes = map[string]bool{
 	"strategy": true, "mds": true, "clients": true, "rate": true,
 	"cache": true, "tenants": true, "tenant-skew": true, "file-skew": true,
-	"shards": true,
+	"shards": true, "mechanism": true,
 }
 
 // Plan is one declarative scenario.
@@ -79,7 +79,7 @@ type Plan struct {
 	Acts []Act
 
 	// Optimize names the metrics the plan is about; the report leads
-	// with them. Subset of ops/p50/p99/p999/load-spread/hit/fwd.
+	// with them. Subset of ops/p50/p99/p999/load-spread/hit/fwd/hot.
 	Optimize []string
 
 	// Tweak, when non-nil, post-processes each compiled config (Go-only;
@@ -515,6 +515,21 @@ func applyAxis(cfg *cluster.Config, key, v string) error {
 			return fmt.Errorf("bad shard count %q", v)
 		}
 		cfg.Shards = n
+	case "mechanism":
+		// Client-coherence mechanism under test: the lease plane and the
+		// hot-directory replica fan-out, separately and together.
+		cfg.Lease.Enabled, cfg.Lease.Fanout = false, false
+		switch v {
+		case "dumb":
+		case "leases":
+			cfg.Lease.Enabled = true
+		case "fanout":
+			cfg.Lease.Fanout = true
+		case "both":
+			cfg.Lease.Enabled, cfg.Lease.Fanout = true, true
+		default:
+			return fmt.Errorf("unknown mechanism %q (want dumb, leases, fanout or both)", v)
+		}
 	default:
 		return fmt.Errorf("unknown matrix key %q", key)
 	}

@@ -49,6 +49,10 @@ if go run ./cmd/mdsim -shards -3 2>/dev/null; then
     echo "ci: negative -shards was accepted" >&2
     exit 1
 fi
+if go run ./cmd/mdsim -leases 2>/dev/null; then
+    echo "ci: -leases without -open-loop was accepted" >&2
+    exit 1
+fi
 
 # Scenario-plan engine: one library plan end to end under the race
 # detector (acts retarget the live population mid-run), then the whole
@@ -125,6 +129,41 @@ else
     echo "ci: open-loop heap ${BPC} B/client at 1M clients exceeds the 64 B gate" >&2
     exit 1
 fi
+
+# Lease-plane smoke under the race detector: the hotspot duel sweeps
+# all four coherence mechanisms (dumb/leases/fanout/both) across both
+# subtree strategies with grant, recall, and fan-out traffic live.
+go run -race ./cmd/mdsim -plan hotspot-duel -quick
+
+# Hotspot-duel perf report (quick scale in CI; regenerate the committed
+# BENCH_9.json with a full-scale run, which adds the 1M-client rows:
+# `go run ./cmd/mdsim -bench9-json BENCH_9.json`).
+go run ./cmd/mdsim -bench9-json BENCH_9.quick.json -quick
+
+# Lease memory gate: the per-client traffic-plane footprint at 100k
+# clients must stay at or under 64 B with the lease plane off and 96 B
+# with it on. The lease slab costs exactly 24 B/client (two 12 B
+# slots); the gates leave the same pool/fs headroom as the BENCH_7
+# flyweight gate while forbidding any per-client boxed lease state.
+awk '
+/"mechanism":/ { gsub(/[",]/, ""); mech = $2 }
+/"clients":/   { gsub(/[",]/, ""); cli = $2 }
+/"plane_bytes_per_client":/ {
+    gsub(/[",]/, ""); bpc = $2
+    lim = (mech == "dumb" || mech == "fanout") ? 64 : 96
+    if (cli == 100000) {
+        seen++
+        if (bpc > lim) {
+            printf "ci: %s plane %s B/client at 100k clients exceeds the %d B gate\n", mech, bpc, lim
+            bad = 1
+        }
+    }
+}
+END {
+    if (seen < 4) { print "ci: missing 100k-client rows in BENCH_9.quick.json"; bad = 1 }
+    exit bad
+}' BENCH_9.quick.json
+echo "ci: lease plane footprint gates passed (<= 64 B off / <= 96 B on at 100k clients)"
 
 # Perf report (quick scale in CI; regenerate the committed BENCH_6.json
 # with a full-scale run: `go run ./cmd/mdsim -bench-json BENCH_6.json
