@@ -76,6 +76,13 @@ func run() int {
 	leases := flag.Bool("leases", false, "open loop: grant coherent client read leases (requires -open-loop)")
 	replicaFanout := flag.Bool("replica-fanout", false, "push hot-directory replicas to peers ahead of demand")
 	bench9 := flag.String("bench9-json", "", "run the hotspot mechanism duel (dumb/leases/fanout/both across client counts) and write a JSON report to this file")
+	endureRun := flag.Bool("endure", false, "run the endurance plane: churn the namespace over the full duration with periodic quiesce/checkpoint cycles (requires -open-loop)")
+	ckEvery := flag.Float64("checkpoint-every", 0, "endurance checkpoint cadence in simulated seconds (required with -endure; must exceed the quiesce drain)")
+	ckDir := flag.String("checkpoint-dir", "", "endurance: write checkpoint snapshots into this directory")
+	restorePath := flag.String("restore", "", "endurance: resume from this checkpoint snapshot instead of starting at t=0")
+	compactAt := flag.Int("compact-at", 0, "endurance: tombstone count that triggers overlay compaction (0 = default, negative = never compact)")
+	soakCycles := flag.Int("soak-cycles", 0, "run the rolling chaos soak: this many crash/recover cycles over the run, simfsck at every checkpoint (implies -endure gates)")
+	bench10 := flag.String("bench10-json", "", "run the endurance benchmark (degradation curve with and without compaction, restore determinism, rolling soak) and write a JSON report to this file")
 	flag.Parse()
 
 	// Validate the knobs that select named models up front, so a typo
@@ -104,6 +111,31 @@ func run() int {
 	}
 	if *leases && *openLoop <= 0 {
 		fmt.Fprintln(os.Stderr, "mdsim: -leases requires -open-loop (the lease slab lives in the flyweight population)")
+		flag.Usage()
+		return 2
+	}
+	if *soakCycles > 0 {
+		*endureRun = true // the soak is an endurance run with a generated schedule
+	}
+	if *endureRun {
+		if *openLoop <= 0 {
+			fmt.Fprintln(os.Stderr, "mdsim: -endure requires -open-loop (the endurance plane ages the flyweight population's namespace)")
+			flag.Usage()
+			return 2
+		}
+		if *ckEvery <= cluster.QuiesceDrain.Seconds() {
+			fmt.Fprintf(os.Stderr, "mdsim: -checkpoint-every must exceed the %gs quiesce drain, got %g\n",
+				cluster.QuiesceDrain.Seconds(), *ckEvery)
+			flag.Usage()
+			return 2
+		}
+		if *soakCycles > 0 && (*restorePath != "" || *faults != "") {
+			fmt.Fprintln(os.Stderr, "mdsim: -soak-cycles generates its own fault schedule; drop -restore/-faults")
+			flag.Usage()
+			return 2
+		}
+	} else if *ckEvery != 0 || *ckDir != "" || *restorePath != "" || *compactAt != 0 {
+		fmt.Fprintln(os.Stderr, "mdsim: -checkpoint-every/-checkpoint-dir/-restore/-compact-at need -endure")
 		flag.Usage()
 		return 2
 	}
@@ -188,6 +220,14 @@ func run() int {
 		return 0
 	}
 
+	if *bench10 != "" {
+		if err := runBench10(*bench10, *seed, *quick, *shards); err != nil {
+			fmt.Fprintln(os.Stderr, "mdsim:", err)
+			return 1
+		}
+		return 0
+	}
+
 	if *chaosRuns > 0 {
 		rep, err := harness.Chaos(harness.ChaosOptions{
 			Seed:      *chaosSeed,
@@ -244,6 +284,17 @@ func run() int {
 	}
 	cfg.Lease.Enabled = *leases
 	cfg.Lease.Fanout = *replicaFanout
+
+	if *endureRun {
+		return runEndure(cfg, endureFlags{
+			every:      *ckEvery,
+			dir:        *ckDir,
+			restore:    *restorePath,
+			compactAt:  *compactAt,
+			soakCycles: *soakCycles,
+			seed:       *seed,
+		})
+	}
 
 	// Custom runs build the cluster directly (not via harness.RunOne):
 	// a -faults run is drained and checked by simfsck afterwards, which

@@ -117,6 +117,72 @@ func Generate(cfg GenConfig) *fault.Schedule {
 	return g.s
 }
 
+// RollingConfig parameterises GenerateRolling.
+type RollingConfig struct {
+	// Seed keys the jitter stream.
+	Seed int64
+	// NumMDS is the cluster size (>= 2; node 0 never crashes).
+	NumMDS int
+	// Cycles is the number of crash/recover pairs; 0 means 10.
+	Cycles int
+	// Horizon is the run length the cycles are spread over.
+	Horizon sim.Time
+	// Outage is the crash-to-recover gap per cycle; 0 derives one from
+	// the cycle spacing (a third of it, capped at 2s).
+	Outage sim.Time
+}
+
+// GenerateRolling derives a rolling-upgrade shaped fault schedule: the
+// soak workload of the endurance plane. Cycles sequential crash/recover
+// pairs sweep round-robin over nodes 1..n-1 — node 0 is the designated
+// survivor, so failover always has a target — evenly spaced over the
+// middle 80% of the horizon with millisecond jitter, each node back up
+// well before the next one goes down (outages never overlap). The
+// result is deterministic in the config and valid for NumMDS.
+func GenerateRolling(cfg RollingConfig) *fault.Schedule {
+	if cfg.NumMDS < 2 {
+		panic("chaos: GenerateRolling needs NumMDS >= 2")
+	}
+	if cfg.Horizon <= 0 {
+		panic("chaos: GenerateRolling needs a positive Horizon")
+	}
+	cycles := cfg.Cycles
+	if cycles <= 0 {
+		cycles = 10
+	}
+	lo, hi := cfg.Horizon/10, cfg.Horizon*9/10
+	step := (hi - lo) / sim.Time(cycles)
+	if step < 4*sim.Millisecond {
+		panic("chaos: GenerateRolling horizon too short for the cycle count")
+	}
+	outage := cfg.Outage
+	if outage <= 0 {
+		outage = step / 3
+		if outage > 2*sim.Second {
+			outage = 2 * sim.Second
+		}
+	}
+	if outage >= step {
+		panic("chaos: GenerateRolling outage does not fit the cycle spacing")
+	}
+	rng := sim.NewStream(cfg.Seed, "chaos-rolling")
+	s := &fault.Schedule{}
+	jitterSpan := int((step - outage) / (4 * sim.Millisecond))
+	for i := 0; i < cycles; i++ {
+		at := lo + sim.Time(i)*step
+		if jitterSpan > 0 {
+			at += sim.Time(rng.Intn(jitterSpan)) * sim.Millisecond
+		}
+		victim := 1 + i%(cfg.NumMDS-1)
+		s.Crashes = append(s.Crashes, fault.NodeEvent{At: at, Node: victim})
+		s.Recovers = append(s.Recovers, fault.NodeEvent{At: at + outage, Node: victim})
+	}
+	if err := s.Validate(cfg.NumMDS); err != nil {
+		panic("chaos: generated an invalid rolling schedule: " + err.Error())
+	}
+	return s
+}
+
 type generator struct {
 	rng    *sim.RNG
 	n      int

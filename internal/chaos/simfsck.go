@@ -20,6 +20,10 @@ type Baseline struct {
 	// must know about it (pre-existing inodes were generated, not
 	// written through an MDS).
 	MaxInodeID namespace.InodeID
+	// PriorMaxID is the watermark recorded in the checkpoint a restored
+	// run resumed from (zero for fresh runs). IDs are never reused, so
+	// the watermark must be monotone across restore.
+	PriorMaxID namespace.InodeID
 }
 
 // Capture records the baseline for a freshly built cluster.
@@ -36,6 +40,11 @@ func Capture(cl *cluster.Cluster) Baseline {
 //   - structural: namespace tree, per-node cache, and subtree-table
 //     invariants (authority is a partition: assign/mirror agreement,
 //     each root owned by exactly one in-range node);
+//   - overlay aging: no tombstoned base inode resolves by ID, no live
+//     inode is reachable through a tombstoned entry (the parent's name
+//     index must still return it), the tombstone count matches the
+//     delete−resurrect accounting, and the ID watermark is monotone
+//     across checkpoint/restore;
 //   - authority: every reachable inode resolves to an in-range
 //     authority; a node that crashed and was then confirmed down (and
 //     never recovered) holds no delegated roots — failover reassigned
@@ -63,6 +72,7 @@ func Fsck(cl *cluster.Cluster, base Baseline) error {
 	}
 
 	checkStructures(cl, fail)
+	checkAging(cl, base, fail)
 	checkNamespace(cl, base, fail)
 	checkAuthority(cl, fail)
 	checkReplicaEntries(cl, fail)
@@ -89,6 +99,56 @@ func checkStructures(cl *cluster.Cluster, fail func(string, ...any)) {
 			fail("%v", err)
 		}
 	}
+}
+
+// checkAging validates the overlay-aging invariants: tombstone
+// accounting balances, tombstoned base IDs are truly dead, every
+// reachable inode is live (not tombstoned) and findable through its
+// parent's name index — a lazily expanded directory must never leak a
+// destroyed entry back to life — and the ID watermark never regresses
+// across a restore.
+func checkAging(cl *cluster.Cluster, base Baseline, fail func(string, ...any)) {
+	tree := cl.Tree()
+	if tree.MaxID() < base.MaxInodeID {
+		fail("aging: MaxID %d below the pre-run watermark %d", tree.MaxID(), base.MaxInodeID)
+	}
+	if tree.MaxID() < base.PriorMaxID {
+		fail("aging: MaxID %d regressed below the checkpoint watermark %d (restore lost allocations)",
+			tree.MaxID(), base.PriorMaxID)
+	}
+	want := tree.BaseDeletes - tree.Resurrected
+	if got := uint64(tree.TombstoneCount()); got != want {
+		fail("aging: %d tombstones, accounting says %d deletes - %d resurrections = %d",
+			got, tree.BaseDeletes, tree.Resurrected, want)
+	}
+	bad := 0
+	tree.ForEachTombstone(func(id namespace.InodeID) {
+		if bad >= 3 {
+			return
+		}
+		if ino, ok := tree.ByID(id); ok {
+			fail("aging: tombstoned inode %d still resolves to %s", id, ino.Path())
+			bad++
+		}
+	})
+	bad = 0
+	tree.Walk(func(ino *namespace.Inode) bool {
+		if bad >= 3 {
+			return false
+		}
+		if tree.Tombstoned(ino.ID) {
+			fail("aging: reachable inode %s (id %d) is tombstoned", ino.Path(), ino.ID)
+			bad++
+		}
+		if p := ino.Parent(); p != nil {
+			got, ok := p.LookupChild(ino.Name())
+			if !ok || got != ino {
+				fail("aging: %s (id %d) not reachable through its parent's name index", ino.Path(), ino.ID)
+				bad++
+			}
+		}
+		return true
+	})
 }
 
 // subtreeTable returns the delegation table for subtree strategies, nil

@@ -7,8 +7,8 @@ import (
 )
 
 // numMixOps is the op vocabulary size of the open-loop mix, in canonical
-// draw order: stat, readdir, chmod, create, rename.
-const numMixOps = 5
+// draw order: stat, readdir, chmod, create, rename, unlink.
+const numMixOps = 6
 
 // Act retargets the population during [From, To): a rate multiplier, an
 // op-mix override, and an optional hotspot that absorbs HotFrac of the
@@ -27,8 +27,8 @@ type Act struct {
 	// RateMul scales the per-client arrival rate; 0 means unchanged.
 	RateMul float64
 	// Mix overrides the op-mix weights in canonical order (stat,
-	// readdir, chmod, create, rename); an all-zero mix inherits the
-	// base mix.
+	// readdir, chmod, create, rename, unlink); an all-zero mix inherits
+	// the base mix.
 	Mix [numMixOps]float64
 	// Hot, when non-nil, receives HotFrac of the act's draws as their
 	// target (the directory of a create storm, the file of a stat
@@ -53,7 +53,16 @@ type shardActStat struct {
 // one histogram allocation per act per shard) runs off the hot path.
 func (p *Population) ScheduleActs(acts []Act) {
 	p.acts = acts
+	churn := false
+	for i := range acts {
+		if acts[i].Mix[5] > 0 {
+			churn = true
+		}
+	}
 	for _, s := range p.shards {
+		if churn {
+			s.churnOn = true
+		}
 		s.actStats = make([]shardActStat, len(acts))
 		sh := s
 		for i := range acts {
@@ -71,8 +80,8 @@ func (s *popShard) beginAct(i int) {
 	if a.RateMul > 0 {
 		s.rateMul = a.RateMul
 	}
-	if a.Mix[0]+a.Mix[1]+a.Mix[2]+a.Mix[3]+a.Mix[4] > 0 {
-		s.cum = cumMix(a.Mix[0], a.Mix[1], a.Mix[2], a.Mix[3], a.Mix[4])
+	if a.Mix[0]+a.Mix[1]+a.Mix[2]+a.Mix[3]+a.Mix[4]+a.Mix[5] > 0 {
+		s.cum = cumMix(a.Mix[0], a.Mix[1], a.Mix[2], a.Mix[3], a.Mix[4], a.Mix[5])
 	} else {
 		s.cum = s.pop.baseCum
 	}

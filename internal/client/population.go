@@ -41,11 +41,24 @@ type PopulationConfig struct {
 	BurstEpoch  sim.Time
 
 	// Op mix weights; an all-zero mix defaults to Stat 80, Readdir 10,
-	// Chmod 8, Create 2, Rename 0. (No Open/Close: the open-loop plane
-	// never issues an op whose accounting depends on a paired follow-up.
-	// Rename moves a working-set entry into another tenant's directory —
-	// the cross-authority migration op.)
-	MixStat, MixReaddir, MixChmod, MixCreate, MixRename float64
+	// Chmod 8, Create 2, Rename 0, Unlink 0. (No Open/Close: the
+	// open-loop plane never issues an op whose accounting depends on a
+	// paired follow-up. Rename moves a working-set entry into another
+	// tenant's directory — the cross-authority migration op. Unlink
+	// removes a file this run created earlier — the churn op of the
+	// endurance plane; it never touches the frozen working sets the
+	// tenant alias tables point into, so create/unlink churn can run
+	// for virtual days without invalidating a single tenant pointer.)
+	MixStat, MixReaddir, MixChmod, MixCreate, MixRename, MixUnlink float64
+
+	// ChurnBase reserves this many frozen base files — outside every
+	// tenant working set, so no alias-table pointer ever dangles — as
+	// unlink victims, consumed before the run-created ring. Base unlinks
+	// are what tombstone the overlay: without them, churn only recycles
+	// run-created inodes and the aged-overlay degradation the endurance
+	// plane measures never materialises. The cluster layer selects the
+	// victims (it owns the tree walk) via SeedBaseVictims.
+	ChurnBase int
 }
 
 func (c PopulationConfig) withDefaults() PopulationConfig {
@@ -67,25 +80,28 @@ func (c PopulationConfig) withDefaults() PopulationConfig {
 	if c.BurstFactor <= 0 {
 		c.BurstFactor = 4
 	}
-	if c.MixStat+c.MixReaddir+c.MixChmod+c.MixCreate+c.MixRename <= 0 {
+	if c.MixStat+c.MixReaddir+c.MixChmod+c.MixCreate+c.MixRename+c.MixUnlink <= 0 {
 		c.MixStat, c.MixReaddir, c.MixChmod, c.MixCreate = 80, 10, 8, 2
 	}
 	return c
 }
 
 // EffectiveMix returns the defaulted op-mix weights in canonical draw
-// order (stat, readdir, chmod, create, rename) — what an all-zero act
-// mix inherits. The cluster layer uses it to validate hotspot targets.
+// order (stat, readdir, chmod, create, rename, unlink) — what an
+// all-zero act mix inherits. The cluster layer uses it to validate
+// hotspot targets.
 func (c PopulationConfig) EffectiveMix() [numMixOps]float64 {
 	d := c.withDefaults()
-	return [numMixOps]float64{d.MixStat, d.MixReaddir, d.MixChmod, d.MixCreate, d.MixRename}
+	return [numMixOps]float64{d.MixStat, d.MixReaddir, d.MixChmod, d.MixCreate, d.MixRename, d.MixUnlink}
 }
 
 // cumMix folds mix weights into cumulative draw thresholds in canonical
 // op order; cum[numMixOps-1] is the total weight. Left-to-right addition
 // order matters: it must reproduce the pre-act threshold arithmetic
-// bit-for-bit so act-free runs stay golden-identical.
-func cumMix(stat, readdir, chmod, create, rename float64) [numMixOps]float64 {
+// bit-for-bit so act-free runs stay golden-identical (a zero unlink
+// weight makes cum[4] == cum[5], and the draw x = u·cum[5] with u < 1
+// strictly always lands below cum[4] — rename — exactly as before).
+func cumMix(stat, readdir, chmod, create, rename, unlink float64) [numMixOps]float64 {
 	var cum [numMixOps]float64
 	c := stat
 	cum[0] = c
@@ -97,6 +113,8 @@ func cumMix(stat, readdir, chmod, create, rename float64) [numMixOps]float64 {
 	cum[3] = c
 	c += rename
 	cum[4] = c
+	c += unlink
+	cum[5] = c
 	return cum
 }
 
@@ -179,6 +197,22 @@ type popShard struct {
 	// still fire but issue nothing and do not rearm.
 	stopped bool
 
+	// Churn ring (MixUnlink > 0 only): run-created files eligible for
+	// unlink, consumed FIFO so every created file is eventually removed.
+	// Fed on create completion — never on issue, so a timed-out create
+	// can never be unlinked — and disjoint by construction from the
+	// frozen working sets renames and stats draw from. churnHead indexes
+	// the next victim; the slice compacts once half-consumed.
+	churnOn   bool
+	churn     []*namespace.Inode
+	churnHead int
+
+	// Base-victim pool (ChurnBase > 0 only): frozen base files reserved
+	// for unlink, consumed FIFO before the run-created ring so overlay
+	// tombstones accrue from the first unlink draws.
+	baseVictims []*namespace.Inode
+	baseHead    int
+
 	// Retry escalation (EnableRetries; fault runs only): outstanding
 	// requests keyed by shard-unique id, each a boxed record carrying
 	// the escalation state the flyweight slabs deliberately omit. Nil on
@@ -216,7 +250,7 @@ func NewPopulation(cfg PopulationConfig, engines []*sim.Engine, netw Network, st
 		strat:   strat,
 		tenants: tenants,
 		hints:   NewHintTable(cfg.Clients, cfg.Ways),
-		baseCum: cumMix(cfg.MixStat, cfg.MixReaddir, cfg.MixChmod, cfg.MixCreate, cfg.MixRename),
+		baseCum: cumMix(cfg.MixStat, cfg.MixReaddir, cfg.MixChmod, cfg.MixCreate, cfg.MixRename, cfg.MixUnlink),
 	}
 	p.shards = make([]*popShard, k)
 	for s := 0; s < k; s++ {
@@ -238,6 +272,7 @@ func NewPopulation(cfg PopulationConfig, engines []*sim.Engine, netw Network, st
 			ps.tenant[li] = uint32(tenants.ClientTenant(g))
 		}
 		ps.wheel = sim.NewWheel(engines[s], cfg.Tick, n, ps.arrive)
+		ps.churnOn = cfg.MixUnlink > 0
 		p.shards[s] = ps
 	}
 	return p
@@ -274,6 +309,18 @@ func (p *Population) Start() {
 
 // Clients returns the population size.
 func (p *Population) Clients() int { return p.cfg.Clients }
+
+// SeedBaseVictims distributes reserved base-file unlink victims across
+// the shards (victim i to shard i mod K, preserving order within each
+// shard). Call before Start; the cluster layer picks the victims so the
+// walk order — and with it the unlink sequence — is deterministic.
+func (p *Population) SeedBaseVictims(victims []*namespace.Inode) {
+	k := len(p.shards)
+	for i, v := range victims {
+		s := p.shards[i%k]
+		s.baseVictims = append(s.baseVictims, v)
+	}
+}
 
 // Hints exposes the shared location-hint table.
 func (p *Population) Hints() *HintTable { return p.hints }
@@ -364,7 +411,7 @@ func (s *popShard) arrive(li int32) {
 		req.Target = p.tenants.Dir(tn, s.next(li), s.next(li))
 		s.nameSeq++
 		req.NewName = popName(s.shard, s.nameSeq)
-	default:
+	case x < s.cum[4]:
 		// Rename: move a working-set entry into another tenant's
 		// directory — the cross-authority migration op. The inode
 		// survives the move (failed renames are MDS-side no-ops), so
@@ -381,11 +428,28 @@ func (s *popShard) arrive(li int32) {
 		req.DstDir = p.tenants.Dir(dst, s.next(li), s.next(li))
 		s.nameSeq++
 		req.NewName = popName(s.shard, s.nameSeq)
+	default:
+		// Unlink: remove a file this run created earlier, oldest first.
+		// Until a create has completed there is nothing to remove; the
+		// draw degrades to a create with the same draw pattern, seeding
+		// the ring.
+		if victim := s.churnPop(); victim != nil {
+			req.Op = msg.Unlink
+			req.Target = victim
+		} else {
+			req.Op = msg.Create
+			req.Target = p.tenants.Dir(tn, s.next(li), s.next(li))
+			s.nameSeq++
+			req.NewName = popName(s.shard, s.nameSeq)
+		}
 	}
 	// Hotspot acts redirect a fraction of draws to one target. The
 	// extra uniform word is drawn only while a hotspot is active, so
 	// hotspot-free runs keep their RNG streams (and goldens) intact.
-	if s.hotFrac > 0 && uniform(s.next(li)) < s.hotFrac {
+	// Unlinks consume the draw but never redirect: the op must land on
+	// the ring victim — retargeting it would remove a working-set entry
+	// the tenant alias tables still point at.
+	if s.hotFrac > 0 && uniform(s.next(li)) < s.hotFrac && req.Op != msg.Unlink {
 		req.Target = s.hot
 	}
 
@@ -424,6 +488,38 @@ func (s *popShard) arrive(li int32) {
 	p.net.Send(mds, req)
 	s.rearm(li)
 }
+
+// churnPop takes the oldest unlink-eligible inode, or nil. Reserved
+// base victims drain first (they age the overlay), then the ring of
+// files this run created.
+func (s *popShard) churnPop() *namespace.Inode {
+	if s.baseHead < len(s.baseVictims) {
+		n := s.baseVictims[s.baseHead]
+		s.baseVictims[s.baseHead] = nil
+		s.baseHead++
+		return n
+	}
+	if s.churnHead >= len(s.churn) {
+		return nil
+	}
+	n := s.churn[s.churnHead]
+	s.churn[s.churnHead] = nil
+	s.churnHead++
+	// Compact once half the slice is dead so the ring's footprint tracks
+	// the live backlog, not the cumulative create count.
+	if s.churnHead > len(s.churn)/2 && s.churnHead > 64 {
+		live := copy(s.churn, s.churn[s.churnHead:])
+		for i := live; i < len(s.churn); i++ {
+			s.churn[i] = nil
+		}
+		s.churn = s.churn[:live]
+		s.churnHead = 0
+	}
+	return n
+}
+
+// churnPush appends a freshly created file to the unlink ring.
+func (s *popShard) churnPush(n *namespace.Inode) { s.churn = append(s.churn, n) }
 
 // popRetryFire is the retry-escalation timer: retransmit with doubled
 // backoff, or retire the op as timed out once attempts are exhausted
@@ -534,6 +630,16 @@ func (p *Population) OnReply(rep *msg.Reply) {
 	if req := rep.Req; req != nil {
 		if req.Target == s.hot {
 			s.hotRemote++
+		}
+		// Feed the churn ring with the completed create's inode. The
+		// reply travels after the barrier that applied the mutation, so
+		// the parent's index already holds the new entry and the lookup
+		// is read-only. Timed-out creates never reach here, so they can
+		// never be drawn as unlink victims.
+		if s.churnOn && req.Op == msg.Create {
+			if c, ok := req.Target.LookupChild(req.NewName); ok && !c.IsDir() {
+				s.churnPush(c)
+			}
 		}
 		// Install a granted lease at receipt: lifetime runs from now,
 		// and the generation snapshotted at the authority keeps a grant

@@ -21,7 +21,7 @@ type ActConfig struct {
 	RateMul float64
 	// Mix weights for the act; all-zero inherits the population's base
 	// mix. Weights are relative, not percentages.
-	MixStat, MixReaddir, MixChmod, MixCreate, MixRename float64
+	MixStat, MixReaddir, MixChmod, MixCreate, MixRename, MixUnlink float64
 	// FileSkew retargets the tenant popularity Zipf exponent at From.
 	// Unlike rate/mix/hotspot it persists past To (reshaping popularity
 	// is a state change, not a phase): a later act, or nothing, reverts
@@ -67,7 +67,7 @@ func (c *Cluster) setupActs() error {
 		if a.RateMul < 0 {
 			return fmt.Errorf("cluster: act %q: rate multiplier %g must be >= 0", a.Name, a.RateMul)
 		}
-		mix := [...]float64{a.MixStat, a.MixReaddir, a.MixChmod, a.MixCreate, a.MixRename}
+		mix := [...]float64{a.MixStat, a.MixReaddir, a.MixChmod, a.MixCreate, a.MixRename, a.MixUnlink}
 		for _, w := range mix {
 			if w < 0 {
 				return fmt.Errorf("cluster: act %q: negative mix weight %g", a.Name, w)
@@ -87,7 +87,7 @@ func (c *Cluster) setupActs() error {
 				return fmt.Errorf("cluster: act %q: hotspot path not in namespace: %v", a.Name, err)
 			}
 			eff := mix
-			if mix[0]+mix[1]+mix[2]+mix[3]+mix[4] <= 0 {
+			if mix[0]+mix[1]+mix[2]+mix[3]+mix[4]+mix[5] <= 0 {
 				eff = baseMix
 			}
 			if !n.IsDir() && eff[1]+eff[3] > 0 {

@@ -711,7 +711,37 @@ func (c *Cluster) buildPopulation() error {
 	}
 	c.tenants = tenants
 	c.Pop = client.NewPopulation(pcfg, engines, c, c.Strategy, tenants, cfg.Seed)
+	if pcfg.ChurnBase > 0 {
+		victims := baseVictims(c.Snap.Tree, tenants, pcfg.ChurnBase)
+		if len(victims) == 0 {
+			return fmt.Errorf("cluster: ChurnBase %d but no base files outside the tenant working sets", pcfg.ChurnBase)
+		}
+		c.Pop.SeedBaseVictims(victims)
+	}
 	return nil
+}
+
+// baseVictims picks up to limit frozen base files for unlink churn, in
+// deterministic tree-walk order, excluding every inode a tenant alias
+// table can return so working-set pointers never dangle.
+func baseVictims(tree *namespace.Tree, tenants *workload.Tenants, limit int) []*namespace.Inode {
+	reserved := make(map[*namespace.Inode]struct{})
+	tenants.ForEachTarget(func(n *namespace.Inode) { reserved[n] = struct{}{} })
+	var victims []*namespace.Inode
+	tree.Walk(func(n *namespace.Inode) bool {
+		if len(victims) >= limit {
+			return false
+		}
+		if n.IsDir() || !tree.IsBase(n.ID) {
+			return true
+		}
+		if _, ok := reserved[n]; ok {
+			return true
+		}
+		victims = append(victims, n)
+		return true
+	})
+	return victims
 }
 
 // Node implements mds.Cluster.

@@ -1,0 +1,279 @@
+package endure
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dynmds/internal/client"
+	"dynmds/internal/cluster"
+	"dynmds/internal/sim"
+	"dynmds/internal/snap"
+)
+
+// testOptions is a small endurance configuration: a 4-node cluster
+// under an open-loop churn population, three checkpoints over an 8s
+// horizon. The arrival budget (~400 ops/s aggregate) stays well under
+// service capacity so every quiesce drains.
+func testOptions(shards int, faults string) Options {
+	cfg := cluster.Default()
+	cfg.Seed = 42
+	cfg.NumMDS = 4
+	cfg.ClientsPerMDS = 40
+	cfg.Shards = shards
+	cfg.Faults = faults
+	cfg.Duration = sim.FromSeconds(8)
+	cfg.Warmup = sim.FromSeconds(1)
+	cfg.OpenLoop = &client.PopulationConfig{Clients: 20000, Rate: 0.02}
+	return Options{Cluster: cfg, Every: sim.FromSeconds(2.5)}
+}
+
+// TestRestoreBitIdentity is the endurance plane's core determinism
+// claim: a run saved at a checkpoint and restored finishes with a
+// digest bit-identical to the uninterrupted run — at the serial and
+// sharded engine configurations, and under an active fault schedule.
+func TestRestoreBitIdentity(t *testing.T) {
+	cases := []struct {
+		name   string
+		shards int
+		faults string
+	}{
+		{"serial", 0, ""},
+		{"sharded-K4", 4, ""},
+		{"serial-faults", 0, "crash@3s-4s:mds1,crash@5s-5.6s:mds3"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref, err := Run(testOptions(tc.shards, tc.faults))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			saved := testOptions(tc.shards, tc.faults)
+			saved.Dir = t.TempDir()
+			savedRes, err := Run(saved)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if savedRes.Digest != ref.Digest {
+				t.Fatalf("checkpoint writing perturbed the run:\n  plain %s\n  saved %s",
+					ref.Digest, savedRes.Digest)
+			}
+
+			for ck := 0; ck < len(savedRes.Rows)-1; ck++ {
+				restored, err := Restore(testOptions(tc.shards, tc.faults),
+					snapshotPath(saved.Dir, ck))
+				if err != nil {
+					t.Fatalf("restore from ck-%03d: %v", ck, err)
+				}
+				if restored.Digest != ref.Digest {
+					t.Errorf("restored from ck-%03d diverged:\n  plain    %s\n  restored %s",
+						ck, ref.Digest, restored.Digest)
+				}
+				// The restored curve must agree with the uninterrupted
+				// run's rows for the checkpoints it replays.
+				tail := ref.Rows[ck+1:]
+				if len(restored.Rows) != len(tail) {
+					t.Fatalf("restored rows = %d, want %d", len(restored.Rows), len(tail))
+				}
+				for i := range tail {
+					got, want := restored.Rows[i], tail[i]
+					got.Path, want.Path = "", ""
+					if got != want {
+						t.Errorf("row %d differs:\n  plain    %+v\n  restored %+v", i, want, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCompactTombstonesDigestInvariant pins the claim in the aging
+// layer: swapping the tombstone map for the dense bitset is purely
+// representational, so a run that compacts mid-flight is bit-identical
+// to one that never does.
+func TestCompactTombstonesDigestInvariant(t *testing.T) {
+	unfixed := testOptions(0, "")
+	unfixed.CompactAt = -1
+	a, err := Run(unfixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := testOptions(0, "")
+	fixed.CompactAt = 1 // any tombstone triggers compaction at the first checkpoint
+	b, err := Run(fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("compaction changed the run:\n  off %s\n  on  %s", a.Digest, b.Digest)
+	}
+	if last := a.Rows[len(a.Rows)-1]; last.Compacted {
+		t.Error("CompactAt=-1 run still compacted")
+	}
+	if last := b.Rows[len(b.Rows)-1]; !last.Compacted {
+		t.Error("CompactAt=1 run never compacted")
+	}
+}
+
+// TestInstants pins the checkpoint cadence: multiples of every up to
+// the horizon, the horizon itself always last, and a penultimate
+// multiple inside the quiesce drain of the horizon dropped (the two
+// checkpoints would overlap).
+func TestInstants(t *testing.T) {
+	s := sim.FromSeconds
+	eq := func(got, want []sim.Time) bool {
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if got := Instants(s(2.5), s(8)); !eq(got, []sim.Time{s(2.5), s(5), s(8)}) {
+		t.Errorf("Instants(2.5s, 8s) = %v", got)
+	}
+	if got := Instants(s(2.5), s(6)); !eq(got, []sim.Time{s(2.5), s(6)}) {
+		t.Errorf("Instants(2.5s, 6s) = %v (the 5s multiple sits inside the drain before 6s)", got)
+	}
+	if got := Instants(s(3), s(6)); !eq(got, []sim.Time{s(3), s(6)}) {
+		t.Errorf("Instants(3s, 6s) = %v (the 6s multiple is the horizon)", got)
+	}
+	drainS := cluster.QuiesceDrain.Seconds()
+	if got := Instants(s(3), s(6)+cluster.QuiesceDrain/2); !eq(got, []sim.Time{s(3), s(6) + cluster.QuiesceDrain/2}) {
+		t.Errorf("Instants(3s, 6s+%.1gs/2) = %v (penultimate multiple inside the drain must drop)", drainS, got)
+	}
+}
+
+// TestValidateSnapshot covers the fail-fast usage errors: shard-count,
+// config, and version mismatches, corruption, and restoring from the
+// final checkpoint are all rejected without running any simulation.
+func TestValidateSnapshot(t *testing.T) {
+	opt := testOptions(0, "")
+	opt.Dir = t.TempDir()
+	if _, err := Run(opt); err != nil {
+		t.Fatal(err)
+	}
+	first := snapshotPath(opt.Dir, 0)
+
+	if err := ValidateSnapshot(testOptions(0, ""), first); err != nil {
+		t.Fatalf("matching config rejected: %v", err)
+	}
+	// The fault schedule is deliberately exempt (shrinking replays
+	// snapshots under reduced schedules).
+	if err := ValidateSnapshot(testOptions(0, "crash@3s-4s:mds1"), first); err != nil {
+		t.Fatalf("differing fault schedule rejected: %v", err)
+	}
+
+	if err := ValidateSnapshot(testOptions(4, ""), first); err == nil ||
+		!strings.Contains(err.Error(), "shards") {
+		t.Errorf("shard mismatch: %v", err)
+	}
+	other := testOptions(0, "")
+	other.Cluster.Seed = 43
+	if err := ValidateSnapshot(other, first); err == nil ||
+		!strings.Contains(err.Error(), "config hash") {
+		t.Errorf("config mismatch: %v", err)
+	}
+	late := testOptions(0, "")
+	final := snapshotPath(opt.Dir, 2)
+	if err := ValidateSnapshot(late, final); err == nil ||
+		!strings.Contains(err.Error(), "final checkpoint") {
+		t.Errorf("final-checkpoint restore: %v", err)
+	}
+	badCadence := testOptions(0, "")
+	badCadence.Every = sim.FromSeconds(3)
+	if err := ValidateSnapshot(badCadence, first); err == nil ||
+		!strings.Contains(err.Error(), "cadence") {
+		t.Errorf("cadence mismatch: %v", err)
+	}
+
+	data, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), data...)
+	bad[len(bad)/2] ^= 0x01
+	corrupt := filepath.Join(t.TempDir(), "corrupt.snap")
+	if err := os.WriteFile(corrupt, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSnapshot(testOptions(0, ""), corrupt); err == nil ||
+		!strings.Contains(err.Error(), "checksum") {
+		t.Errorf("corrupt snapshot: %v", err)
+	}
+}
+
+// TestSnapshotVersionRejected: a future-format file is refused before
+// any post-version field is decoded.
+func TestSnapshotVersionRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "future.snap")
+	data := futureVersionSnapshot()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := decodeHeader(data); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Errorf("future version: %v", err)
+	}
+	if err := ValidateSnapshot(testOptions(0, ""), path); err == nil ||
+		!strings.Contains(err.Error(), "version") {
+		t.Errorf("ValidateSnapshot future version: %v", err)
+	}
+}
+
+// futureVersionSnapshot fabricates a checksummed snapshot whose format
+// version is one past this build's.
+func futureVersionSnapshot() []byte {
+	w := snap.NewWriter()
+	w.Begin("endure")
+	w.Int(SnapshotVersion + 1)
+	w.End()
+	return w.Bytes()
+}
+
+// TestSoakDeterminism: the rolling soak derives its schedule and
+// outcome purely from (config, seed) — two invocations agree exactly,
+// and the schedule carries the requested crash/recover cycles.
+func TestSoakDeterminism(t *testing.T) {
+	run := func() *SoakReport {
+		rep, err := Soak(SoakOptions{Base: testOptions(0, ""), Seed: 7, Cycles: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if a.Schedule == "" || a.Schedule != b.Schedule {
+		t.Fatalf("soak schedules differ:\n  %s\n  %s", a.Schedule, b.Schedule)
+	}
+	if got := strings.Count(a.Schedule, "crash@"); got != 3 {
+		t.Errorf("schedule has %d crash cycles, want 3: %s", got, a.Schedule)
+	}
+	if a.Failure != nil {
+		t.Fatalf("soak failed: %+v", a.Failure)
+	}
+	if a.Result.Digest != b.Result.Digest {
+		t.Fatalf("soak digests differ:\n  %s\n  %s", a.Result.Digest, b.Result.Digest)
+	}
+}
+
+// TestReproLine: shrink repro lines must be replayable as-is — they
+// carry the open-loop population, the schedule, and the checkpoint
+// snapshot the shrink restarted from.
+func TestReproLine(t *testing.T) {
+	opt := testOptions(0, "")
+	line := reproLine(&opt, "crash@3s-4s:mds1", "/tmp/soak/ck-001.snap")
+	for _, want := range []string{
+		"-open-loop 20000", "-open-rate 0.02", "-endure", "-checkpoint-every 2.5",
+		`-faults "crash@3s-4s:mds1"`, `-restore "/tmp/soak/ck-001.snap"`,
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("repro line missing %q: %s", want, line)
+		}
+	}
+}

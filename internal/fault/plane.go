@@ -17,6 +17,11 @@ type Plane struct {
 	rng  *sim.RNG
 	edge int // client-edge endpoint index (== numMDS)
 
+	// draws counts Float64 calls on the fault stream. math/rand state is
+	// opaque, but the stream is deterministic in (seed, draw count), so a
+	// checkpoint serializes the count and a restore replays it forward.
+	draws uint64
+
 	// side[i] is partition i's membership table indexed by endpoint; the
 	// client edge is always sideNone.
 	side [][]uint8
@@ -61,6 +66,7 @@ func (p *Plane) Transit(from, to int, now sim.Time) (bool, sim.Time) {
 		if d.P <= 0 || !d.Sel.Matches(from, to, p.edge) {
 			continue
 		}
+		p.draws++
 		if p.rng.Float64() < d.P {
 			return true, 0
 		}
@@ -73,4 +79,19 @@ func (p *Plane) Transit(from, to int, now sim.Time) (bool, sim.Time) {
 		}
 	}
 	return false, extra
+}
+
+// Draws returns the number of consumed fault-stream draws (checkpoints).
+func (p *Plane) Draws() uint64 { return p.draws }
+
+// ReplayDraws fast-forwards a freshly built plane's RNG stream to the
+// serialized draw count, restoring stream position exactly.
+func (p *Plane) ReplayDraws(n uint64) {
+	if p.draws != 0 {
+		panic("fault: ReplayDraws on a used plane")
+	}
+	for i := uint64(0); i < n; i++ {
+		p.rng.Float64()
+	}
+	p.draws = n
 }

@@ -315,6 +315,10 @@ type MDS struct {
 	// armed (a timed-out carrier may be resumed by its late response).
 	poolFetch bool
 
+	// flusher is the periodic write-flush ticker, retained so the
+	// endurance quiesce can stop and restart it.
+	flusher *sim.Ticker
+
 	// lease is the cluster's hotspot-mitigation plane (nil when neither
 	// client leases nor replica fan-out are enabled); lec is the
 	// cluster's recall-delivery surface, set alongside it.
@@ -524,7 +528,18 @@ func (m *MDS) StartFlusher() {
 	if m.cfg.WriteFlushInterval <= 0 {
 		return
 	}
-	sim.NewTicker(m.eng, m.cfg.WriteFlushInterval, m.flushWrites).Start(0)
+	m.flusher = sim.NewTicker(m.eng, m.cfg.WriteFlushInterval, m.flushWrites)
+	m.flusher.Start(0)
+}
+
+// StopFlusher halts the periodic write-flush ticker ahead of an
+// endurance quiesce. The stopped ticker's already-scheduled tick fires
+// as a no-op; Resume starts a fresh ticker.
+func (m *MDS) StopFlusher() {
+	if m.flusher != nil {
+		m.flusher.Stop()
+		m.flusher = nil
+	}
 }
 
 // ID implements core.Node.

@@ -93,3 +93,19 @@ func (h *LatHist) Merge(src *LatHist) {
 
 // Reset zeroes the histogram.
 func (h *LatHist) Reset() { *h = LatHist{} }
+
+// State visits the non-empty buckets for checkpoints.
+func (h *LatHist) State(fn func(idx int, count uint64)) {
+	for i, c := range h.buckets {
+		if c != 0 {
+			fn(i, c)
+		}
+	}
+}
+
+// SetBucket restores one bucket captured by State. The caller is
+// responsible for starting from an empty histogram.
+func (h *LatHist) SetBucket(idx int, count uint64) {
+	h.n += count - h.buckets[idx]
+	h.buckets[idx] = count
+}

@@ -70,6 +70,14 @@ func (c *DecayCounter) Reset(now sim.Time) {
 	c.last = now
 }
 
+// State exposes the raw (value, last-decay-time) pair for checkpoints.
+func (c *DecayCounter) State() (float64, sim.Time) { return c.value, c.last }
+
+// SetState restores a pair captured by State.
+func (c *DecayCounter) SetState(value float64, last sim.Time) {
+	c.value, c.last = value, last
+}
+
 // Series accumulates observations into fixed-width time buckets, for the
 // "metric over time" figures (5, 6, 7).
 type Series struct {
@@ -152,6 +160,16 @@ func (s *Series) Merge(src *Series) {
 	}
 }
 
+// State exposes the raw buckets for checkpoints; the returned slices
+// alias the series and must not be mutated.
+func (s *Series) State() ([]float64, []int64) { return s.sums, s.counts }
+
+// SetState restores buckets captured by State (copied in).
+func (s *Series) SetState(sums []float64, counts []int64) {
+	s.sums = append(s.sums[:0], sums...)
+	s.counts = append(s.counts[:0], counts...)
+}
+
 // Welford accumulates mean/variance/min/max online.
 type Welford struct {
 	n        int64
@@ -208,6 +226,16 @@ func (w *Welford) Merge(src *Welford) {
 	w.m2 += src.m2 + d*d*float64(w.n)*float64(src.n)/float64(n)
 	w.mean += d * float64(src.n) / float64(n)
 	w.n = n
+}
+
+// State exposes the accumulator fields for checkpoints.
+func (w *Welford) State() (n int64, mean, m2, min, max float64) {
+	return w.n, w.mean, w.m2, w.min, w.max
+}
+
+// SetState restores fields captured by State.
+func (w *Welford) SetState(n int64, mean, m2, min, max float64) {
+	w.n, w.mean, w.m2, w.min, w.max = n, mean, m2, min, max
 }
 
 // Stddev returns the sample standard deviation.

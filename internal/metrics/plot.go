@@ -112,6 +112,20 @@ func (h *Histogram) Merge(src *Histogram) {
 	h.total += src.total
 }
 
+// State exposes the raw bucket counts and total for checkpoints; the
+// returned slice aliases the histogram and must not be mutated.
+func (h *Histogram) State() ([]uint64, uint64) { return h.counts, h.total }
+
+// SetState restores counts captured by State (copied in). The
+// histogram must have been built with the same shape.
+func (h *Histogram) SetState(counts []uint64, total uint64) {
+	if len(counts) != len(h.counts) {
+		panic("metrics: histogram state shape mismatch")
+	}
+	copy(h.counts, counts)
+	h.total = total
+}
+
 // Quantile returns an upper bound for quantile q in [0,1] (the bound of
 // the bucket containing it), or 0 when empty.
 func (h *Histogram) Quantile(q float64) float64 {

@@ -182,6 +182,10 @@ func NewOverlay(f *Frozen) *Tree {
 // node returns the overlay inode for a live base ID.
 func (t *Tree) node(id InodeID) *Inode { return &t.slab[id-1] }
 
+// IsBase reports whether id belongs to the frozen base layer, as
+// opposed to an inode created during the run.
+func (t *Tree) IsBase(id InodeID) bool { return t.base != nil && t.base.contains(id) }
+
 // expand builds a directory's private name index from its current child
 // list, switching lookups off the shared base index. Any structural
 // mutation of a directory (attach/detach) expands it first, so the
@@ -203,6 +207,11 @@ func (n *Inode) expand() {
 // so ByID cannot re-materialize it from the base.
 func (t *Tree) destroyed(id InodeID) {
 	if t.base == nil || !t.base.contains(id) {
+		return
+	}
+	t.BaseDeletes++
+	if t.dead != nil {
+		t.dead[id>>6] |= 1 << (id & 63)
 		return
 	}
 	if t.gone == nil {

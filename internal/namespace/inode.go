@@ -98,6 +98,7 @@ func (n *Inode) Child(i int) *Inode { return n.children[i] }
 func (n *Inode) LookupChild(name string) (*Inode, bool) {
 	if n.lazyIdx {
 		id, ok := n.tree.base.nodes[n.ID-1].kids[name]
+		n.tree.noteLazyLookup(!ok)
 		if !ok {
 			return nil, false
 		}

@@ -1,0 +1,257 @@
+package namespace
+
+import (
+	"fmt"
+	"sort"
+
+	"dynmds/internal/snap"
+)
+
+// Overlay checkpointing: an overlay tree is serialized as a delta
+// against its immutable frozen base — tombstones, run-created inodes,
+// base inodes whose fields drifted from their frozen record, and the
+// ordered child list of every directory whose private name index has
+// been materialized (any structural mutation materializes it, so the
+// set of emitted directories is exactly the set whose child order can
+// differ from the base). Restoring applies the delta onto a pristine
+// overlay of the same base; the result is field-identical to the
+// serialized tree, including the lazy/expanded split the read-through
+// instrumentation depends on.
+
+// SnapshotTo writes the overlay delta. The tree must be an overlay and
+// must hold no anchored inodes (the endurance plane runs no Link ops).
+func (t *Tree) SnapshotTo(w *snap.Writer) {
+	if t.base == nil {
+		panic("namespace: snapshot of a non-overlay tree")
+	}
+	if t.Anchors != nil && t.Anchors.Len() != 0 {
+		panic("namespace: snapshot with anchored inodes is not supported")
+	}
+	lk, lm := t.LazyStats()
+
+	w.U64(uint64(t.nextID))
+	w.Int(t.NumFiles)
+	w.Int(t.NumDirs)
+	w.U64(t.BaseDeletes)
+	w.U64(t.Resurrected)
+	w.U64(lk)
+	w.U64(lm)
+	w.Bool(t.dead != nil)
+
+	// Tombstones, ascending, delta-coded.
+	w.Int(t.TombstoneCount())
+	prev := InodeID(0)
+	t.ForEachTombstone(func(id InodeID) {
+		w.U64(uint64(id - prev))
+		prev = id
+	})
+
+	// Run-created inodes, ascending ID.
+	created := make([]*Inode, 0, len(t.byID))
+	for _, n := range t.byID {
+		created = append(created, n)
+	}
+	sort.Slice(created, func(i, j int) bool { return created[i].ID < created[j].ID })
+	w.Int(len(created))
+	for _, n := range created {
+		w.U64(uint64(n.ID))
+		w.U64(uint64(n.Kind))
+		w.U64(uint64(n.Mode))
+		w.I64(n.Size)
+		w.Int(n.NLink)
+		w.Int(n.SubtreeInodes)
+		w.String(n.name)
+		w.U64(uint64(parentID(n)))
+	}
+
+	// Dirty base inodes: fields differ from the frozen record. Skip
+	// tombstoned slots — their stale fields are unreachable.
+	var dirty []InodeID
+	for i := range t.slab {
+		id := InodeID(i + 1)
+		if t.Tombstoned(id) {
+			continue
+		}
+		n, fn := &t.slab[i], &t.base.nodes[i]
+		if n.name != fn.name || n.Size != fn.size || n.Mode != fn.mode ||
+			n.NLink != int(fn.nlink) || n.SubtreeInodes != int(fn.sub) ||
+			parentID(n) != fn.parent {
+			dirty = append(dirty, id)
+		}
+	}
+	w.Int(len(dirty))
+	for _, id := range dirty {
+		n := t.node(id)
+		w.U64(uint64(id))
+		w.U64(uint64(n.Mode))
+		w.I64(n.Size)
+		w.Int(n.NLink)
+		w.Int(n.SubtreeInodes)
+		w.String(n.name)
+		w.U64(uint64(parentID(n)))
+	}
+
+	// Materialized directories with their ordered child IDs: base slab
+	// order first, then created dirs ascending.
+	var mat []*Inode
+	for i := range t.slab {
+		if t.slab[i].childIndex != nil && !t.Tombstoned(InodeID(i+1)) {
+			mat = append(mat, &t.slab[i])
+		}
+	}
+	for _, n := range created {
+		if n.childIndex != nil {
+			mat = append(mat, n)
+		}
+	}
+	w.Int(len(mat))
+	for _, d := range mat {
+		w.U64(uint64(d.ID))
+		w.Int(len(d.children))
+		for _, c := range d.children {
+			w.U64(uint64(c.ID))
+		}
+	}
+}
+
+func parentID(n *Inode) InodeID {
+	if n.parent == nil {
+		return 0
+	}
+	return n.parent.ID
+}
+
+// RestoreFrom applies a delta written by SnapshotTo onto t, which must
+// be a pristine overlay of the same frozen base.
+func (t *Tree) RestoreFrom(r *snap.Reader) error {
+	if t.base == nil {
+		return fmt.Errorf("namespace: restore onto a non-overlay tree")
+	}
+	if len(t.byID) != 0 || t.gone != nil || t.dead != nil {
+		return fmt.Errorf("namespace: restore onto a non-pristine overlay")
+	}
+
+	nextID := InodeID(r.U64())
+	if nextID < InodeID(len(t.base.nodes)) {
+		return fmt.Errorf("namespace: snapshot MaxID %d below base size %d", nextID, len(t.base.nodes))
+	}
+	t.nextID = nextID
+	t.NumFiles = r.Int()
+	t.NumDirs = r.Int()
+	t.BaseDeletes = r.U64()
+	t.Resurrected = r.U64()
+	t.SetLazyStats(r.U64(), r.U64())
+	compacted := r.Bool()
+
+	nTomb := r.Int()
+	if compacted {
+		t.dead = make([]uint64, len(t.base.nodes)/64+1)
+	} else if nTomb > 0 {
+		t.gone = make(map[InodeID]struct{}, nTomb)
+	}
+	id := InodeID(0)
+	for i := 0; i < nTomb; i++ {
+		id += InodeID(r.U64())
+		if !t.base.contains(id) {
+			return fmt.Errorf("namespace: tombstone %d outside base", id)
+		}
+		if compacted {
+			t.dead[id>>6] |= 1 << (id & 63)
+		} else {
+			t.gone[id] = struct{}{}
+		}
+	}
+
+	// Created inodes; parents resolved after all IDs are registered.
+	nCreated := r.Int()
+	parents := make([]InodeID, nCreated)
+	createdOrder := make([]*Inode, nCreated)
+	for i := 0; i < nCreated; i++ {
+		n := &Inode{tree: t}
+		n.ID = InodeID(r.U64())
+		n.Kind = Kind(r.U64())
+		n.Mode = Mode(r.U64())
+		n.Size = r.I64()
+		n.NLink = r.Int()
+		n.SubtreeInodes = r.Int()
+		n.name = r.String()
+		parents[i] = InodeID(r.U64())
+		if t.base.contains(n.ID) || n.ID > t.nextID {
+			return fmt.Errorf("namespace: created inode %d out of range", n.ID)
+		}
+		t.byID[n.ID] = n
+		createdOrder[i] = n
+	}
+	for i, n := range createdOrder {
+		if parents[i] != 0 {
+			p, ok := t.resolve(parents[i])
+			if !ok {
+				return fmt.Errorf("namespace: created inode %d parent %d unresolvable", n.ID, parents[i])
+			}
+			n.parent = p
+		}
+	}
+
+	// Dirty base inodes.
+	nDirty := r.Int()
+	for i := 0; i < nDirty; i++ {
+		did := InodeID(r.U64())
+		if !t.base.contains(did) {
+			return fmt.Errorf("namespace: dirty inode %d outside base", did)
+		}
+		n := t.node(did)
+		n.Mode = Mode(r.U64())
+		n.Size = r.I64()
+		n.NLink = r.Int()
+		n.SubtreeInodes = r.Int()
+		n.name = r.String()
+		pid := InodeID(r.U64())
+		if pid == 0 {
+			n.parent = nil
+		} else {
+			p, ok := t.resolve(pid)
+			if !ok {
+				return fmt.Errorf("namespace: dirty inode %d parent %d unresolvable", did, pid)
+			}
+			n.parent = p
+		}
+	}
+
+	// Materialized directories: install ordered children and rebuild the
+	// private name index; the directory leaves the lazy read-through set
+	// exactly as it did in the serialized run.
+	nMat := r.Int()
+	for i := 0; i < nMat; i++ {
+		did := InodeID(r.U64())
+		d, ok := t.resolve(did)
+		if !ok {
+			return fmt.Errorf("namespace: materialized dir %d unresolvable", did)
+		}
+		nc := r.Int()
+		kids := make([]*Inode, nc)
+		idx := make(map[string]int, nc)
+		for j := 0; j < nc; j++ {
+			cid := InodeID(r.U64())
+			c, ok := t.resolve(cid)
+			if !ok {
+				return fmt.Errorf("namespace: child %d of dir %d unresolvable", cid, did)
+			}
+			kids[j] = c
+			idx[c.name] = j
+			c.parent = d
+		}
+		d.children = kids
+		d.childIndex = idx
+		d.lazyIdx = false
+	}
+	return nil
+}
+
+// resolve returns the live inode for id, whether base or run-created.
+func (t *Tree) resolve(id InodeID) (*Inode, bool) {
+	if t.base.contains(id) {
+		return t.node(id), true
+	}
+	n, ok := t.byID[id]
+	return n, ok
+}

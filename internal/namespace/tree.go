@@ -23,6 +23,26 @@ type Tree struct {
 	// gone tombstones base IDs destroyed in this overlay so ByID cannot
 	// resurrect their slab slots. Allocated on first removal.
 	gone map[InodeID]struct{}
+	// dead is the compacted tombstone representation: one bit per base
+	// inode, installed by CompactTombstones once the gone map has grown
+	// past the caller's threshold. While non-nil it replaces the map
+	// entirely (gone is nil); ByID pays one O(1) bit test instead of a
+	// hash probe, and the GC no longer scans millions of map entries.
+	dead []uint64
+
+	// Aging accounting. BaseDeletes counts base inodes destroyed in this
+	// overlay (the tombstone inflow); Resurrected counts tombstones
+	// brought back to life (currently never — IDs are not reused — but
+	// the invariant tombstones == BaseDeletes − Resurrected is checked
+	// by simfsck, so the counter exists to keep the accounting honest).
+	BaseDeletes uint64
+	Resurrected uint64
+	// lazyLookups/lazyMisses instrument the name-index read-through:
+	// LookupChild calls served by the frozen base's shared per-directory
+	// maps, and how many missed. Updated atomically — lookups run
+	// concurrently across shards during windows.
+	lazyLookups uint64
+	lazyMisses  uint64
 
 	// Anchors locates multiply-linked inodes (§4.5). Populated lazily,
 	// only for inodes with NLink > 1 and their ancestor directories.
@@ -53,7 +73,11 @@ func (t *Tree) allocID() InodeID {
 // tree base IDs resolve directly into the slab.
 func (t *Tree) ByID(id InodeID) (*Inode, bool) {
 	if t.base != nil && t.base.contains(id) {
-		if _, dead := t.gone[id]; dead {
+		if t.dead != nil {
+			if t.dead[id>>6]&(1<<(id&63)) != 0 {
+				return nil, false
+			}
+		} else if _, dd := t.gone[id]; dd {
 			return nil, false
 		}
 		return t.node(id), true

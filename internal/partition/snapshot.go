@@ -1,0 +1,158 @@
+package partition
+
+import (
+	"fmt"
+
+	"dynmds/internal/metrics"
+	"dynmds/internal/namespace"
+	"dynmds/internal/sim"
+	"dynmds/internal/snap"
+)
+
+// Checkpoint codec for the subtree table and the per-inode tag blocks.
+// Authority memos (AuthEpoch/Auth) ARE serialized: although they look
+// like a cache, they are behavioral state. A rename moves an inode
+// without bumping the table epoch, so a memo written before the rename
+// keeps answering with the old authority until the next delegation
+// change — and every node honors it. Rebuilding memos on restore would
+// resolve the *current* ancestor chain and steer forwards differently
+// than the uninterrupted run.
+
+// SnapshotTable serializes the table's assignments and epoch.
+func (t *SubtreeTable) SnapshotTable(w *snap.Writer) {
+	w.Int(t.n)
+	w.U64(t.epoch)
+	w.Int(len(t.assign))
+	for mds := 0; mds < t.n; mds++ {
+		for _, root := range t.RootsOf(mds) {
+			w.U64(uint64(root.ID))
+			w.Int(mds)
+		}
+	}
+}
+
+// RestoreTable replaces the table's assignments with the snapshot's.
+// The built table may already carry an initial partition (construction
+// reapplies it); it is discarded — the snapshot is authoritative.
+func (t *SubtreeTable) RestoreTable(r *snap.Reader, tree *namespace.Tree) error {
+	if n := r.Int(); n != t.n {
+		return fmt.Errorf("partition: snapshot table for %d nodes, built for %d", n, t.n)
+	}
+	epoch := r.U64()
+	t.assign = make(map[*namespace.Inode]int)
+	for i := range t.byMDS {
+		t.byMDS[i] = make(map[*namespace.Inode]bool)
+	}
+	na := r.Int()
+	for i := 0; i < na; i++ {
+		id := namespace.InodeID(r.U64())
+		mds := r.Int()
+		root, ok := tree.ByID(id)
+		if !ok {
+			return fmt.Errorf("partition: snapshot delegates unresolvable inode %d", id)
+		}
+		t.assign[root] = mds
+		t.byMDS[mds][root] = true
+	}
+	t.epoch = epoch
+	return nil
+}
+
+// tagsLive reports whether a tag block carries any restorable state.
+func tagsLive(tg *Tags) bool {
+	return tg.Pop != nil || tg.FwdPop != nil || tg.ReplicatedAll ||
+		tg.LHDirEpoch != 0 || tg.LHApplied != 0 || tg.HashedDir ||
+		tg.ReplicaSet != 0 || tg.UnflushedWriters != 0 ||
+		tg.AuthEpoch != 0 || tg.Auth != 0
+}
+
+// SnapshotTags serializes every live tag block, in deterministic tree
+// walk order. Destroyed inodes are unreachable and therefore excluded —
+// their tags can no longer influence the run.
+func SnapshotTags(w *snap.Writer, tree *namespace.Tree) {
+	count := 0
+	tree.Walk(func(n *namespace.Inode) bool {
+		if tg, ok := n.Aux.(*Tags); ok && tagsLive(tg) {
+			count++
+		}
+		return true
+	})
+	w.Int(count)
+	tree.Walk(func(n *namespace.Inode) bool {
+		tg, ok := n.Aux.(*Tags)
+		if !ok || !tagsLive(tg) {
+			return true
+		}
+		w.U64(uint64(n.ID))
+		if tg.Pop != nil {
+			w.Bool(true)
+			v, last := tg.Pop.State()
+			w.F64(v)
+			w.I64(int64(last))
+		} else {
+			w.Bool(false)
+		}
+		if tg.FwdPop != nil {
+			w.Bool(true)
+			v, last := tg.FwdPop.State()
+			w.F64(v)
+			w.I64(int64(last))
+		} else {
+			w.Bool(false)
+		}
+		w.Bool(tg.ReplicatedAll)
+		w.U64(tg.LHDirEpoch)
+		w.U64(tg.LHApplied)
+		w.Bool(tg.HashedDir)
+		w.U64(tg.ReplicaSet)
+		w.U64(tg.UnflushedWriters)
+		w.U64(tg.AuthEpoch)
+		w.Int(tg.Auth)
+		return true
+	})
+}
+
+// RestoreTags applies serialized tag blocks onto the restored tree.
+// popHalfLife and fwdHalfLife recreate the decay counters with the same
+// half-lives the run's config would.
+func RestoreTags(r *snap.Reader, tree *namespace.Tree, popHalfLife, fwdHalfLife sim.Time) error {
+	// Clear any memo written between construction and restore (e.g. a
+	// sharded setup's wholesale Memoize pass) so post-restore memo state
+	// is exactly the serialized state, nothing more.
+	tree.Walk(func(n *namespace.Inode) bool {
+		if tg, ok := n.Aux.(*Tags); ok {
+			tg.AuthEpoch, tg.Auth = 0, 0
+		}
+		return true
+	})
+	n := r.Int()
+	for i := 0; i < n; i++ {
+		id := namespace.InodeID(r.U64())
+		ino, ok := tree.ByID(id)
+		if !ok {
+			return fmt.Errorf("partition: snapshot tags name unresolvable inode %d", id)
+		}
+		tg := TagsOf(ino)
+		if r.Bool() {
+			tg.Pop = metrics.NewDecayCounter(popHalfLife)
+			v := r.F64()
+			last := sim.Time(r.I64())
+			tg.Pop.SetState(v, last)
+		}
+		if r.Bool() {
+			tg.FwdPop = metrics.NewDecayCounter(fwdHalfLife)
+			v := r.F64()
+			last := sim.Time(r.I64())
+			tg.FwdPop.SetState(v, last)
+		}
+		tg.ReplicatedAll = r.Bool()
+		tg.LHDirEpoch = r.U64()
+		tg.LHApplied = r.U64()
+		tg.HashedDir = r.Bool()
+		tg.ReplicaSet = r.U64()
+		tg.UnflushedWriters = r.U64()
+		tg.AuthEpoch = r.U64()
+		tg.Auth = r.Int()
+	}
+	return nil
+}

@@ -227,14 +227,14 @@ func parseAct(p *Plan, rest string) error {
 }
 
 // mixOpNames is the canonical draw order shared with the traffic plane.
-var mixOpNames = [...]string{"stat", "readdir", "chmod", "create", "rename"}
+var mixOpNames = [...]string{"stat", "readdir", "chmod", "create", "rename", "unlink"}
 
 // parseMix parses "stat:80,create:20" (ops omitted weigh zero).
 func parseMix(v string) (*MixSpec, error) {
 	m := &MixSpec{}
 	slot := map[string]*float64{
 		"stat": &m.Stat, "readdir": &m.Readdir, "chmod": &m.Chmod,
-		"create": &m.Create, "rename": &m.Rename,
+		"create": &m.Create, "rename": &m.Rename, "unlink": &m.Unlink,
 	}
 	for _, part := range strings.Split(v, ",") {
 		op, w, ok := strings.Cut(part, ":")
@@ -342,7 +342,7 @@ func (p *Plan) String() string {
 
 // fmtMix renders the non-zero weights in canonical op order.
 func fmtMix(m *MixSpec) string {
-	ws := [...]float64{m.Stat, m.Readdir, m.Chmod, m.Create, m.Rename}
+	ws := [...]float64{m.Stat, m.Readdir, m.Chmod, m.Create, m.Rename, m.Unlink}
 	var parts []string
 	for i, w := range ws {
 		if w != 0 {

@@ -15,7 +15,7 @@ import (
 	"dynmds/internal/plan"
 )
 
-var sources = []string{midasSrc, cfsSrc, simfsSrc, renameStormSrc, multiTenantSrc, duelSrc}
+var sources = []string{midasSrc, cfsSrc, simfsSrc, renameStormSrc, multiTenantSrc, duelSrc, agingSrc}
 
 var (
 	once  sync.Once
@@ -148,6 +148,26 @@ act phase calm @2s-5s
 act hotspot crowd @5s-13s rate=x3 mix=stat:90,readdir:10 target=/home/u0000 frac=0.7
 act phase churn @13s-16s mix=stat:40,chmod:30,create:30
 optimize hot ops p99 load-spread
+`
+
+// agingSrc: the endurance plane's churn shape as a plan — sustained
+// create/rename/unlink turnover that pushes the COW overlay away from
+// its frozen base (tombstones accumulate, directories fragment), with a
+// stat-heavy settle so the aged namespace is then read back through the
+// overlay it degraded. `mdsim -endure` runs the same shape with
+// checkpoints and simfsck; this plan exposes it to the comparison
+// matrix so strategies can be ranked on an aged namespace.
+const agingSrc = `plan namespace-aging
+describe Namespace aging: sustained create/rename/unlink churn ages the overlay, then stat traffic reads it back.
+fs users=60
+cluster mds=4 cache=2500 bucket=500ms
+traffic clients=4000 rate=0.5 tenants=96 file-skew=0.8
+matrix strategy=DynamicSubtree,StaticSubtree
+warmup 2s
+duration 24s
+act phase churn @2s-16s mix=stat:40,readdir:5,create:25,rename:10,unlink:20
+act phase settle @16s-24s mix=stat:80,readdir:10,chmod:5,create:5
+optimize ops p99 load-spread
 `
 
 // multiTenantSrc composes the other scenarios over one skewed tenant

@@ -132,11 +132,11 @@ type TrafficSpec struct {
 
 // MixSpec is an op-mix weighting in canonical draw order.
 type MixSpec struct {
-	Stat, Readdir, Chmod, Create, Rename float64
+	Stat, Readdir, Chmod, Create, Rename, Unlink float64
 }
 
 func (m *MixSpec) sum() float64 {
-	return m.Stat + m.Readdir + m.Chmod + m.Create + m.Rename
+	return m.Stat + m.Readdir + m.Chmod + m.Create + m.Rename + m.Unlink
 }
 
 // Axis is one matrix dimension: a known key and the values to sweep.
@@ -388,7 +388,7 @@ func (p *Plan) baseConfig(opt Options, q float64) (cluster.Config, error) {
 		}
 		if t.Mix != nil {
 			pc.MixStat, pc.MixReaddir, pc.MixChmod = t.Mix.Stat, t.Mix.Readdir, t.Mix.Chmod
-			pc.MixCreate, pc.MixRename = t.Mix.Create, t.Mix.Rename
+			pc.MixCreate, pc.MixRename, pc.MixUnlink = t.Mix.Create, t.Mix.Rename, t.Mix.Unlink
 		}
 		cfg.OpenLoop = pc
 	}
@@ -404,7 +404,7 @@ func (p *Plan) baseConfig(opt Options, q float64) (cluster.Config, error) {
 		}
 		if a.Mix != nil {
 			ac.MixStat, ac.MixReaddir, ac.MixChmod = a.Mix.Stat, a.Mix.Readdir, a.Mix.Chmod
-			ac.MixCreate, ac.MixRename = a.Mix.Create, a.Mix.Rename
+			ac.MixCreate, ac.MixRename, ac.MixUnlink = a.Mix.Create, a.Mix.Rename, a.Mix.Unlink
 		}
 		cfg.Acts = append(cfg.Acts, ac)
 	}

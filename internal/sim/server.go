@@ -66,6 +66,22 @@ func (s *Server) account(now Time) {
 	s.lastChange = now
 }
 
+// StatsState exposes the accounting state a checkpoint must carry. The
+// server must be idle (drained) when snapshotted; in-service or queued
+// jobs are events, not serializable state.
+func (s *Server) StatsState() (completed, submitted uint64, busyTime, lastChange Time) {
+	if s.busy != 0 || len(s.queue) != 0 {
+		panic("sim: snapshotting a non-idle server")
+	}
+	return s.Completed, s.Submitted, s.BusyTime, s.lastChange
+}
+
+// SetStatsState restores accounting state captured by StatsState.
+func (s *Server) SetStatsState(completed, submitted uint64, busyTime, lastChange Time) {
+	s.Completed, s.Submitted = completed, submitted
+	s.BusyTime, s.lastChange = busyTime, lastChange
+}
+
 // Submit enqueues a job with the given service time. done runs when the
 // job completes; it may be nil.
 func (s *Server) Submit(service Time, done func()) {

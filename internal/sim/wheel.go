@@ -84,6 +84,26 @@ func (w *Wheel) Start() {
 // currently dispatched tick, if any, completes.
 func (w *Wheel) Stop() { w.stopped = true }
 
+// Reset discards every pending timer and rewinds the wheel to tick 0,
+// keeping the cumulative Ticks/Fired counters. The endurance plane uses
+// it at checkpoint resume: rather than serializing millions of pending
+// arrival deadlines, both the checkpointing run and the restored run
+// Reset the wheel and re-arm every client from its own RNG stream, so
+// the post-resume arrival process is identical in both.
+func (w *Wheel) Reset() {
+	for i := range w.next {
+		w.next[i] = -1
+	}
+	for l := 0; l < wheelLevels; l++ {
+		for s := 0; s < wheelSlots; s++ {
+			w.head[l][s] = -1
+			w.tail[l][s] = -1
+		}
+	}
+	w.cur = 0
+	w.stopped = true
+}
+
 // Now returns the wheel's current tick count.
 func (w *Wheel) Now() uint32 { return w.cur }
 

@@ -1,0 +1,184 @@
+// Package snap is the serialization codec for endurance checkpoints
+// (internal/endure). A snapshot is a sequence of named sections, each a
+// length-prefixed byte run of varint-encoded scalars and strings,
+// followed by an FNV-64 trailer over everything before it. The codec is
+// deliberately tiny: no reflection, no interfaces per field — each
+// package that owns mutable simulation state writes its section with
+// explicit code, so the set of serialized state is auditable by
+// reading the SnapshotTo methods.
+//
+// Versioning lives one level up (internal/endure's file header); this
+// package only guarantees that a section stream written by Writer reads
+// back exactly with Reader, and that corruption is caught by the
+// checksum before any section is trusted.
+package snap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Writer accumulates sections into a byte buffer.
+type Writer struct {
+	buf []byte
+	// section bookkeeping: start of the current section's length prefix.
+	secAt   int
+	secName string
+}
+
+// NewWriter returns an empty snapshot writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// Begin opens a named section. Sections cannot nest.
+func (w *Writer) Begin(name string) {
+	if w.secName != "" {
+		panic("snap: nested section " + name + " inside " + w.secName)
+	}
+	w.secName = name
+	w.String(name)
+	// Reserve a fixed 8-byte length slot so we can patch it after End.
+	w.secAt = len(w.buf)
+	w.buf = append(w.buf, 0, 0, 0, 0, 0, 0, 0, 0)
+}
+
+// End closes the current section, patching its length prefix.
+func (w *Writer) End() {
+	if w.secName == "" {
+		panic("snap: End outside section")
+	}
+	n := len(w.buf) - w.secAt - 8
+	binary.LittleEndian.PutUint64(w.buf[w.secAt:], uint64(n))
+	w.secName = ""
+}
+
+// U64 appends an unsigned varint.
+func (w *Writer) U64(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+
+// I64 appends a signed varint (zigzag).
+func (w *Writer) I64(v int64) { w.buf = binary.AppendVarint(w.buf, v) }
+
+// Int appends an int as a signed varint.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// Bool appends a boolean.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U64(1)
+	} else {
+		w.U64(0)
+	}
+}
+
+// F64 appends a float64 bit-exactly.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.U64(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Bytes returns the finished snapshot: all sections plus an FNV-64
+// checksum trailer. The writer must not be reused after Bytes.
+func (w *Writer) Bytes() []byte {
+	if w.secName != "" {
+		panic("snap: Bytes inside open section " + w.secName)
+	}
+	h := fnv.New64a()
+	h.Write(w.buf)
+	var tr [8]byte
+	binary.LittleEndian.PutUint64(tr[:], h.Sum64())
+	return append(w.buf, tr[:]...)
+}
+
+// Reader decodes a snapshot produced by Writer.
+type Reader struct {
+	buf []byte
+	pos int
+	end int // current section end; 0 before the first Section call
+}
+
+// NewReader validates the checksum trailer and returns a reader over
+// the section stream.
+func NewReader(b []byte) (*Reader, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("snap: truncated snapshot (%d bytes)", len(b))
+	}
+	body, tr := b[:len(b)-8], b[len(b)-8:]
+	h := fnv.New64a()
+	h.Write(body)
+	if got, want := h.Sum64(), binary.LittleEndian.Uint64(tr); got != want {
+		return nil, fmt.Errorf("snap: checksum mismatch (got %016x want %016x)", got, want)
+	}
+	return &Reader{buf: body}, nil
+}
+
+// Section opens the next section and returns its name. Call after the
+// previous section is fully consumed; Section skips any unread
+// remainder of the previous section (forward compatibility: a reader
+// may ignore trailing fields it does not understand).
+func (r *Reader) Section() (string, error) {
+	r.pos = r.end // skip unread remainder
+	r.end = len(r.buf)
+	if r.pos >= len(r.buf) {
+		return "", nil // end of stream
+	}
+	name := r.String()
+	if r.pos+8 > len(r.buf) {
+		return "", fmt.Errorf("snap: truncated section header %q", name)
+	}
+	n := binary.LittleEndian.Uint64(r.buf[r.pos:])
+	r.pos += 8
+	if uint64(len(r.buf)-r.pos) < n {
+		return "", fmt.Errorf("snap: section %q length %d exceeds buffer", name, n)
+	}
+	r.end = r.pos + int(n)
+	return name, nil
+}
+
+// U64 reads an unsigned varint. Reads past a section end panic: a
+// snapshot section is a trusted, checksummed stream, so a short read
+// is a programming error (writer/reader mismatch), not an input error.
+func (r *Reader) U64() uint64 {
+	v, n := binary.Uvarint(r.buf[r.pos:r.end])
+	if n <= 0 {
+		panic("snap: varint read past section end")
+	}
+	r.pos += n
+	return v
+}
+
+// I64 reads a signed varint.
+func (r *Reader) I64() int64 {
+	v, n := binary.Varint(r.buf[r.pos:r.end])
+	if n <= 0 {
+		panic("snap: varint read past section end")
+	}
+	r.pos += n
+	return v
+}
+
+// Int reads an int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// Bool reads a boolean.
+func (r *Reader) Bool() bool { return r.U64() != 0 }
+
+// F64 reads a bit-exact float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.U64()
+	if uint64(r.end-r.pos) < n {
+		panic("snap: string read past section end")
+	}
+	s := string(r.buf[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s
+}
+
+// Remaining reports unread bytes in the current section.
+func (r *Reader) Remaining() int { return r.end - r.pos }

@@ -1,0 +1,182 @@
+package snap
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestRoundTrip pins the codec contract: every scalar type written in
+// section order reads back exactly, across multiple sections.
+func TestRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.Begin("alpha")
+	w.U64(0)
+	w.U64(math.MaxUint64)
+	w.I64(-1)
+	w.I64(math.MinInt64)
+	w.Int(-42)
+	w.Bool(true)
+	w.Bool(false)
+	w.F64(math.Copysign(0, -1))
+	w.F64(math.Inf(1))
+	w.F64(math.NaN())
+	w.String("")
+	w.String("päth/with/ütf8")
+	w.End()
+	w.Begin("beta")
+	w.U64(7)
+	w.End()
+
+	r, err := NewReader(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, err := r.Section()
+	if err != nil || name != "alpha" {
+		t.Fatalf("first section = %q, %v; want alpha", name, err)
+	}
+	if got := r.U64(); got != 0 {
+		t.Errorf("U64 = %d, want 0", got)
+	}
+	if got := r.U64(); got != math.MaxUint64 {
+		t.Errorf("U64 = %d, want max", got)
+	}
+	if got := r.I64(); got != -1 {
+		t.Errorf("I64 = %d, want -1", got)
+	}
+	if got := r.I64(); got != math.MinInt64 {
+		t.Errorf("I64 = %d, want min", got)
+	}
+	if got := r.Int(); got != -42 {
+		t.Errorf("Int = %d, want -42", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool sequence mismatch")
+	}
+	if bits := math.Float64bits(r.F64()); bits != math.Float64bits(math.Copysign(0, -1)) {
+		t.Errorf("F64 -0.0 bits = %x", bits)
+	}
+	if got := r.F64(); !math.IsInf(got, 1) {
+		t.Errorf("F64 = %v, want +Inf", got)
+	}
+	if got := r.F64(); !math.IsNaN(got) {
+		t.Errorf("F64 = %v, want NaN", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("String = %q, want empty", got)
+	}
+	if got := r.String(); got != "päth/with/ütf8" {
+		t.Errorf("String = %q", got)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("%d bytes left in alpha", r.Remaining())
+	}
+	name, err = r.Section()
+	if err != nil || name != "beta" {
+		t.Fatalf("second section = %q, %v; want beta", name, err)
+	}
+	if got := r.U64(); got != 7 {
+		t.Errorf("beta U64 = %d, want 7", got)
+	}
+	if name, err := r.Section(); err != nil || name != "" {
+		t.Fatalf("end of stream = %q, %v; want empty", name, err)
+	}
+}
+
+// TestFirstSectionNotSkipped is a regression test: a fresh Reader's
+// first Section call must open the first section rather than skipping
+// it (the section-skip logic starts from the previous section's end,
+// which must be zero before any section has been read).
+func TestFirstSectionNotSkipped(t *testing.T) {
+	w := NewWriter()
+	w.Begin("only")
+	w.U64(99)
+	w.End()
+	r, err := NewReader(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, err := r.Section()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "only" {
+		t.Fatalf("first Section = %q, want only", name)
+	}
+	if got := r.U64(); got != 99 {
+		t.Fatalf("payload = %d, want 99", got)
+	}
+}
+
+// TestSectionSkipsUnreadRemainder: a reader that ignores trailing
+// fields of one section still lands on the next section cleanly.
+func TestSectionSkipsUnreadRemainder(t *testing.T) {
+	w := NewWriter()
+	w.Begin("fat")
+	for i := 0; i < 16; i++ {
+		w.U64(uint64(i))
+	}
+	w.End()
+	w.Begin("thin")
+	w.Bool(true)
+	w.End()
+	r, err := NewReader(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name, _ := r.Section(); name != "fat" {
+		t.Fatalf("section %q, want fat", name)
+	}
+	_ = r.U64() // read one of sixteen fields, leave the rest
+	if name, _ := r.Section(); name != "thin" {
+		t.Fatalf("section after partial read = %q, want thin", name)
+	}
+	if !r.Bool() {
+		t.Fatal("thin payload lost")
+	}
+}
+
+// TestChecksumCatchesCorruption flips each byte of a snapshot in turn;
+// every mutation must be rejected before any section is served.
+func TestChecksumCatchesCorruption(t *testing.T) {
+	w := NewWriter()
+	w.Begin("s")
+	w.U64(123456)
+	w.String("payload")
+	w.End()
+	good := w.Bytes()
+	for i := range good {
+		bad := append([]byte(nil), good...)
+		bad[i] ^= 0x40
+		if _, err := NewReader(bad); err == nil {
+			t.Fatalf("corruption at byte %d of %d accepted", i, len(good))
+		}
+	}
+	if _, err := NewReader(good[:4]); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncated snapshot: %v", err)
+	}
+}
+
+// TestReadPastSectionEndPanics: short reads inside a checksummed
+// section are writer/reader mismatches, and must fail loudly.
+func TestReadPastSectionEndPanics(t *testing.T) {
+	w := NewWriter()
+	w.Begin("s")
+	w.U64(1)
+	w.End()
+	r, err := NewReader(w.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Section(); err != nil {
+		t.Fatal(err)
+	}
+	_ = r.U64()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("read past section end did not panic")
+		}
+	}()
+	_ = r.U64()
+}

@@ -1,0 +1,110 @@
+package storage
+
+import (
+	"fmt"
+
+	"dynmds/internal/dirstore"
+	"dynmds/internal/namespace"
+	"dynmds/internal/sim"
+	"dynmds/internal/snap"
+)
+
+// Checkpoint codec. Serialized at a quiesce point, when both disks are
+// idle — the sim.Server state calls panic otherwise. The bounded log's
+// live map is not serialized; it is rebuilt from the ring contents.
+
+// SnapshotTo serializes the store's mutable state.
+func (s *Store) SnapshotTo(w *snap.Writer) {
+	if s.cfg.Pool != nil {
+		panic("storage: checkpointing the shared-pool ablation is not supported")
+	}
+	w.U64(s.Stats.InodeReads)
+	w.U64(s.Stats.DirReads)
+	w.U64(s.Stats.RecordsRead)
+	w.U64(s.Stats.LogAppends)
+	w.U64(s.Stats.TierWrites)
+	w.F64(s.slow)
+	for _, d := range [...]*sim.Server{s.readDisk, s.logDisk} {
+		completed, submitted, busy, last := d.StatsState()
+		w.U64(completed)
+		w.U64(submitted)
+		w.I64(int64(busy))
+		w.I64(int64(last))
+	}
+	// Bounded log: capacity cross-checked on restore, then head and the
+	// valid window oldest-first. Ring slots outside the window are never
+	// read before being overwritten, so their content does not matter,
+	// but head does (it fixes where future appends land).
+	w.Int(s.log.capacity)
+	w.Int(s.log.head)
+	w.Int(s.log.n)
+	for i := 0; i < s.log.n; i++ {
+		w.U64(uint64(s.log.ring[(s.log.head+i)%s.log.capacity]))
+	}
+	if s.Dirs == nil {
+		w.Int(-1)
+		return
+	}
+	w.Int(len(s.Dirs.trees))
+	w.U64(s.Dirs.NodesWritten)
+	w.U64(s.Dirs.Updates)
+	s.Dirs.ForEach(func(dir namespace.InodeID, t *dirstore.Tree) {
+		w.U64(uint64(dir))
+		t.SnapshotTo(w)
+	})
+}
+
+// RestoreFrom applies a snapshot onto a freshly built store with the
+// same config.
+func (s *Store) RestoreFrom(r *snap.Reader) error {
+	if s.cfg.Pool != nil {
+		return fmt.Errorf("storage: cannot restore into a shared-pool configuration")
+	}
+	s.Stats.InodeReads = r.U64()
+	s.Stats.DirReads = r.U64()
+	s.Stats.RecordsRead = r.U64()
+	s.Stats.LogAppends = r.U64()
+	s.Stats.TierWrites = r.U64()
+	s.slow = r.F64()
+	for _, d := range [...]*sim.Server{s.readDisk, s.logDisk} {
+		completed := r.U64()
+		submitted := r.U64()
+		busy := sim.Time(r.I64())
+		last := sim.Time(r.I64())
+		d.SetStatsState(completed, submitted, busy, last)
+	}
+	if c := r.Int(); c != s.log.capacity {
+		return fmt.Errorf("storage: snapshot log capacity %d, built %d", c, s.log.capacity)
+	}
+	s.log.head = r.Int()
+	s.log.n = r.Int()
+	if s.log.head < 0 || s.log.head >= s.log.capacity || s.log.n < 0 || s.log.n > s.log.capacity {
+		return fmt.Errorf("storage: snapshot log window head=%d n=%d out of range", s.log.head, s.log.n)
+	}
+	for i := 0; i < s.log.n; i++ {
+		id := namespace.InodeID(r.U64())
+		s.log.ring[(s.log.head+i)%s.log.capacity] = id
+		s.log.live[id]++
+	}
+	nd := r.Int()
+	if nd < 0 {
+		if s.Dirs != nil {
+			return fmt.Errorf("storage: snapshot has no directory objects, built store does")
+		}
+		return nil
+	}
+	if s.Dirs == nil {
+		return fmt.Errorf("storage: snapshot has directory objects, built store does not")
+	}
+	s.Dirs.NodesWritten = r.U64()
+	s.Dirs.Updates = r.U64()
+	for i := 0; i < nd; i++ {
+		dir := namespace.InodeID(r.U64())
+		t, err := dirstore.DecodeTree(r)
+		if err != nil {
+			return fmt.Errorf("storage: dir object %d: %w", dir, err)
+		}
+		s.Dirs.trees[dir] = t
+	}
+	return nil
+}

@@ -119,6 +119,18 @@ func (t *Tenants) FootprintBytes() int64 {
 	return int64(ptrs+f64)*8 + int64(i32)*4
 }
 
+// ForEachTarget visits every inode the alias tables can return (files
+// and directories, all tenants). The endurance plane uses it to keep
+// its base-churn unlink victims disjoint from the working sets.
+func (t *Tenants) ForEachTarget(fn func(*namespace.Inode)) {
+	for _, n := range t.files {
+		fn(n)
+	}
+	for _, n := range t.dirs {
+		fn(n)
+	}
+}
+
 // FileSkew returns the current popularity exponent.
 func (t *Tenants) FileSkew() float64 { return t.cfg.FileSkew }
 

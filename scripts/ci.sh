@@ -165,6 +165,59 @@ END {
 }' BENCH_9.quick.json
 echo "ci: lease plane footprint gates passed (<= 64 B off / <= 96 B on at 100k clients)"
 
+# Endurance smoke under the race detector: a short aging run with two
+# checkpoints, each quiesced, simfsck-checked, and snapshotted.
+ENDTMP=$(mktemp -d)
+go run -race ./cmd/mdsim -open-loop 20000 -open-rate 0.05 -mds 4 -clients 40 \
+    -dur 5 -warmup 1 -endure -checkpoint-every 2.5 -checkpoint-dir "$ENDTMP"
+
+# Restore determinism assert: resuming from the first snapshot must
+# reproduce the uninterrupted run's digest bit for bit.
+FULL=$(go run ./cmd/mdsim -open-loop 20000 -open-rate 0.05 -mds 4 -clients 40 \
+    -dur 5 -warmup 1 -endure -checkpoint-every 2.5 | sed -n 's/^digest: //p')
+REST=$(go run ./cmd/mdsim -open-loop 20000 -open-rate 0.05 -mds 4 -clients 40 \
+    -dur 5 -warmup 1 -endure -checkpoint-every 2.5 -restore "$ENDTMP/ck-000.snap" | sed -n 's/^digest: //p')
+rm -rf "$ENDTMP"
+if [ -z "$FULL" ] || [ "$FULL" != "$REST" ]; then
+    echo "ci: restored endurance run diverged from the uninterrupted run" >&2
+    echo "ci:   full:     $FULL" >&2
+    echo "ci:   restored: $REST" >&2
+    exit 1
+fi
+echo "ci: endurance restore determinism passed"
+
+# Endurance knobs must fail fast with usage errors (exit 2), matching
+# the -faults/-plan convention.
+if go run ./cmd/mdsim -checkpoint-every 2 2>/dev/null; then
+    echo "ci: -checkpoint-every without -endure was accepted" >&2
+    exit 1
+fi
+if go run ./cmd/mdsim -open-loop 1000 -endure -checkpoint-every 0 2>/dev/null; then
+    echo "ci: -endure with zero -checkpoint-every was accepted" >&2
+    exit 1
+fi
+
+# Endurance perf report: degradation curves with the tombstone-GC fix
+# off and on, restore bit-identity at K=0 and K=4, and a rolling chaos
+# soak with simfsck at every checkpoint (quick scale in CI; regenerate
+# the committed BENCH_10.json with a full-scale run:
+# `go run ./cmd/mdsim -bench10-json BENCH_10.json`). The run itself
+# fails on any restore divergence or soak violation.
+go run ./cmd/mdsim -bench10-json BENCH_10.quick.json -quick
+
+# Drift gates over the soak horizon: ops/sec at the last checkpoint may
+# not fall more than 15% below the peak across the rolling crash
+# cycles, and the compaction-fixed aging curve must stay within 5%.
+awk '
+/"fixed_drift":/ { gsub(/[",]/, ""); fixed = $2 }
+/"drift":/       { gsub(/[",]/, ""); soak = $2 }
+END {
+    if (fixed == "" || soak == "") { print "ci: missing drift fields in BENCH_10.quick.json"; exit 1 }
+    if (fixed > 0.05) { printf "ci: aged ops/s drift %s with compaction on exceeds the 5%% gate\n", fixed; exit 1 }
+    if (soak > 0.15)  { printf "ci: soak ops/s drift %s exceeds the 15%% gate\n", soak; exit 1 }
+    printf "ci: endurance drift gates passed (aged %s <= 0.05, soak %s <= 0.15)\n", fixed, soak
+}' BENCH_10.quick.json
+
 # Perf report (quick scale in CI; regenerate the committed BENCH_6.json
 # with a full-scale run: `go run ./cmd/mdsim -bench-json BENCH_6.json
 # -shards 8`). Includes the serial-vs-sharded measurement of the bench
